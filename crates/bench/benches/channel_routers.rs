@@ -1,0 +1,113 @@
+//! Channel-router benchmarks: the constrained left-edge router (with
+//! and without doglegs), the greedy column-sweep router, and the
+//! four-layer layer-pair decomposition, on random channel problems of
+//! growing width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocr_channel::{
+    route_four_layer, route_greedy, route_left_edge, ChannelProblem, GreedyOptions,
+    LeftEdgeOptions, MultilayerOptions,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random channel with ~`width / 3` two-to-four-pin nets.
+fn random_channel(width: usize, seed: u64) -> ChannelProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut top = vec![0u32; width];
+    let mut bottom = vec![0u32; width];
+    let nets = width / 3;
+    let mut free_cols: Vec<usize> = (0..width).collect();
+    for net in 1..=nets {
+        let pins = rng.gen_range(2..=4).min(free_cols.len());
+        for _ in 0..pins {
+            if free_cols.is_empty() {
+                break;
+            }
+            let k = rng.gen_range(0..free_cols.len());
+            let col = free_cols.swap_remove(k);
+            if rng.gen_bool(0.5) {
+                top[col] = net as u32;
+            } else {
+                bottom[col] = net as u32;
+            }
+        }
+    }
+    // Drop single-pin nets (audit would reject them).
+    let mut counts = std::collections::HashMap::new();
+    for &n in top.iter().chain(bottom.iter()) {
+        if n != 0 {
+            *counts.entry(n).or_insert(0usize) += 1;
+        }
+    }
+    for row in [&mut top, &mut bottom] {
+        for v in row.iter_mut() {
+            if *v != 0 && counts[v] < 2 {
+                *v = 0;
+            }
+        }
+    }
+    ChannelProblem::from_ids(&top, &bottom)
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_routers");
+    group.sample_size(20);
+    for width in [64usize, 128, 256, 512] {
+        let problem = random_channel(width, 3);
+        group.bench_with_input(
+            BenchmarkId::new("left_edge_dogleg", width),
+            &width,
+            |b, _| b.iter(|| route_left_edge(&problem, LeftEdgeOptions::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("left_edge_plain", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    route_left_edge(
+                        &problem,
+                        LeftEdgeOptions {
+                            dogleg: false,
+                            break_cycles: true,
+                        },
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("greedy", width), &width, |b, _| {
+            b.iter(|| route_greedy(&problem, GreedyOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("four_layer", width), &width, |b, _| {
+            b.iter(|| route_four_layer(&problem, MultilayerOptions::default()))
+        });
+    }
+    group.finish();
+
+    // Track-count quality report.
+    println!();
+    println!("tracks used on random channels (density = lower bound):");
+    println!(
+        "{:>6} {:>8} {:>12} {:>8} {:>11}",
+        "width", "density", "LEA+dogleg", "greedy", "4L(max/pair)"
+    );
+    for width in [64usize, 128, 256, 512] {
+        let problem = random_channel(width, 3);
+        let lea = route_left_edge(&problem, LeftEdgeOptions::default())
+            .map(|p| p.tracks_used)
+            .unwrap_or(0);
+        let greedy = route_greedy(&problem, GreedyOptions::default())
+            .map(|r| r.plan.tracks_used)
+            .unwrap_or(0);
+        let four = route_four_layer(&problem, MultilayerOptions::default())
+            .map(|p| p.max_tracks())
+            .unwrap_or(0);
+        println!(
+            "{width:>6} {:>8} {lea:>12} {greedy:>8} {four:>11}",
+            problem.density()
+        );
+    }
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! End-to-end flow benchmarks on the paper's benchmark suite:
+//! the proposed over-cell flow vs the channel-only baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocr_core::{FourLayerChannelFlow, OverCellFlow, TwoLayerChannelFlow};
+use ocr_gen::suite;
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_flows");
+    group.sample_size(10);
+    for chip in suite::all() {
+        group.bench_with_input(
+            BenchmarkId::new("over_cell", &chip.spec.name),
+            &chip,
+            |b, chip| {
+                b.iter(|| {
+                    OverCellFlow::default()
+                        .run(&chip.layout, &chip.placement)
+                        .expect("flow")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("two_layer_channel", &chip.spec.name),
+            &chip,
+            |b, chip| {
+                b.iter(|| {
+                    TwoLayerChannelFlow::default()
+                        .run(&chip.layout, &chip.placement)
+                        .expect("flow")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("four_layer_channel", &chip.spec.name),
+            &chip,
+            |b, chip| {
+                b.iter(|| {
+                    FourLayerChannelFlow::default()
+                        .run(&chip.layout, &chip.placement)
+                        .expect("flow")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! The paper's §3.4 complexity claims: Level B routing runs in
+//! O(n·h·v) time with O(h·v) storage, where `h`/`v` are the horizontal
+//! and vertical track counts and `n` the number of two-terminal
+//! connections.
+//!
+//! Benchmarks complete Level B runs while scaling (a) the grid size at
+//! fixed net count and (b) the net count at fixed grid size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocr_core::{config::LevelBConfig, level_b::LevelBRouter};
+use ocr_geom::{Layer, Point, Rect};
+use ocr_netlist::{Layout, NetClass, NetId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A layout with `nets` random two-terminal nets on a `side`×`side` die.
+fn random_layout(side: i64, nets: usize, seed: u64) -> (Layout, Vec<NetId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layout = Layout::new(Rect::new(0, 0, side, side));
+    let mut ids = Vec::new();
+    let mut used = std::collections::HashSet::new();
+    for k in 0..nets {
+        let net = layout.add_net(format!("n{k}"), NetClass::Signal);
+        for _ in 0..2 {
+            loop {
+                let p = Point::new(
+                    rng.gen_range(0..=side / 10) * 10,
+                    rng.gen_range(0..=side / 10) * 10,
+                );
+                if used.insert(p) {
+                    layout.add_pin(net, None, p, Layer::Metal2);
+                    break;
+                }
+            }
+        }
+        ids.push(net);
+    }
+    (layout, ids)
+}
+
+fn bench_grid_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level_b_grid_scaling");
+    group.sample_size(10);
+    for side in [400i64, 800, 1600, 3200] {
+        let (layout, nets) = random_layout(side, 40, 11);
+        let tracks = (side / 10 + 1) as u64;
+        group.throughput(Throughput::Elements(tracks * tracks));
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
+            b.iter(|| {
+                let mut router =
+                    LevelBRouter::new(&layout, &nets, LevelBConfig::default()).expect("router");
+                router.route_all().expect("routes")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_net_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level_b_net_scaling");
+    group.sample_size(10);
+    for nets in [20usize, 40, 80, 160] {
+        let (layout, ids) = random_layout(1600, nets, 13);
+        group.throughput(Throughput::Elements(nets as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nets), &nets, |b, _| {
+            b.iter(|| {
+                let mut router =
+                    LevelBRouter::new(&layout, &ids, LevelBConfig::default()).expect("router");
+                router.route_all().expect("routes")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_scaling, bench_net_scaling);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Multi-terminal routing benchmark: the Prim-based Steiner
+//! decomposition of §3.3, scaled over fanout, plus a quality report
+//! (routed length vs the terminal-only MST bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocr_core::steiner::rectilinear_mst_length;
+use ocr_core::{config::LevelBConfig, level_b::LevelBRouter};
+use ocr_geom::{Layer, Point, Rect};
+use ocr_netlist::{Layout, NetClass, NetId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fanout_layout(pins: usize, seed: u64) -> (Layout, NetId, Vec<Point>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layout = Layout::new(Rect::new(0, 0, 2000, 2000));
+    let net = layout.add_net("fan", NetClass::Signal);
+    let mut pts = Vec::new();
+    let mut used = std::collections::HashSet::new();
+    while pts.len() < pins {
+        let p = Point::new(rng.gen_range(0..=200) * 10, rng.gen_range(0..=200) * 10);
+        if used.insert(p) {
+            layout.add_pin(net, None, p, Layer::Metal2);
+            pts.push(p);
+        }
+    }
+    (layout, net, pts)
+}
+
+fn bench_steiner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_fanout");
+    group.sample_size(10);
+    for pins in [4usize, 8, 16, 32, 64] {
+        let (layout, net, _) = fanout_layout(pins, 21);
+        group.bench_with_input(BenchmarkId::from_parameter(pins), &pins, |b, _| {
+            b.iter(|| {
+                let mut router =
+                    LevelBRouter::new(&layout, &[net], LevelBConfig::default()).expect("router");
+                router.route_all().expect("routes")
+            })
+        });
+    }
+    group.finish();
+
+    println!();
+    println!("Steiner quality (routed wl vs terminal-only MST):");
+    println!(
+        "{:>6} {:>10} {:>10} {:>8}",
+        "pins", "routed", "MST", "ratio"
+    );
+    for pins in [4usize, 8, 16, 32, 64] {
+        let (layout, net, pts) = fanout_layout(pins, 21);
+        let mut router =
+            LevelBRouter::new(&layout, &[net], LevelBConfig::default()).expect("router");
+        let res = router.route_all().expect("routes");
+        let wl = res.design.route(net).expect("routed").wire_length();
+        let mst = rectilinear_mst_length(&pts);
+        println!(
+            "{pins:>6} {wl:>10} {mst:>10} {:>8.3}",
+            wl as f64 / mst as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench_steiner);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Quality ablations for the design choices DESIGN.md calls out:
+//!
+//! * **cost-function weights** — the paper's sparse default
+//!   (w1 = 1, w2x = 1), the dense recommendation (w2x ↑) and a
+//!   wire-length-only selector;
+//! * **net ordering** — longest-distance-first (paper) vs
+//!   shortest-first vs criticality;
+//! * **dogleg splitting** in the Level A channel router;
+//! * **maze fallback** — how often the (incomplete) MBFS needs rescue.
+//!
+//! Each ablation reports completion, wire length, corners and routing
+//! vias on the ami33-equivalent.
+
+use ocr_channel::{left_edge_track_count, ChannelProblem, LeftEdgeOptions};
+use ocr_core::{
+    config::LevelBConfig, cost::CostWeights, level_b::LevelBRouter, order::NetOrdering,
+    partition_nets, PartitionStrategy,
+};
+use ocr_gen::suite;
+use ocr_netlist::RouteMetrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn level_b_ablation(name: &str, config: LevelBConfig) {
+    let chip = suite::ami33_like();
+    let (_, set_b) = partition_nets(&chip.layout, &PartitionStrategy::ByClass);
+    let mut router = LevelBRouter::new(&chip.layout, &set_b, config).expect("router");
+    let res = router.route_all().expect("route_all");
+    let m = RouteMetrics::of(&res.design, &chip.layout);
+    println!(
+        "{name:<28} routed {:>3}/{:<3} wl {:>6} corners {:>4} vias {:>4} fallbacks {:>3} rips {:>2} expanded {:>6}",
+        res.stats.nets_routed,
+        set_b.len(),
+        m.wire_length,
+        m.corners,
+        m.vias,
+        res.stats.maze_fallbacks,
+        res.stats.rips,
+        res.stats.expanded_vertices,
+    );
+}
+
+fn main() {
+    println!("== Level B cost-weight ablation (ami33 set B, paper §3.2) ==");
+    level_b_ablation("sparse (w2 = 1, paper)", LevelBConfig::default());
+    level_b_ablation("dense (w2 = 3, paper)", LevelBConfig::dense());
+    level_b_ablation(
+        "length-only (w2 = 0)",
+        LevelBConfig {
+            weights: CostWeights::length_only(),
+            ..LevelBConfig::default()
+        },
+    );
+
+    println!();
+    println!("== Net ordering ablation (paper §3: longest distance criterion) ==");
+    for (name, ordering) in [
+        ("longest first (paper)", NetOrdering::LongestFirst),
+        ("shortest first", NetOrdering::ShortestFirst),
+        ("criticality", NetOrdering::Criticality),
+    ] {
+        level_b_ablation(
+            name,
+            LevelBConfig {
+                ordering,
+                ..LevelBConfig::default()
+            },
+        );
+    }
+
+    println!();
+    println!("== Rip-up-and-reroute ablation ==");
+    level_b_ablation("rip-up budget 16 (default)", LevelBConfig::default());
+    level_b_ablation(
+        "rip-up disabled",
+        LevelBConfig {
+            rip_up_budget: 0,
+            ..LevelBConfig::default()
+        },
+    );
+
+    println!();
+    println!("== Maze-fallback ablation ==");
+    level_b_ablation("fallback enabled", LevelBConfig::default());
+    level_b_ablation(
+        "fallback disabled",
+        LevelBConfig {
+            maze_fallback: false,
+            ..LevelBConfig::default()
+        },
+    );
+
+    println!();
+    println!("== Dogleg ablation (random channels, tracks used) ==");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10}",
+        "width", "density", "dogleg", "plain"
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    for width in [60usize, 120, 240] {
+        let mut top = vec![0u32; width];
+        let mut bottom = vec![0u32; width];
+        for net in 1..=(width / 4) as u32 {
+            for _ in 0..3 {
+                let col = rng.gen_range(0..width);
+                if rng.gen_bool(0.5) && top[col] == 0 {
+                    top[col] = net;
+                } else if bottom[col] == 0 {
+                    bottom[col] = net;
+                }
+            }
+        }
+        let mut counts = std::collections::HashMap::new();
+        for &n in top.iter().chain(bottom.iter()) {
+            if n != 0 {
+                *counts.entry(n).or_insert(0usize) += 1;
+            }
+        }
+        for row in [&mut top, &mut bottom] {
+            for v in row.iter_mut() {
+                if *v != 0 && counts[v] < 2 {
+                    *v = 0;
+                }
+            }
+        }
+        let p = ChannelProblem::from_ids(&top, &bottom);
+        let dog = left_edge_track_count(&p, LeftEdgeOptions::default())
+            .map(|t| t.to_string())
+            .unwrap_or_else(|_| "cyclic".into());
+        let plain = left_edge_track_count(
+            &p,
+            LeftEdgeOptions {
+                dogleg: false,
+                break_cycles: true,
+            },
+        )
+        .map(|t| t.to_string())
+        .unwrap_or_else(|_| "cyclic".into());
+        println!("{width:>6} {:>8} {dog:>10} {plain:>10}", p.density());
+    }
+}

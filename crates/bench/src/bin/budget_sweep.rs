@@ -1,0 +1,47 @@
+//! The paper's area-control claim: "If total layout area is a priority,
+//! layout area allocated for channels can be controlled through the net
+//! partitioning process" — down to eliminating channels entirely.
+//!
+//! Sweeps the area-budget partitioning (max estimated tracks per
+//! channel) on the ami33-equivalent and reports how set A shrinks and
+//! layout area falls as the budget tightens.
+
+use ocr_core::{OverCellFlow, PartitionStrategy};
+use ocr_gen::suite;
+use ocr_netlist::validate_routed_design;
+
+fn main() {
+    let chip = suite::ami33_like();
+    println!(
+        "Channel-area budget sweep (ami33): tighter budget → more nets over-cell → smaller die"
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>10} {:>8} {:>6}",
+        "budget", "A nets", "B nets", "area", "wl", "vias"
+    );
+    for budget in [usize::MAX, 24, 12, 6, 3, 0] {
+        let flow = OverCellFlow {
+            partition: PartitionStrategy::AreaBudget {
+                max_tracks_per_channel: budget,
+            },
+            ..OverCellFlow::default()
+        };
+        let res = flow.run(&chip.layout, &chip.placement).expect("flow");
+        assert!(res.design.failed.is_empty(), "budget {budget}: failures");
+        let errors = validate_routed_design(&res.layout, &res.design);
+        assert!(errors.is_empty(), "budget {budget}: {}", errors[0]);
+        let label = if budget == usize::MAX {
+            "inf".to_string()
+        } else {
+            budget.to_string()
+        };
+        println!(
+            "{label:>8} {:>8} {:>8} {:>10} {:>8} {:>6}",
+            res.level_a_nets.len(),
+            res.level_b_nets.len(),
+            res.metrics.layout_area,
+            res.metrics.wire_length,
+            res.metrics.vias
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates the paper's Figure 2: the Path Selection Trees for net B
+//! of the Figure 1 instance.
+//!
+//! A Path Selection Tree is the predecessor structure the MBFS records:
+//! every visited vertex with its BFS level and all its minimum-level
+//! parents. The backtracking path selector of §3.2 walks these trees.
+
+use ocr_bench::fig_instance::{build, NET_B};
+use ocr_core::mbfs::{mbfs, SearchWindow};
+use ocr_core::tig::Tig;
+use ocr_geom::Dir;
+
+fn name(k: (Dir, usize)) -> String {
+    match k.0 {
+        Dir::Horizontal => format!("h{}", k.1 + 1),
+        Dir::Vertical => format!("v{}", k.1 + 1),
+    }
+}
+
+fn main() {
+    let (grid, t1, t2) = build();
+    let tig = Tig::new(&grid);
+    let window = SearchWindow::full(&tig);
+    println!("Figure 2: Path Selection Trees for net B");
+    for start_dir in [Dir::Vertical, Dir::Horizontal] {
+        let pst = mbfs(&tig, NET_B, start_dir, t1, t2, &window);
+        println!();
+        println!(
+            "PST rooted at {} (min corners {:?}):",
+            name(pst.start),
+            pst.corners
+        );
+        let mut vertices: Vec<_> = pst.vertices.iter().collect();
+        vertices.sort_by_key(|(k, d)| (d.level, k.0.index(), k.1));
+        for (k, data) in vertices {
+            let parents: Vec<String> = data.parents.iter().map(|&p| name(p)).collect();
+            let target = if pst.targets.contains(k) {
+                "  ← target"
+            } else {
+                ""
+            };
+            println!(
+                "  level {}: {} (run {}..{}){}{}",
+                data.level,
+                name(*k),
+                data.run.0 + 1,
+                data.run.1 + 1,
+                if parents.is_empty() {
+                    String::new()
+                } else {
+                    format!("  parents: {}", parents.join(", "))
+                },
+                target
+            );
+        }
+    }
+    let _ = t2;
+}

@@ -1,0 +1,25 @@
+//! Regenerates the paper's Table 1: information about the three layout
+//! examples (cells, nets, pins; Level A net count and average pins per
+//! Level A net).
+
+use ocr_gen::suite;
+use ocr_netlist::ChipMetrics;
+
+fn main() {
+    println!("Table 1: Information about the three layout examples");
+    println!(
+        "{:<8} {:>6} {:>6} {:>6} {:>12} {:>14}",
+        "Example", "Cells", "Nets", "Pins", "LevelA nets", "avg pins/net"
+    );
+    for chip in suite::all() {
+        let a = chip.level_a_nets();
+        let m = ChipMetrics::of(&chip.spec.name, &chip.layout, &a);
+        println!(
+            "{:<8} {:>6} {:>6} {:>6} {:>12} {:>14.2}",
+            m.name, m.cells, m.nets, m.pins, m.level_a_nets, m.level_a_avg_pins
+        );
+    }
+    println!();
+    println!("Paper reference (Table 1 excerpts): ami33 level A = 4 nets (44.25),");
+    println!("Xerox = 21 nets (9.19), ex3 = 56 nets (3.23).");
+}

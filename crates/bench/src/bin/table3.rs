@@ -1,0 +1,74 @@
+//! Regenerates the paper's Table 3: layout area of a 4-layer channel
+//! router versus the 4-layer over-cell router.
+//!
+//! The paper had no complete multi-layer channel package, so its
+//! comparison used "the optimistic assumption that a multi-layer channel
+//! routing algorithm would reduce the channel area requirements by 50%
+//! over … a two-layer channel routing algorithm". We reproduce that
+//! analytic model *and* run an actual 4-layer channel router (HV+HV
+//! layer-pair decomposition).
+//!
+//! Paper-reported Table 3 (areas in their units):
+//!
+//! | Example | 4-layer channel | 4-layer over-cell | reduction |
+//! |---------|-----------------|-------------------|-----------|
+//! | ami33   | 2,261,480       | 1,874,880         | 17.1%     |
+//! | ex3     | 3,548,475       | 3,061,635         | 13.7%     |
+//!
+//! (the Xerox row's digits are corrupted in the source scan). The
+//! reproduction target: the over-cell router still beats even the
+//! optimistic 4-layer channel model, by a double-digit percentage.
+
+use ocr_bench::run_all_flows;
+use ocr_core::ThreeLayerChannelFlow;
+use ocr_gen::suite;
+use ocr_netlist::{validate_routed_design, RouteMetrics};
+
+fn main() {
+    println!("Table 3: layout area, multi-layer channel routing vs 4-layer over-cell routing");
+    println!(
+        "{:<8} {:>15} {:>13} {:>13} {:>10} {:>11} {:>11}",
+        "Example",
+        "4L-chan(50%est)",
+        "3L-chan(HVH)",
+        "4L-chan(real)",
+        "OverCell",
+        "red.vs.est",
+        "red.vs.real"
+    );
+    for chip in suite::all() {
+        let run = run_all_flows(&chip, true);
+        let est = run.analytic_four_layer_area;
+        let three = ThreeLayerChannelFlow::default()
+            .run(&chip.layout, &chip.placement)
+            .expect("three-layer flow");
+        let errors = validate_routed_design(&three.layout, &three.design);
+        assert!(
+            errors.is_empty(),
+            "{}: 3-layer flow invalid: {}",
+            run.name,
+            errors[0]
+        );
+        let real = run
+            .four_layer
+            .as_ref()
+            .expect("four-layer flow requested")
+            .metrics
+            .layout_area;
+        let over = run.over_cell.metrics.layout_area;
+        println!(
+            "{:<8} {:>15} {:>13} {:>13} {:>10} {:>10.1}% {:>10.1}%",
+            run.name,
+            est,
+            three.metrics.layout_area,
+            real,
+            over,
+            RouteMetrics::percent_reduction(est as f64, over as f64),
+            RouteMetrics::percent_reduction(real as f64, over as f64),
+        );
+    }
+    println!();
+    println!(
+        "Paper reference: ami33 2,261,480 → 1,874,880 (17.1%); ex3 3,548,475 → 3,061,635 (13.7%)."
+    );
+}

@@ -1,0 +1,92 @@
+//! Channel routing errors.
+
+use ocr_geom::Coord;
+use ocr_netlist::NetId;
+use std::fmt;
+
+/// Errors produced by the channel routers and the chip-level channel
+/// decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChannelError {
+    /// A net has fewer than two pins in the channel.
+    SinglePinNet(NetId),
+    /// A vertical constraint cycle could not be broken by doglegging or
+    /// jog insertion.
+    UnbreakableCycle(Vec<NetId>),
+    /// The router produced a physically inconsistent plan (internal
+    /// error guarded by the plan audit).
+    PlanConflict(String),
+    /// The channel frame is shorter than the plan requires.
+    FrameTooSmall {
+        /// Height the plan needs.
+        needed: Coord,
+        /// Height the frame offers.
+        available: Coord,
+    },
+    /// Two different nets pin the same channel column on the same side.
+    PinCollision {
+        /// Channel index.
+        channel: usize,
+        /// Column index.
+        column: usize,
+        /// The nets that collided.
+        nets: (NetId, NetId),
+    },
+    /// A pin does not lie on the channel column grid.
+    OffGridPin(NetId),
+    /// A Level A pin sits on a cell edge that faces no channel, or on a
+    /// die edge that is not the bottom or top.
+    UnreachablePin(NetId),
+    /// The corridor margins cannot hold the required corridor columns.
+    CorridorOverflow {
+        /// Corridor columns needed.
+        needed: usize,
+        /// Corridor columns available.
+        available: usize,
+    },
+    /// The greedy router exceeded its track budget.
+    TrackBudgetExceeded {
+        /// Budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::SinglePinNet(n) => write!(f, "{n} has fewer than two pins in channel"),
+            ChannelError::UnbreakableCycle(nets) => {
+                write!(f, "unbreakable vertical constraint cycle among {nets:?}")
+            }
+            ChannelError::PlanConflict(msg) => write!(f, "channel plan conflict: {msg}"),
+            ChannelError::FrameTooSmall { needed, available } => {
+                write!(
+                    f,
+                    "channel frame height {available} below required {needed}"
+                )
+            }
+            ChannelError::PinCollision {
+                channel,
+                column,
+                nets,
+            } => write!(
+                f,
+                "pins of {} and {} collide at channel {channel} column {column}",
+                nets.0, nets.1
+            ),
+            ChannelError::OffGridPin(n) => write!(f, "{n} has a pin off the column grid"),
+            ChannelError::UnreachablePin(n) => write!(f, "{n} has a pin no channel can reach"),
+            ChannelError::CorridorOverflow { needed, available } => {
+                write!(
+                    f,
+                    "corridor needs {needed} columns, only {available} available"
+                )
+            }
+            ChannelError::TrackBudgetExceeded { budget } => {
+                write!(f, "greedy router exceeded track budget {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}

@@ -1,0 +1,388 @@
+//! Layer-pair geometry emission for channel routing results.
+//!
+//! Channel routers in this crate produce an abstract [`ChannelPlan`]
+//! (horizontal wires on tracks, vertical wires in columns). A
+//! [`ChannelFrame`] then maps the plan onto physical coordinates and a
+//! layer pair, yielding per-net [`NetRoute`]s with trunks on the
+//! horizontal layer, branches on the vertical layer and vias at their
+//! junctions.
+
+use crate::error::ChannelError;
+use ocr_geom::{Coord, Layer, Point};
+use ocr_netlist::{NetId, NetRoute, RouteSeg, Via};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One end of a vertical wire in a channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VEnd {
+    /// The channel's top edge (where top-row pins enter).
+    TopEdge,
+    /// A trunk track, 0 = nearest the top edge.
+    Track(usize),
+    /// The channel's bottom edge.
+    BottomEdge,
+}
+
+impl VEnd {
+    /// Total order from top of channel (smallest) to bottom (largest).
+    fn order_key(self) -> i64 {
+        match self {
+            VEnd::TopEdge => -1,
+            VEnd::Track(t) => t as i64,
+            VEnd::BottomEdge => i64::MAX,
+        }
+    }
+}
+
+/// A horizontal trunk wire: net, track, inclusive column range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HWire {
+    /// Owning net.
+    pub net: NetId,
+    /// Track index (0 nearest the top edge).
+    pub track: usize,
+    /// Leftmost column.
+    pub lo: usize,
+    /// Rightmost column.
+    pub hi: usize,
+}
+
+/// A vertical branch wire: net, column, and the two ends it spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VWire {
+    /// Owning net.
+    pub net: NetId,
+    /// Column index.
+    pub col: usize,
+    /// Upper end (closer to the top edge).
+    pub a: VEnd,
+    /// Lower end.
+    pub b: VEnd,
+}
+
+impl VWire {
+    /// Creates a vertical wire, normalizing end order (top first).
+    pub fn new(net: NetId, col: usize, a: VEnd, b: VEnd) -> Self {
+        let (a, b) = if a.order_key() <= b.order_key() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        VWire { net, col, a, b }
+    }
+
+    /// `true` if the wire's span covers track `t`.
+    pub fn covers_track(&self, t: usize) -> bool {
+        self.a.order_key() <= t as i64 && (t as i64) <= self.b.order_key()
+    }
+
+    fn overlaps_interior(&self, other: &VWire) -> bool {
+        self.col == other.col
+            && self.a.order_key() < other.b.order_key()
+            && other.a.order_key() < self.b.order_key()
+    }
+}
+
+/// The abstract output of a channel router.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelPlan {
+    /// Number of trunk tracks used.
+    pub tracks_used: usize,
+    /// Horizontal trunk wires.
+    pub h_wires: Vec<HWire>,
+    /// Vertical branch wires.
+    pub v_wires: Vec<VWire>,
+}
+
+impl ChannelPlan {
+    /// Audits the plan for physical consistency:
+    /// same-track horizontal overlaps between different nets and
+    /// same-column vertical overlaps between different nets.
+    pub fn audit(&self) -> Result<(), ChannelError> {
+        for (i, a) in self.h_wires.iter().enumerate() {
+            for b in &self.h_wires[i + 1..] {
+                if a.net != b.net && a.track == b.track && a.lo < b.hi && b.lo < a.hi {
+                    return Err(ChannelError::PlanConflict(format!(
+                        "trunks of {} and {} overlap on track {}",
+                        a.net, b.net, a.track
+                    )));
+                }
+            }
+        }
+        for (i, a) in self.v_wires.iter().enumerate() {
+            for b in &self.v_wires[i + 1..] {
+                if a.net != b.net && a.overlaps_interior(b) {
+                    return Err(ChannelError::PlanConflict(format!(
+                        "branches of {} and {} overlap in column {}",
+                        a.net, b.net, a.col
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ChannelPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan: {} tracks, {} trunks, {} branches",
+            self.tracks_used,
+            self.h_wires.len(),
+            self.v_wires.len()
+        )
+    }
+}
+
+/// Physical frame of one channel: column x positions, edge y
+/// coordinates, track pitch and the layer pair.
+#[derive(Clone, Debug)]
+pub struct ChannelFrame {
+    /// x coordinate of each column.
+    pub col_x: Vec<Coord>,
+    /// y of the channel's bottom edge.
+    pub y_bottom: Coord,
+    /// y of the channel's top edge.
+    pub y_top: Coord,
+    /// Track pitch.
+    pub pitch: Coord,
+    /// Layer for horizontal trunks.
+    pub h_layer: Layer,
+    /// Layer for vertical branches.
+    pub v_layer: Layer,
+}
+
+impl ChannelFrame {
+    /// The y coordinate of track `t` (track 0 one pitch below the top
+    /// edge).
+    #[inline]
+    pub fn track_y(&self, t: usize) -> Coord {
+        self.y_top - self.pitch * (t as Coord + 1)
+    }
+
+    /// Minimum channel height that fits `tracks` trunk tracks with one
+    /// pitch of clearance at the bottom.
+    #[inline]
+    pub fn required_height(tracks: usize, pitch: Coord) -> Coord {
+        pitch * (tracks as Coord + 1)
+    }
+
+    fn end_y(&self, e: VEnd) -> Coord {
+        match e {
+            VEnd::TopEdge => self.y_top,
+            VEnd::Track(t) => self.track_y(t),
+            VEnd::BottomEdge => self.y_bottom,
+        }
+    }
+}
+
+/// Emits physical per-net routes for `plan` within `frame`.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::PlanConflict`] if the plan audit fails, or
+/// [`ChannelError::FrameTooSmall`] if the frame height cannot hold the
+/// plan's tracks.
+pub fn emit_channel(
+    plan: &ChannelPlan,
+    frame: &ChannelFrame,
+) -> Result<BTreeMap<NetId, NetRoute>, ChannelError> {
+    plan.audit()?;
+    if plan.tracks_used > 0 {
+        let lowest = frame.track_y(plan.tracks_used - 1);
+        if lowest <= frame.y_bottom {
+            return Err(ChannelError::FrameTooSmall {
+                needed: ChannelFrame::required_height(plan.tracks_used, frame.pitch),
+                available: frame.y_top - frame.y_bottom,
+            });
+        }
+    }
+
+    let mut routes: BTreeMap<NetId, NetRoute> = BTreeMap::new();
+    for h in &plan.h_wires {
+        if h.lo == h.hi {
+            continue;
+        }
+        let y = frame.track_y(h.track);
+        let seg = RouteSeg::new(
+            Point::new(frame.col_x[h.lo], y),
+            Point::new(frame.col_x[h.hi], y),
+            frame.h_layer,
+        );
+        routes.entry(h.net).or_default().segs.push(seg);
+    }
+    for v in &plan.v_wires {
+        let x = frame.col_x[v.col];
+        let (ya, yb) = (frame.end_y(v.a), frame.end_y(v.b));
+        let route = routes.entry(v.net).or_default();
+        if ya != yb {
+            route.segs.push(RouteSeg::new(
+                Point::new(x, ya),
+                Point::new(x, yb),
+                frame.v_layer,
+            ));
+        }
+        // Vias where this branch meets a trunk of the same net.
+        for h in &plan.h_wires {
+            if h.net == v.net && h.lo <= v.col && v.col <= h.hi && v.covers_track(h.track) {
+                route.vias.push(Via::new(
+                    Point::new(x, frame.track_y(h.track)),
+                    frame.h_layer,
+                    frame.v_layer,
+                ));
+            }
+        }
+    }
+    // Deduplicate vias (a column shared by two trunks of one net can
+    // produce duplicates).
+    for route in routes.values_mut() {
+        route
+            .vias
+            .sort_by_key(|v| (v.at, v.lower.index(), v.upper.index()));
+        route.vias.dedup();
+    }
+    Ok(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame3() -> ChannelFrame {
+        ChannelFrame {
+            col_x: vec![0, 10, 20],
+            y_bottom: 0,
+            y_top: 40,
+            pitch: 10,
+            h_layer: Layer::Metal1,
+            v_layer: Layer::Metal2,
+        }
+    }
+
+    #[test]
+    fn simple_net_emits_trunk_branches_and_vias() {
+        let plan = ChannelPlan {
+            tracks_used: 1,
+            h_wires: vec![HWire {
+                net: NetId(1),
+                track: 0,
+                lo: 0,
+                hi: 2,
+            }],
+            v_wires: vec![
+                VWire::new(NetId(1), 0, VEnd::TopEdge, VEnd::Track(0)),
+                VWire::new(NetId(1), 2, VEnd::BottomEdge, VEnd::Track(0)),
+            ],
+        };
+        let routes = emit_channel(&plan, &frame3()).expect("emit");
+        let r = &routes[&NetId(1)];
+        assert_eq!(r.segs.len(), 3);
+        assert_eq!(r.vias.len(), 2);
+        // trunk at y = 30.
+        assert!(r
+            .segs
+            .iter()
+            .any(|s| s.layer() == Layer::Metal1 && s.a() == Point::new(0, 30)));
+        assert_eq!(r.wire_length(), 20 + 10 + 30);
+    }
+
+    #[test]
+    fn straight_through_net_has_no_via() {
+        let plan = ChannelPlan {
+            tracks_used: 0,
+            h_wires: vec![],
+            v_wires: vec![VWire::new(NetId(2), 1, VEnd::TopEdge, VEnd::BottomEdge)],
+        };
+        let routes = emit_channel(&plan, &frame3()).expect("emit");
+        let r = &routes[&NetId(2)];
+        assert_eq!(r.segs.len(), 1);
+        assert!(r.vias.is_empty());
+        assert_eq!(r.wire_length(), 40);
+    }
+
+    #[test]
+    fn audit_rejects_overlapping_trunks() {
+        let plan = ChannelPlan {
+            tracks_used: 1,
+            h_wires: vec![
+                HWire {
+                    net: NetId(1),
+                    track: 0,
+                    lo: 0,
+                    hi: 2,
+                },
+                HWire {
+                    net: NetId(2),
+                    track: 0,
+                    lo: 1,
+                    hi: 2,
+                },
+            ],
+            v_wires: vec![],
+        };
+        assert!(matches!(
+            emit_channel(&plan, &frame3()),
+            Err(ChannelError::PlanConflict(_))
+        ));
+    }
+
+    #[test]
+    fn audit_rejects_overlapping_branches() {
+        let plan = ChannelPlan {
+            tracks_used: 2,
+            h_wires: vec![],
+            v_wires: vec![
+                VWire::new(NetId(1), 0, VEnd::TopEdge, VEnd::Track(1)),
+                VWire::new(NetId(2), 0, VEnd::Track(0), VEnd::BottomEdge),
+            ],
+        };
+        assert!(emit_channel(&plan, &frame3()).is_err());
+    }
+
+    #[test]
+    fn branches_touching_at_a_track_do_not_conflict() {
+        // Net 1 reaches down to track 0; net 2 starts at track 1 — gap.
+        let plan = ChannelPlan {
+            tracks_used: 2,
+            h_wires: vec![
+                HWire {
+                    net: NetId(1),
+                    track: 0,
+                    lo: 0,
+                    hi: 1,
+                },
+                HWire {
+                    net: NetId(2),
+                    track: 1,
+                    lo: 0,
+                    hi: 1,
+                },
+            ],
+            v_wires: vec![
+                VWire::new(NetId(1), 0, VEnd::TopEdge, VEnd::Track(0)),
+                VWire::new(NetId(2), 0, VEnd::Track(1), VEnd::BottomEdge),
+            ],
+        };
+        assert!(emit_channel(&plan, &frame3()).is_ok());
+    }
+
+    #[test]
+    fn too_small_frame_is_rejected() {
+        let plan = ChannelPlan {
+            tracks_used: 5,
+            h_wires: vec![HWire {
+                net: NetId(1),
+                track: 4,
+                lo: 0,
+                hi: 1,
+            }],
+            v_wires: vec![],
+        };
+        assert!(matches!(
+            emit_channel(&plan, &frame3()),
+            Err(ChannelError::FrameTooSmall { .. })
+        ));
+    }
+}

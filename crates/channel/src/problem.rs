@@ -1,0 +1,202 @@
+//! The classical channel routing problem.
+
+use ocr_netlist::NetId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A channel routing problem: two facing rows of pins across a horizontal
+/// channel, given as per-column optional net ids.
+///
+/// Columns are indexed `0..width`. `top[c]`/`bottom[c]` name the net whose
+/// pin enters the channel at column `c` from above/below, if any.
+///
+/// ```
+/// use ocr_channel::ChannelProblem;
+/// use ocr_netlist::NetId;
+///
+/// // The classic 3-column example: net 1 spans columns 0–2, net 2 columns 1–2.
+/// let p = ChannelProblem::from_ids(
+///     &[1, 0, 2], // top (0 = no pin)
+///     &[0, 1, 2],
+/// );
+/// assert_eq!(p.width(), 3);
+/// assert_eq!(p.net_span(NetId(1)), Some((0, 1)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelProblem {
+    top: Vec<Option<NetId>>,
+    bottom: Vec<Option<NetId>>,
+}
+
+impl ChannelProblem {
+    /// Creates a problem from explicit pin rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different lengths.
+    pub fn new(top: Vec<Option<NetId>>, bottom: Vec<Option<NetId>>) -> Self {
+        assert_eq!(top.len(), bottom.len(), "channel rows differ in width");
+        ChannelProblem { top, bottom }
+    }
+
+    /// Convenience constructor from the textbook notation where `0`
+    /// means "no pin" and any positive number is a net id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different lengths.
+    pub fn from_ids(top: &[u32], bottom: &[u32]) -> Self {
+        let conv = |row: &[u32]| {
+            row.iter()
+                .map(|&n| if n == 0 { None } else { Some(NetId(n)) })
+                .collect()
+        };
+        ChannelProblem::new(conv(top), conv(bottom))
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.top.len()
+    }
+
+    /// Top pin at column `c`.
+    #[inline]
+    pub fn top(&self, c: usize) -> Option<NetId> {
+        self.top[c]
+    }
+
+    /// Bottom pin at column `c`.
+    #[inline]
+    pub fn bottom(&self, c: usize) -> Option<NetId> {
+        self.bottom[c]
+    }
+
+    /// All distinct nets with at least one pin, in id order.
+    pub fn nets(&self) -> Vec<NetId> {
+        let mut ids: Vec<NetId> = self
+            .top
+            .iter()
+            .chain(self.bottom.iter())
+            .flatten()
+            .copied()
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Sorted pin columns of `net` (column repeated once even if the net
+    /// pins both top and bottom there).
+    pub fn pin_columns(&self, net: NetId) -> Vec<usize> {
+        let mut cols: Vec<usize> = (0..self.width())
+            .filter(|&c| self.top[c] == Some(net) || self.bottom[c] == Some(net))
+            .collect();
+        cols.dedup();
+        cols
+    }
+
+    /// Leftmost and rightmost pin columns of `net`, or `None` if absent.
+    pub fn net_span(&self, net: NetId) -> Option<(usize, usize)> {
+        let cols = self.pin_columns(net);
+        Some((*cols.first()?, *cols.last()?))
+    }
+
+    /// Per-column local density: the number of nets whose span covers the
+    /// column. The maximum over columns is the *channel density*, the
+    /// classic lower bound on two-layer track count.
+    pub fn local_density(&self) -> Vec<usize> {
+        let mut density = vec![0usize; self.width()];
+        let mut spans: BTreeMap<NetId, (usize, usize)> = BTreeMap::new();
+        for net in self.nets() {
+            if let Some(s) = self.net_span(net) {
+                spans.insert(net, s);
+            }
+        }
+        for (_, (lo, hi)) in spans {
+            for d in density.iter_mut().take(hi + 1).skip(lo) {
+                *d += 1;
+            }
+        }
+        density
+    }
+
+    /// Channel density (max local density, 0 for an empty channel).
+    pub fn density(&self) -> usize {
+        self.local_density().into_iter().max().unwrap_or(0)
+    }
+
+    /// Structural problems: nets with a single pin (unroutable in
+    /// isolation). Returns offending nets.
+    pub fn audit(&self) -> Vec<NetId> {
+        self.nets()
+            .into_iter()
+            .filter(|&n| {
+                let pins = (0..self.width())
+                    .map(|c| {
+                        (self.top[c] == Some(n)) as usize + (self.bottom[c] == Some(n)) as usize
+                    })
+                    .sum::<usize>();
+                pins < 2
+            })
+            .collect()
+    }
+
+    /// Total number of pins in the channel.
+    pub fn pin_count(&self) -> usize {
+        self.top.iter().flatten().count() + self.bottom.iter().flatten().count()
+    }
+}
+
+impl fmt::Display for ChannelProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel: {} columns, {} nets, density {}",
+            self.width(),
+            self.nets().len(),
+            self.density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_density() {
+        // top:    1 . 2 .
+        // bottom: . 1 . 2
+        let p = ChannelProblem::from_ids(&[1, 0, 2, 0], &[0, 1, 0, 2]);
+        assert_eq!(p.net_span(NetId(1)), Some((0, 1)));
+        assert_eq!(p.net_span(NetId(2)), Some((2, 3)));
+        assert_eq!(p.local_density(), vec![1, 1, 1, 1]);
+        assert_eq!(p.density(), 1);
+    }
+
+    #[test]
+    fn overlapping_nets_raise_density() {
+        let p = ChannelProblem::from_ids(&[1, 2, 0, 0], &[0, 0, 1, 2]);
+        assert_eq!(p.density(), 2);
+    }
+
+    #[test]
+    fn audit_flags_single_pin_nets() {
+        let p = ChannelProblem::from_ids(&[1, 2], &[0, 2]);
+        assert_eq!(p.audit(), vec![NetId(1)]);
+    }
+
+    #[test]
+    fn same_column_top_bottom_is_span_zero() {
+        let p = ChannelProblem::from_ids(&[0, 3, 0], &[0, 3, 0]);
+        assert_eq!(p.net_span(NetId(3)), Some((1, 1)));
+        assert_eq!(p.density(), 1);
+    }
+
+    #[test]
+    fn pin_count_counts_both_rows() {
+        let p = ChannelProblem::from_ids(&[1, 1, 0], &[0, 1, 1]);
+        assert_eq!(p.pin_count(), 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Subnet decomposition for dogleg channel routing.
+
+use crate::ChannelProblem;
+use ocr_netlist::NetId;
+use std::fmt;
+
+/// A horizontal trunk piece of one net: the net's wiring between two
+/// consecutive "split columns".
+///
+/// Without doglegs a net has exactly one subnet spanning its whole pin
+/// range. With doglegs (the Deutsch refinement used by the constrained
+/// left-edge router) a net is split at every internal pin column, and the
+/// cycle breaker may introduce additional pinless split columns (jogs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Subnet {
+    /// Owning net.
+    pub net: NetId,
+    /// Leftmost column of the trunk piece.
+    pub lo: usize,
+    /// Rightmost column of the trunk piece.
+    pub hi: usize,
+}
+
+impl Subnet {
+    /// `true` if the subnet's span covers column `c`.
+    #[inline]
+    pub fn covers(&self, c: usize) -> bool {
+        self.lo <= c && c <= self.hi
+    }
+}
+
+impl fmt::Display for Subnet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}..{}]", self.net, self.lo, self.hi)
+    }
+}
+
+/// `true` if the net's only presence is a single column with pins on both
+/// sides — routed as a straight vertical wire needing no trunk track.
+pub fn is_straight_through(problem: &ChannelProblem, net: NetId) -> bool {
+    let cols = problem.pin_columns(net);
+    cols.len() == 1 && {
+        let c = cols[0];
+        problem.top(c) == Some(net) && problem.bottom(c) == Some(net)
+    }
+}
+
+/// Decomposes the problem's nets into subnets.
+///
+/// Straight-through nets (see [`is_straight_through`]) are excluded — they
+/// consume no track. Nets flagged by [`ChannelProblem::audit`]
+/// (single-pin) are also excluded; callers should audit first.
+pub fn build_subnets(problem: &ChannelProblem, dogleg: bool) -> Vec<Subnet> {
+    let mut out = Vec::new();
+    for net in problem.nets() {
+        if is_straight_through(problem, net) {
+            continue;
+        }
+        let cols = problem.pin_columns(net);
+        if cols.len() < 2 {
+            if let Some((lo, hi)) = problem.net_span(net) {
+                // Single column but only one side pinned twice is
+                // impossible; keep a degenerate subnet defensively.
+                out.push(Subnet { net, lo, hi });
+            }
+            continue;
+        }
+        if dogleg {
+            for w in cols.windows(2) {
+                out.push(Subnet {
+                    net,
+                    lo: w[0],
+                    hi: w[1],
+                });
+            }
+        } else {
+            out.push(Subnet {
+                net,
+                lo: cols[0],
+                hi: *cols.last().expect("non-empty"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_dogleg_gives_one_subnet_per_net() {
+        let p = ChannelProblem::from_ids(&[1, 1, 1, 0], &[0, 0, 0, 1]);
+        let subs = build_subnets(&p, false);
+        assert_eq!(subs.len(), 1);
+        assert_eq!((subs[0].lo, subs[0].hi), (0, 3));
+    }
+
+    #[test]
+    fn dogleg_splits_at_internal_pins() {
+        let p = ChannelProblem::from_ids(&[1, 1, 1, 0], &[0, 0, 0, 1]);
+        let subs = build_subnets(&p, true);
+        assert_eq!(subs.len(), 3);
+        assert_eq!((subs[0].lo, subs[0].hi), (0, 1));
+        assert_eq!((subs[1].lo, subs[1].hi), (1, 2));
+        assert_eq!((subs[2].lo, subs[2].hi), (2, 3));
+    }
+
+    #[test]
+    fn straight_through_nets_are_skipped() {
+        let p = ChannelProblem::from_ids(&[5, 1, 0], &[5, 0, 1]);
+        assert!(is_straight_through(&p, NetId(5)));
+        let subs = build_subnets(&p, true);
+        assert!(subs.iter().all(|s| s.net != NetId(5)));
+        assert_eq!(subs.len(), 1);
+    }
+
+    #[test]
+    fn two_pins_same_column_same_side_is_not_straight_through() {
+        // Net 7 pins top at column 0 only (twice impossible per column) —
+        // single top pin is a single-pin net, excluded by audit.
+        let p = ChannelProblem::from_ids(&[7, 0], &[0, 0]);
+        assert!(!is_straight_through(&p, NetId(7)));
+    }
+}

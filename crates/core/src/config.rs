@@ -1,0 +1,86 @@
+//! Level B router configuration.
+
+use crate::cost::CostWeights;
+use crate::order::NetOrdering;
+use ocr_geom::Coord;
+
+/// Configuration of the Level B over-cell router.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LevelBConfig {
+    /// Weights of the path-selection cost function.
+    pub weights: CostWeights,
+    /// Net processing order (the paper defaults to longest distance
+    /// first; a user criterion such as criticality can be exercised).
+    pub ordering: NetOrdering,
+    /// Initial search window: the terminals' bounding box expanded by
+    /// this many tracks on every side (the paper's rectangular region
+    /// "Π" around the two terminals).
+    pub window_margin: usize,
+    /// How many times the window may double before a net is declared
+    /// unroutable (each expansion doubles the margin; the final attempt
+    /// searches the whole grid).
+    pub max_window_expansions: usize,
+    /// Track pitch override for the Level B grid (`None` = design-rule
+    /// over-cell pitch).
+    pub pitch: Option<Coord>,
+    /// Nets whose routed wiring other paths should keep away from
+    /// (activates the `w24` cost term — the paper's "prevent parallel
+    /// routing of sensitive nets" example). Empty by default.
+    pub sensitive_nets: Vec<ocr_netlist::NetId>,
+    /// Rip-up-and-reroute budget: how many times the router may rip the
+    /// nets blocking an unroutable connection (identified by a soft maze
+    /// search) and re-queue them. `0` disables rip-up. Ripped victims
+    /// are re-routed after the rescued net; each net is retried at most
+    /// twice.
+    pub rip_up_budget: usize,
+    /// Fall back to a complete Lee-style maze search when the MBFS finds
+    /// no path at the full window. The MBFS's "each vertex is examined
+    /// exactly once" rule makes it incomplete on congested grids (it
+    /// cannot revisit a track); the fallback guarantees completion
+    /// whenever a path exists, preserving the paper's assumption that
+    /// "the solution space for level B routing guarantees 100% routing
+    /// completion".
+    pub maze_fallback: bool,
+}
+
+impl Default for LevelBConfig {
+    fn default() -> Self {
+        LevelBConfig {
+            weights: CostWeights::default(),
+            ordering: NetOrdering::LongestFirst,
+            window_margin: 4,
+            max_window_expansions: 4,
+            pitch: None,
+            sensitive_nets: Vec::new(),
+            rip_up_budget: 16,
+            maze_fallback: true,
+        }
+    }
+}
+
+impl LevelBConfig {
+    /// Preset for dense layouts: the paper recommends weighting the
+    /// blocking-avoidance term higher "for routing problems with dense
+    /// net distributions".
+    pub fn dense() -> Self {
+        LevelBConfig {
+            weights: CostWeights::dense(),
+            ..LevelBConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_preset_raises_blocking_weights() {
+        let d = LevelBConfig::dense();
+        let s = LevelBConfig::default();
+        assert!(d.weights.w21 > s.weights.w21);
+        assert!(d.weights.w22 > s.weights.w22);
+        assert!(d.weights.w23 > s.weights.w23);
+        assert_eq!(d.weights.w1, s.weights.w1);
+    }
+}

@@ -1,0 +1,322 @@
+//! The path-selection cost function.
+//!
+//! Among the minimum-corner paths found by the modified BFS, the paper
+//! selects the one minimizing
+//!
+//! ```text
+//!           k
+//! C = w1·wl + Σ (w21·drg_j + w22·dup_j + w23·acf_j)
+//!          j=1
+//! ```
+//!
+//! where `wl` is the path's wire length, and for each corner `j`:
+//! `drg_j` measures proximity to already-routed grid points, `dup_j`
+//! proximity to unrouted net terminals, and `acf_j` the local area
+//! congestion. The first term controls total wire length; the second
+//! "controls the distribution of wiring segments to avoid blocking
+//! unrouted nets".
+
+use ocr_geom::{Coord, Dir, Point};
+use ocr_grid::GridModel;
+
+/// Weights of the cost function.
+///
+/// The paper's guidance: "for routing problems with sparse net
+/// distributions it is sufficient to balance the effect of the two terms
+/// … by setting w1 = 1 and w21 = w22 = w23 = 1.0. For routing problems
+/// with dense net distributions the second term … should be weighted
+/// more."
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostWeights {
+    /// Wire-length weight (`wl` is measured in track pitches so the
+    /// terms are commensurate).
+    pub w1: f64,
+    /// Weight of corner proximity to routed grid points.
+    pub w21: f64,
+    /// Weight of corner proximity to unrouted terminals.
+    pub w22: f64,
+    /// Weight of the area congestion factor.
+    pub w23: f64,
+    /// Weight of corner proximity to *sensitive* nets' wiring — the
+    /// paper's example of an additional term: "to prevent parallel
+    /// routing of sensitive nets". Zero (off) by default.
+    pub w24: f64,
+    /// Index radius of the proximity / congestion window around a corner.
+    pub radius: usize,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            w1: 1.0,
+            w21: 1.0,
+            w22: 1.0,
+            w23: 1.0,
+            w24: 0.0,
+            radius: 3,
+        }
+    }
+}
+
+impl CostWeights {
+    /// The paper's dense-layout recommendation: triple the
+    /// blocking-avoidance weights.
+    pub fn dense() -> Self {
+        CostWeights {
+            w21: 3.0,
+            w22: 3.0,
+            w23: 3.0,
+            ..CostWeights::default()
+        }
+    }
+
+    /// Wire-length-only selection (sets the corner terms to zero) —
+    /// used by the weight-ablation benchmark.
+    pub fn length_only() -> Self {
+        CostWeights {
+            w21: 0.0,
+            w22: 0.0,
+            w23: 0.0,
+            ..CostWeights::default()
+        }
+    }
+}
+
+/// Evaluates cost terms for corners on a given grid.
+#[derive(Debug)]
+pub struct CostEvaluator<'a> {
+    grid: &'a GridModel,
+    /// Terminals of nets not yet routed (grid indices).
+    unrouted_terminals: &'a [(usize, usize)],
+    /// Net ids whose wiring the `w24` term keeps paths away from.
+    sensitive_nets: &'a [u32],
+    weights: CostWeights,
+    /// Average pitch used to normalize wire length into "grid steps".
+    norm_pitch: f64,
+}
+
+impl<'a> CostEvaluator<'a> {
+    /// Creates an evaluator over `grid` with the given unrouted-terminal
+    /// index list (and no sensitive nets).
+    pub fn new(
+        grid: &'a GridModel,
+        unrouted_terminals: &'a [(usize, usize)],
+        weights: CostWeights,
+        norm_pitch: Coord,
+    ) -> Self {
+        CostEvaluator {
+            grid,
+            unrouted_terminals,
+            sensitive_nets: &[],
+            weights,
+            norm_pitch: norm_pitch.max(1) as f64,
+        }
+    }
+
+    /// Declares the sensitive nets the `w24` term penalizes proximity
+    /// to (builder-style).
+    pub fn with_sensitive_nets(mut self, nets: &'a [u32]) -> Self {
+        self.sensitive_nets = nets;
+        self
+    }
+
+    /// The weights in use.
+    pub fn weights(&self) -> &CostWeights {
+        &self.weights
+    }
+
+    /// `drg` term: fraction of grid points used by routed nets within the
+    /// window around the corner.
+    pub fn drg(&self, corner: (usize, usize)) -> f64 {
+        let (i0, i1, j0, j1) = self.window(corner);
+        let cells = ((i1 - i0 + 1) * (j1 - j0 + 1)) as f64;
+        self.grid.used_in_window(i0, i1, j0, j1) as f64 / cells
+    }
+
+    /// `dup` term: inverse-distance-weighted count of unrouted terminals
+    /// within the window around the corner.
+    pub fn dup(&self, corner: (usize, usize)) -> f64 {
+        let r = self.weights.radius as i64;
+        let (ci, cj) = (corner.0 as i64, corner.1 as i64);
+        self.unrouted_terminals
+            .iter()
+            .filter_map(|&(ti, tj)| {
+                let d = (ti as i64 - ci).abs() + (tj as i64 - cj).abs();
+                (d <= 2 * r).then(|| 1.0 / (1.0 + d as f64))
+            })
+            .sum()
+    }
+
+    /// `acf` term: fraction of non-free (used or blocked) grid points in
+    /// the window around the corner.
+    pub fn acf(&self, corner: (usize, usize)) -> f64 {
+        let (i0, i1, j0, j1) = self.window(corner);
+        let cells = ((i1 - i0 + 1) * (j1 - j0 + 1)) as f64;
+        self.grid.congested_in_window(i0, i1, j0, j1) as f64 / cells
+    }
+
+    /// `dsn` term: fraction of grid points in the window used by a
+    /// *sensitive* net (on either plane). Zero when no sensitive nets
+    /// are declared.
+    pub fn dsn(&self, corner: (usize, usize)) -> f64 {
+        if self.sensitive_nets.is_empty() {
+            return 0.0;
+        }
+        let (i0, i1, j0, j1) = self.window(corner);
+        let cells = ((i1 - i0 + 1) * (j1 - j0 + 1)) as f64;
+        let mut hits = 0usize;
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                let sensitive = |s: ocr_grid::CellState| match s {
+                    ocr_grid::CellState::Used(n) => self.sensitive_nets.contains(&n),
+                    _ => false,
+                };
+                if sensitive(self.grid.state(Dir::Horizontal, i, j))
+                    || sensitive(self.grid.state(Dir::Vertical, i, j))
+                {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / cells
+    }
+
+    /// Total corner penalty `w21·drg + w22·dup + w23·acf + w24·dsn`.
+    pub fn corner_cost(&self, corner: (usize, usize)) -> f64 {
+        self.weights.w21 * self.drg(corner)
+            + self.weights.w22 * self.dup(corner)
+            + self.weights.w23 * self.acf(corner)
+            + self.weights.w24 * self.dsn(corner)
+    }
+
+    /// Full path cost for a path given by its points (terminals and
+    /// corners, in order). Corners are all interior points.
+    pub fn path_cost(&self, points: &[Point]) -> f64 {
+        let mut wl: Coord = 0;
+        for w in points.windows(2) {
+            wl += ocr_geom::manhattan(w[0], w[1]);
+        }
+        let mut c = self.weights.w1 * (wl as f64 / self.norm_pitch);
+        for p in &points[1..points.len().saturating_sub(1)] {
+            if let Some(idx) = self.grid.snap(*p) {
+                c += self.corner_cost(idx);
+            }
+        }
+        c
+    }
+
+    /// The wire-length term for a length of `wl` DBU.
+    pub fn wl_cost(&self, wl: Coord) -> f64 {
+        self.weights.w1 * (wl as f64 / self.norm_pitch)
+    }
+
+    /// Partial-cost lower bound used by the branch-and-bound DFS over the
+    /// Path Selection Tree: cost accumulated so far plus the straight-line
+    /// remainder.
+    pub fn bound(&self, partial: f64, from: Point, target: Point) -> f64 {
+        partial + self.weights.w1 * (ocr_geom::manhattan(from, target) as f64 / self.norm_pitch)
+    }
+
+    fn window(&self, corner: (usize, usize)) -> (usize, usize, usize, usize) {
+        let r = self.weights.radius;
+        let i0 = corner.0.saturating_sub(r);
+        let j0 = corner.1.saturating_sub(r);
+        let i1 = (corner.0 + r).min(self.grid.nv().saturating_sub(1));
+        let j1 = (corner.1 + r).min(self.grid.nh().saturating_sub(1));
+        (i0, i1, j0, j1)
+    }
+}
+
+/// `true` if the run along `dir` between two points is free for `net`
+/// (all intersections on the run's plane free or owned by `net`).
+pub fn run_free(
+    grid: &GridModel,
+    net: u32,
+    dir: Dir,
+    a: (usize, usize),
+    b: (usize, usize),
+) -> bool {
+    match dir {
+        Dir::Horizontal => {
+            debug_assert_eq!(a.1, b.1);
+            grid.run_is_free(Dir::Horizontal, a.1, a.0, b.0, net)
+        }
+        Dir::Vertical => {
+            debug_assert_eq!(a.0, b.0);
+            grid.run_is_free(Dir::Vertical, a.0, a.1, b.1, net)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocr_geom::{Interval, Rect};
+    use ocr_grid::TrackSet;
+
+    fn grid10() -> GridModel {
+        GridModel::new(
+            Rect::new(0, 0, 100, 100),
+            TrackSet::from_pitch(Interval::new(0, 100), 10),
+            TrackSet::from_pitch(Interval::new(0, 100), 10),
+        )
+    }
+
+    #[test]
+    fn empty_grid_has_zero_corner_cost() {
+        let g = grid10();
+        let terms: Vec<(usize, usize)> = vec![];
+        let ev = CostEvaluator::new(&g, &terms, CostWeights::default(), 10);
+        assert_eq!(ev.corner_cost((5, 5)), 0.0);
+    }
+
+    #[test]
+    fn used_cells_raise_drg_and_acf() {
+        let mut g = grid10();
+        g.occupy_run(Dir::Horizontal, 5, 3, 7, 1);
+        let terms: Vec<(usize, usize)> = vec![];
+        let ev = CostEvaluator::new(&g, &terms, CostWeights::default(), 10);
+        assert!(ev.drg((5, 5)) > 0.0);
+        assert!(ev.acf((5, 5)) > 0.0);
+        // Far corner sees nothing.
+        assert_eq!(ev.drg((0, 10)), 0.0);
+    }
+
+    #[test]
+    fn unrouted_terminals_raise_dup_with_distance_decay() {
+        let g = grid10();
+        let terms = vec![(5usize, 5usize), (6, 5)];
+        let ev = CostEvaluator::new(&g, &terms, CostWeights::default(), 10);
+        let near = ev.dup((5, 5));
+        let far = ev.dup((9, 9));
+        assert!(near > far);
+        assert!(near > 1.0, "terminal at zero distance contributes 1.0");
+    }
+
+    #[test]
+    fn path_cost_prefers_shorter_paths_in_empty_grid() {
+        let g = grid10();
+        let terms: Vec<(usize, usize)> = vec![];
+        let ev = CostEvaluator::new(&g, &terms, CostWeights::default(), 10);
+        let short = ev.path_cost(&[Point::new(0, 0), Point::new(100, 0), Point::new(100, 100)]);
+        let long = ev.path_cost(&[
+            Point::new(0, 0),
+            Point::new(100, 0),
+            Point::new(100, 50),
+            Point::new(0, 50),
+            Point::new(0, 100),
+            Point::new(100, 100),
+        ]);
+        assert!(short < long);
+    }
+
+    #[test]
+    fn bound_is_a_lower_bound() {
+        let g = grid10();
+        let terms: Vec<(usize, usize)> = vec![];
+        let ev = CostEvaluator::new(&g, &terms, CostWeights::default(), 10);
+        let full = ev.path_cost(&[Point::new(0, 0), Point::new(100, 0), Point::new(100, 100)]);
+        let b = ev.bound(0.0, Point::new(0, 0), Point::new(100, 100));
+        assert!(b <= full + 1e-9);
+    }
+}

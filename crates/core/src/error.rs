@@ -1,0 +1,66 @@
+//! Routing errors of the Level B router and the flows.
+
+use ocr_geom::Point;
+use ocr_netlist::NetId;
+use std::fmt;
+
+/// Errors from Level B routing and flow orchestration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// A terminal does not lie on the routing grid (grid construction
+    /// inserts a track pair through every terminal, so this indicates a
+    /// terminal outside the routing region).
+    TerminalOffGrid {
+        /// The net owning the terminal.
+        net: NetId,
+        /// The terminal position.
+        at: Point,
+    },
+    /// No path was found even at the maximum search window.
+    Unroutable {
+        /// The failing net.
+        net: NetId,
+    },
+    /// A net has fewer than two pins.
+    DegenerateNet(NetId),
+    /// Two different nets own the same terminal grid cell.
+    TerminalConflict {
+        /// The colliding nets.
+        nets: (NetId, NetId),
+        /// The shared position.
+        at: Point,
+    },
+    /// Level A channel routing failed.
+    LevelA(ocr_channel::ChannelError),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::TerminalOffGrid { net, at } => {
+                write!(f, "{net} terminal at {at} is outside the routing grid")
+            }
+            RouteError::Unroutable { net } => write!(f, "{net} could not be routed"),
+            RouteError::DegenerateNet(net) => write!(f, "{net} has fewer than two pins"),
+            RouteError::TerminalConflict { nets, at } => {
+                write!(f, "{} and {} share terminal cell {at}", nets.0, nets.1)
+            }
+            RouteError::LevelA(e) => write!(f, "level A routing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouteError::LevelA(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ocr_channel::ChannelError> for RouteError {
+    fn from(e: ocr_channel::ChannelError) -> Self {
+        RouteError::LevelA(e)
+    }
+}

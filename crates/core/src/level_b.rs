@@ -1,0 +1,976 @@
+//! The serial Level B over-cell router.
+//!
+//! Processes the set B nets serially in the configured order. For every
+//! two-terminal connection it runs the two MBFS passes over the Track
+//! Intersection Graph within a bounded window (expanding on failure),
+//! selects the best minimum-corner path through the Path Selection
+//! Trees, commits the wiring to the grid, and emits metal3/metal4
+//! geometry with corner vias and terminal via stacks. Multi-terminal
+//! nets are decomposed by the Prim-based Steiner heuristic of
+//! [`crate::steiner`].
+
+use crate::config::LevelBConfig;
+use crate::cost::CostEvaluator;
+use crate::error::RouteError;
+use crate::mbfs::{search_min_corner_paths, SearchWindow};
+use crate::pst::{select_best_path, CandidatePath};
+use crate::stats::RoutingStats;
+use crate::steiner::SteinerAccumulator;
+use crate::tig::Tig;
+use ocr_geom::{Dir, Layer, Point};
+use ocr_grid::{CellState, GridBuilder, GridModel};
+use ocr_netlist::{Layout, NetId, NetRoute, RouteSeg, RoutedDesign, Via};
+
+/// Result of routing a Level B net set.
+#[derive(Clone, Debug)]
+pub struct LevelBResult {
+    /// Routed geometry (route slots for every net of the layout; only
+    /// set B nets filled).
+    pub design: RoutedDesign,
+    /// Collected counters.
+    pub stats: RoutingStats,
+}
+
+/// The Level B router. Owns the routing grid for the duration of the
+/// run.
+#[derive(Debug)]
+pub struct LevelBRouter<'a> {
+    layout: &'a Layout,
+    nets: Vec<NetId>,
+    grid: GridModel,
+    config: LevelBConfig,
+    /// Grid cells of terminals whose nets are not yet routed (for the
+    /// `dup` cost term).
+    unrouted_cells: Vec<(NetId, (usize, usize))>,
+    /// Nets identified by the last failed connection's soft-path probe
+    /// as the cheapest victims to rip.
+    last_blockers: Vec<NetId>,
+    /// Every terminal cell (all nets) — rip-up cannot free these, so
+    /// the soft-path probe treats them as hard obstacles.
+    terminal_cells: std::collections::HashSet<(usize, usize)>,
+    /// Victims already ripped for a given net: later probes for that net
+    /// must find *different* victims, which breaks two nets ping-ponging
+    /// over a single contested lane and forces exploration of
+    /// alternative regions.
+    rip_exclusions: std::collections::HashMap<u32, Vec<u32>>,
+    stats: RoutingStats,
+}
+
+impl<'a> LevelBRouter<'a> {
+    /// Builds the Level B grid over the layout's die, inserts a track
+    /// pair through every terminal of `nets`, rasterizes obstacles and
+    /// reserves every terminal cell for its owning net.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::TerminalConflict`] if two nets' terminals share a
+    /// grid cell; [`RouteError::TerminalOffGrid`] if a terminal lies
+    /// outside the die.
+    pub fn new(
+        layout: &'a Layout,
+        nets: &[NetId],
+        config: LevelBConfig,
+    ) -> Result<Self, RouteError> {
+        let mut builder = GridBuilder::new(layout);
+        if let Some(p) = config.pitch {
+            builder = builder.pitch(p);
+        }
+        let mut grid = builder.build(nets);
+        let mut unrouted_cells = Vec::new();
+        for &net in nets {
+            for &pid in &layout.net(net).pins {
+                let at = layout.pin(pid).position;
+                let Some(cell) = grid.snap(at) else {
+                    return Err(RouteError::TerminalOffGrid { net, at });
+                };
+                for dir in Dir::BOTH {
+                    match grid.state(dir, cell.0, cell.1) {
+                        CellState::Used(n) if n != net.0 => {
+                            return Err(RouteError::TerminalConflict {
+                                nets: (NetId(n), net),
+                                at,
+                            });
+                        }
+                        CellState::Blocked => {
+                            // Terminal under an obstacle: leave blocked —
+                            // the net will fail with `Unroutable`.
+                        }
+                        _ => grid.set_state(dir, cell.0, cell.1, CellState::Used(net.0)),
+                    }
+                }
+                unrouted_cells.push((net, cell));
+            }
+        }
+        let terminal_cells = unrouted_cells.iter().map(|&(_, c)| c).collect();
+        Ok(LevelBRouter {
+            layout,
+            nets: nets.to_vec(),
+            grid,
+            config,
+            unrouted_cells,
+            last_blockers: Vec::new(),
+            terminal_cells,
+            rip_exclusions: std::collections::HashMap::new(),
+            stats: RoutingStats::default(),
+        })
+    }
+
+    /// The routing grid (for rendering and analysis).
+    pub fn grid(&self) -> &GridModel {
+        &self.grid
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &RoutingStats {
+        &self.stats
+    }
+
+    /// Routes every net in the configured order, with bounded
+    /// rip-up-and-reroute for hard-blocked nets (see
+    /// [`LevelBConfig::rip_up_budget`]). Individual net failures are
+    /// recorded in the design's `failed` list, not returned as errors.
+    pub fn route_all(&mut self) -> Result<LevelBResult, RouteError> {
+        let order = self.config.ordering.clone().order(self.layout, &self.nets);
+        let mut design = RoutedDesign::new(self.layout.die, self.layout.nets.len());
+        let mut queue: std::collections::VecDeque<NetId> = order.into_iter().collect();
+        let mut rips_left = self.config.rip_up_budget;
+        let mut retries: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        while let Some(net) = queue.pop_front() {
+            match self.route_net(net) {
+                Ok(route) => {
+                    design.set_route(net, route);
+                }
+                Err(RouteError::Unroutable { .. }) | Err(RouteError::DegenerateNet(_)) => {
+                    let blockers = std::mem::take(&mut self.last_blockers);
+                    let rippable: Vec<NetId> = blockers
+                        .into_iter()
+                        .filter(|&b| design.route(b).is_some())
+                        .collect();
+                    let tries = retries.entry(net.0).or_insert(0);
+                    if rips_left > 0 && *tries < 4 && !rippable.is_empty() {
+                        *tries += 1;
+                        rips_left -= 1;
+                        for b in rippable {
+                            let route = design.routes[b.index()].take().expect("routed");
+                            self.clear_occupancy(b, &route);
+                            self.stats.rips += 1;
+                            self.rip_exclusions.entry(net.0).or_default().push(b.0);
+                            queue.push_back(b);
+                        }
+                        queue.push_front(net);
+                    } else {
+                        design.set_failed(net);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.stats.nets_routed = self
+            .nets
+            .iter()
+            .filter(|&&n| design.route(n).is_some())
+            .count();
+        self.stats.nets_failed = design.failed.len();
+        Ok(LevelBResult {
+            design,
+            stats: self.stats,
+        })
+    }
+
+    /// Removes a route's wiring from the grid (rip-up or failed-net
+    /// rollback), restoring the net's terminal reservations and its
+    /// entries in the unrouted-terminal list.
+    fn clear_occupancy(&mut self, net: NetId, route: &NetRoute) {
+        for seg in &route.segs {
+            let (Some(a), Some(b)) = (self.grid.snap(seg.a()), self.grid.snap(seg.b())) else {
+                continue;
+            };
+            match seg.dir() {
+                Dir::Horizontal => {
+                    for i in a.0..=b.0 {
+                        self.grid
+                            .set_state(Dir::Horizontal, i, a.1, CellState::Free);
+                    }
+                }
+                Dir::Vertical => {
+                    for j in a.1..=b.1 {
+                        self.grid.set_state(Dir::Vertical, a.0, j, CellState::Free);
+                    }
+                }
+            }
+        }
+        for via in &route.vias {
+            if let Some((i, j)) = self.grid.snap(via.at) {
+                for d in Dir::BOTH {
+                    if matches!(self.grid.state(d, i, j), CellState::Used(n) if n == net.0) {
+                        self.grid.set_state(d, i, j, CellState::Free);
+                    }
+                }
+            }
+        }
+        for &pid in &self.layout.net(net).pins {
+            let Some(cell) = self.grid.snap(self.layout.pin(pid).position) else {
+                continue;
+            };
+            for d in Dir::BOTH {
+                if self.grid.state(d, cell.0, cell.1).is_free() {
+                    self.grid
+                        .set_state(d, cell.0, cell.1, CellState::Used(net.0));
+                }
+            }
+            if !self.unrouted_cells.contains(&(net, cell)) {
+                self.unrouted_cells.push((net, cell));
+            }
+        }
+    }
+
+    /// Routes one net (two-terminal directly, multi-terminal through the
+    /// Steiner decomposition) and commits its wiring to the grid.
+    pub fn route_net(&mut self, net: NetId) -> Result<NetRoute, RouteError> {
+        // This net's terminals are now being routed: drop them from the
+        // unrouted list so `dup` only penalizes *other* nets' terminals.
+        self.unrouted_cells.retain(|&(n, _)| n != net);
+
+        let mut pts: Vec<Point> = self
+            .layout
+            .net(net)
+            .pins
+            .iter()
+            .map(|&p| self.layout.pin(p).position)
+            .collect();
+        pts.sort();
+        pts.dedup();
+        if pts.len() < 2 {
+            return Err(RouteError::DegenerateNet(net));
+        }
+
+        let mut route = NetRoute::new();
+        let seed = pts[0];
+        let mut acc = SteinerAccumulator::new(seed);
+        let mut unconnected: Vec<Point> = pts[1..].to_vec();
+        while !unconnected.is_empty() {
+            let (k, attach, _) = acc
+                .select_next(&unconnected)
+                .expect("unconnected is non-empty");
+            let q = unconnected.remove(k);
+            match self.route_branch(net, q, attach, &mut route) {
+                Ok(points) => {
+                    acc.absorb_path(&points);
+                    self.stats.connections += 1;
+                }
+                Err(e) => {
+                    // Roll back this net's partial wiring so a failed
+                    // net leaves no debris on the grid.
+                    self.clear_occupancy(net, &route);
+                    return Err(e);
+                }
+            }
+        }
+
+        // Terminal via stacks from the pin layers up to the over-cell
+        // wiring (the paper's "only final connections to net terminals
+        // are allowed to pass through intervening routing layers").
+        for &pid in &self.layout.net(net).pins {
+            let pin = self.layout.pin(pid);
+            let cell = self.grid.snap(pin.position).expect("terminal on grid");
+            let v_used = matches!(
+                self.grid.state(Dir::Vertical, cell.0, cell.1),
+                CellState::Used(n) if n == net.0
+            ) && self.wiring_touches(net, pin.position, Dir::Vertical);
+            let target = if v_used { Layer::Metal4 } else { Layer::Metal3 };
+            if pin.layer != target {
+                route.vias.push(Via::new(pin.position, pin.layer, target));
+            }
+        }
+        // Merge wiring shared by several Steiner branches so metrics
+        // never double-count it.
+        route.normalize();
+        Ok(route)
+    }
+
+    /// `true` if the committed route geometry actually has a wire on the
+    /// plane `dir` at `p` (terminal reservation alone marks cells used,
+    /// so the cell state over-approximates).
+    fn wiring_touches(&self, _net: NetId, p: Point, dir: Dir) -> bool {
+        // Conservative: consult the occupancy of neighbours along the
+        // plane direction — a lone reserved terminal has no used
+        // neighbour on that plane.
+        let Some((i, j)) = self.grid.snap(p) else {
+            return false;
+        };
+        let neighbours: Vec<(usize, usize)> = match dir {
+            Dir::Vertical => {
+                let mut v = Vec::new();
+                if j > 0 {
+                    v.push((i, j - 1));
+                }
+                if j + 1 < self.grid.nh() {
+                    v.push((i, j + 1));
+                }
+                v
+            }
+            Dir::Horizontal => {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push((i - 1, j));
+                }
+                if i + 1 < self.grid.nv() {
+                    v.push((i + 1, j));
+                }
+                v
+            }
+        };
+        neighbours.into_iter().any(
+            |(ni, nj)| matches!(self.grid.state(dir, ni, nj), CellState::Used(n) if n == _net.0),
+        )
+    }
+
+    /// Routes one two-terminal branch: MBFS + path selection first, then
+    /// (if enabled) the complete maze fallback. Returns the branch's
+    /// path points for the Steiner accumulator.
+    fn route_branch(
+        &mut self,
+        net: NetId,
+        q: Point,
+        attach: Point,
+        route: &mut NetRoute,
+    ) -> Result<Vec<Point>, RouteError> {
+        match self.find_path(net, q, attach) {
+            Ok(path) => {
+                self.commit_path(net, &path, route);
+                self.connect_attachment(net, attach, &path.points, route);
+                self.stats.corners += path.corners;
+                self.stats.wire_length += path_wl(&path.points);
+                Ok(path.points)
+            }
+            Err(RouteError::Unroutable { .. }) if self.config.maze_fallback => {
+                self.maze_branch(net, q, attach, route)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Completes a branch with the Lee maze router (complete, unlike the
+    /// MBFS). The maze path occupies the grid itself; only attachment
+    /// stitching remains.
+    fn maze_branch(
+        &mut self,
+        net: NetId,
+        q: Point,
+        attach: Point,
+        route: &mut NetRoute,
+    ) -> Result<Vec<Point>, RouteError> {
+        let opts = ocr_maze::MazeOptions {
+            via_cost: self.layout.rules.over_cell_pitch(),
+            astar: true,
+        };
+        let path = match ocr_maze::route_maze(&mut self.grid, net.0, q, attach, opts) {
+            Ok(p) => p,
+            Err(_) => {
+                // Hard-blocked: ask the soft search which routed nets
+                // stand in the cheapest way (for rip-up-and-reroute).
+                if self.config.rip_up_budget > 0 {
+                    // Terminal cells survive rip-up, so exclude them —
+                    // every named blocker is then genuinely removable.
+                    // Victims already ripped for this net are excluded
+                    // too, so repeated probes explore different lanes.
+                    let terminals = &self.terminal_cells;
+                    let grid = &self.grid;
+                    let empty: Vec<u32> = Vec::new();
+                    let excluded = self.rip_exclusions.get(&net.0).unwrap_or(&empty);
+                    if let Ok(soft) = ocr_maze::find_soft_path_filtered(
+                        grid,
+                        net.0,
+                        q,
+                        attach,
+                        opts,
+                        1_000_000,
+                        |i, j| {
+                            if terminals.contains(&(i, j)) {
+                                return false;
+                            }
+                            for d in Dir::BOTH {
+                                if let CellState::Used(n) = grid.state(d, i, j) {
+                                    if excluded.contains(&n) {
+                                        return false;
+                                    }
+                                }
+                            }
+                            true
+                        },
+                    ) {
+                        self.last_blockers = soft.blockers.into_iter().map(NetId).collect();
+                    }
+                }
+                return Err(RouteError::Unroutable { net });
+            }
+        };
+        self.stats.maze_fallbacks += 1;
+        self.stats.maze_expanded += path.expanded;
+        self.stats.corners += path.route.corner_count();
+        self.stats.wire_length += path.route.wire_length();
+        let points = maze_points(&self.grid, &path);
+        route.extend(path.route);
+        self.connect_attachment(net, attach, &points, route);
+        Ok(points)
+    }
+
+    /// Finds the best path for one two-terminal connection, expanding
+    /// the search window on failure.
+    fn find_path(
+        &mut self,
+        net: NetId,
+        from: Point,
+        to: Point,
+    ) -> Result<CandidatePath, RouteError> {
+        let a = self
+            .grid
+            .snap(from)
+            .ok_or(RouteError::TerminalOffGrid { net, at: from })?;
+        let b = self
+            .grid
+            .snap(to)
+            .ok_or(RouteError::TerminalOffGrid { net, at: to })?;
+        let mut margin = self.config.window_margin;
+        let unrouted_idx: Vec<(usize, usize)> =
+            self.unrouted_cells.iter().map(|&(_, c)| c).collect();
+        let sensitive: Vec<u32> = self
+            .config
+            .sensitive_nets
+            .iter()
+            .filter(|&&n| n != net)
+            .map(|n| n.0)
+            .collect();
+        for attempt in 0..=self.config.max_window_expansions {
+            let tig = Tig::new(&self.grid);
+            let window = if attempt == self.config.max_window_expansions {
+                SearchWindow::full(&tig)
+            } else {
+                SearchWindow::around(&tig, a, b, margin)
+            };
+            let outcome = search_min_corner_paths(&tig, net.0, a, b, &window);
+            self.stats.expanded_vertices += outcome.expanded;
+            if outcome.corners.is_some() {
+                let ev = CostEvaluator::new(
+                    &self.grid,
+                    &unrouted_idx,
+                    self.config.weights,
+                    self.layout.rules.over_cell_pitch(),
+                )
+                .with_sensitive_nets(&sensitive);
+                if let Some(best) = select_best_path(&tig, net.0, &outcome, from, to, &ev) {
+                    self.stats.candidates_examined += 1;
+                    return Ok(best);
+                }
+            }
+            margin = margin.saturating_mul(2).max(1);
+            self.stats.window_expansions += 1;
+        }
+        Err(RouteError::Unroutable { net })
+    }
+
+    /// Commits a selected path: occupies the grid and appends geometry.
+    fn commit_path(&mut self, net: NetId, path: &CandidatePath, route: &mut NetRoute) {
+        let pts = &path.points;
+        for (r, &(dir, _track)) in path.tracks.iter().enumerate() {
+            let (a, b) = (pts[r], pts[r + 1]);
+            if a == b {
+                continue;
+            }
+            let (ai, aj) = self.grid.snap(a).expect("path point on grid");
+            let (bi, bj) = self.grid.snap(b).expect("path point on grid");
+            match dir {
+                Dir::Horizontal => {
+                    self.grid.occupy_run(Dir::Horizontal, aj, ai, bi, net.0);
+                    route.segs.push(RouteSeg::new(a, b, Layer::Metal3));
+                }
+                Dir::Vertical => {
+                    self.grid.occupy_run(Dir::Vertical, ai, aj, bj, net.0);
+                    route.segs.push(RouteSeg::new(a, b, Layer::Metal4));
+                }
+            }
+        }
+        // Corner vias between consecutive non-empty runs; corners occupy
+        // both planes.
+        for c in 1..pts.len() - 1 {
+            let prev_empty = pts[c - 1] == pts[c];
+            let next_empty = pts[c] == pts[c + 1];
+            if prev_empty || next_empty {
+                continue;
+            }
+            let (i, j) = self.grid.snap(pts[c]).expect("corner on grid");
+            self.grid
+                .set_state(Dir::Horizontal, i, j, CellState::Used(net.0));
+            self.grid
+                .set_state(Dir::Vertical, i, j, CellState::Used(net.0));
+            route
+                .vias
+                .push(Via::new(pts[c], Layer::Metal3, Layer::Metal4));
+        }
+    }
+
+    /// Ensures the branch's arrival run is electrically tied to the
+    /// component wiring at the attachment point (adds a metal3–metal4
+    /// via when the branch arrives on the other plane).
+    fn connect_attachment(
+        &mut self,
+        net: NetId,
+        attach: Point,
+        pts: &[Point],
+        route: &mut NetRoute,
+    ) {
+        // The arrival run is the last non-empty run of the path; its
+        // direction follows from the final pair of distinct points.
+        let arrival_dir = pts.windows(2).rev().find(|w| w[0] != w[1]).map(|w| {
+            if w[0].y == w[1].y {
+                Dir::Horizontal
+            } else {
+                Dir::Vertical
+            }
+        });
+        let Some(arrival) = arrival_dir else { return };
+        let Some((i, j)) = self.grid.snap(attach) else {
+            return;
+        };
+        let other = arrival.perp();
+        // The other plane counts only if actual *wiring* runs there —
+        // a terminal cell's both-plane reservation alone does not (its
+        // connectivity comes from the terminal via stack instead).
+        let other_wired = self.wiring_touches(net, attach, other);
+        let arrival_used_before = route.vias.iter().any(|v| v.at == attach);
+        if other_wired && !arrival_used_before {
+            // Branch arrives on one plane; component wiring may be on
+            // the other. A via ties them (idempotent via dedup later).
+            self.grid
+                .set_state(Dir::Horizontal, i, j, CellState::Used(net.0));
+            self.grid
+                .set_state(Dir::Vertical, i, j, CellState::Used(net.0));
+            route
+                .vias
+                .push(Via::new(attach, Layer::Metal3, Layer::Metal4));
+        }
+    }
+}
+
+fn path_wl(points: &[Point]) -> i64 {
+    points
+        .windows(2)
+        .map(|w| ocr_geom::manhattan(w[0], w[1]))
+        .sum()
+}
+
+/// Run-boundary points of a maze path (start, every plane change, end)
+/// for the Steiner accumulator and attachment stitching.
+fn maze_points(grid: &GridModel, path: &ocr_maze::MazePath) -> Vec<Point> {
+    let nodes = &path.nodes;
+    let mut pts = Vec::new();
+    if nodes.is_empty() {
+        return pts;
+    }
+    pts.push(grid.point(nodes[0].0, nodes[0].1));
+    for w in nodes.windows(2) {
+        if w[0].2 != w[1].2 {
+            let p = grid.point(w[1].0, w[1].1);
+            if *pts.last().expect("non-empty") != p {
+                pts.push(p);
+            }
+        }
+    }
+    let last = nodes.last().expect("non-empty");
+    let p = grid.point(last.0, last.1);
+    if *pts.last().expect("non-empty") != p {
+        pts.push(p);
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocr_geom::{LayerSet, Rect};
+    use ocr_netlist::{validate_routed_design, NetClass, Obstacle};
+
+    fn layout_with_nets(pins: &[&[Point]]) -> (Layout, Vec<NetId>) {
+        let mut l = Layout::new(Rect::new(0, 0, 400, 400));
+        let mut ids = Vec::new();
+        for (k, net_pins) in pins.iter().enumerate() {
+            let n = l.add_net(format!("n{k}"), NetClass::Signal);
+            for &p in net_pins.iter() {
+                l.add_pin(n, None, p, Layer::Metal2);
+            }
+            ids.push(n);
+        }
+        (l, ids)
+    }
+
+    fn route(layout: &Layout, nets: &[NetId]) -> LevelBResult {
+        let mut r = LevelBRouter::new(layout, nets, LevelBConfig::default()).expect("router");
+        r.route_all().expect("route_all")
+    }
+
+    #[test]
+    fn two_terminal_net_routes_and_validates() {
+        let (l, nets) = layout_with_nets(&[&[Point::new(20, 30), Point::new(300, 200)]]);
+        let res = route(&l, &nets);
+        assert_eq!(res.stats.nets_routed, 1);
+        let errors = validate_routed_design(&l, &res.design);
+        assert!(errors.is_empty(), "{errors:?}");
+        // L-shaped: one corner.
+        assert_eq!(res.design.route(nets[0]).expect("routed").corner_count(), 1);
+    }
+
+    #[test]
+    fn straight_net_has_no_corner_via() {
+        let (l, nets) = layout_with_nets(&[&[Point::new(20, 50), Point::new(300, 50)]]);
+        let res = route(&l, &nets);
+        let r = res.design.route(nets[0]).expect("routed");
+        assert_eq!(r.corner_count(), 0);
+        // One terminal stack per pin (M2→M3).
+        assert_eq!(r.vias.len(), 2);
+        assert!(validate_routed_design(&l, &res.design).is_empty());
+    }
+
+    #[test]
+    fn multi_terminal_net_uses_steiner_trunk() {
+        let (l, nets) = layout_with_nets(&[&[
+            Point::new(20, 100),
+            Point::new(300, 100),
+            Point::new(160, 250),
+        ]]);
+        let res = route(&l, &nets);
+        let r = res.design.route(nets[0]).expect("routed");
+        let errors = validate_routed_design(&l, &res.design);
+        assert!(errors.is_empty(), "{errors:?}");
+        // Steiner: total length below the star topology.
+        let star = 280 + 290; // seed to each other terminal
+        assert!(
+            r.wire_length() < star,
+            "wl {} vs star {star}",
+            r.wire_length()
+        );
+    }
+
+    #[test]
+    fn obstacle_is_avoided() {
+        let (mut l, nets) = layout_with_nets(&[&[Point::new(20, 200), Point::new(380, 200)]]);
+        l.add_obstacle(Obstacle::new(
+            Rect::new(150, 100, 250, 300),
+            LayerSet::level_b(),
+        ));
+        let res = route(&l, &nets);
+        assert_eq!(res.stats.nets_failed, 0);
+        let errors = validate_routed_design(&l, &res.design);
+        assert!(errors.is_empty(), "{errors:?}");
+        let r = res.design.route(nets[0]).expect("routed");
+        assert!(r.wire_length() > 360, "must detour around the obstacle");
+    }
+
+    #[test]
+    fn two_nets_do_not_short() {
+        let (l, nets) = layout_with_nets(&[
+            &[Point::new(20, 100), Point::new(380, 100)],
+            &[Point::new(20, 100 + 10), Point::new(380, 110)],
+        ]);
+        let res = route(&l, &nets);
+        assert_eq!(res.stats.nets_routed, 2);
+        assert!(validate_routed_design(&l, &res.design).is_empty());
+    }
+
+    #[test]
+    fn crossing_nets_route_on_different_planes() {
+        let (l, nets) = layout_with_nets(&[
+            &[Point::new(20, 200), Point::new(380, 200)],
+            &[Point::new(200, 20), Point::new(200, 380)],
+        ]);
+        let res = route(&l, &nets);
+        assert_eq!(res.stats.nets_routed, 2);
+        assert!(validate_routed_design(&l, &res.design).is_empty());
+    }
+
+    #[test]
+    fn terminal_conflict_is_detected() {
+        let (l, nets) = layout_with_nets(&[
+            &[Point::new(20, 20), Point::new(100, 100)],
+            &[Point::new(20, 20), Point::new(200, 200)],
+        ]);
+        let err = LevelBRouter::new(&l, &nets, LevelBConfig::default()).unwrap_err();
+        assert!(matches!(err, RouteError::TerminalConflict { .. }));
+    }
+
+    #[test]
+    fn sealed_terminal_fails_gracefully() {
+        let (mut l, nets) = layout_with_nets(&[&[Point::new(200, 200), Point::new(380, 380)]]);
+        // Box around the first terminal on both planes.
+        l.add_obstacle(Obstacle::new(
+            Rect::new(150, 150, 250, 250),
+            LayerSet::level_b(),
+        ));
+        // Terminal at (200,200) is inside the obstacle: blocked.
+        let res = route(&l, &nets);
+        assert_eq!(res.stats.nets_failed, 1);
+        assert_eq!(res.design.failed, vec![nets[0]]);
+    }
+
+    #[test]
+    fn many_nets_dense_grid_all_route() {
+        // A ladder of 8 parallel nets plus 2 crossing nets.
+        let mut pins: Vec<Vec<Point>> = Vec::new();
+        for k in 0..8 {
+            let y = 40 + 40 * k;
+            pins.push(vec![Point::new(20, y), Point::new(380, y)]);
+        }
+        pins.push(vec![Point::new(40, 20), Point::new(40, 380)]);
+        pins.push(vec![Point::new(360, 20), Point::new(360, 380)]);
+        let pin_refs: Vec<&[Point]> = pins.iter().map(|v| v.as_slice()).collect();
+        let (l, nets) = layout_with_nets(&pin_refs);
+        let res = route(&l, &nets);
+        assert_eq!(res.stats.nets_routed, 10);
+        assert!(validate_routed_design(&l, &res.design).is_empty());
+    }
+
+    /// Two nets contending for a single grid chokepoint: a wall blocks
+    /// the vertical plane on one row everywhere except one column, so
+    /// only one net can cross. Rip-up lets the *later* net rip the
+    /// earlier one and claim the crossing (showing clear + re-route
+    /// works); without rip-up the later net simply fails.
+    fn chokepoint_layout() -> (Layout, Vec<NetId>) {
+        let mut l = Layout::new(Rect::new(0, 0, 400, 400));
+        // Block the vertical plane along the row band y∈(195,205)
+        // everywhere except a gap at x = 200, and the horizontal plane
+        // fully (no horizontal travel inside the wall).
+        for (x0, x1) in [(-5, 195), (205, 405)] {
+            l.add_obstacle(Obstacle::new(
+                Rect::new(x0, 195, x1, 205),
+                LayerSet::level_b(),
+            ));
+        }
+        l.add_obstacle(Obstacle::new(
+            Rect::new(195, 195, 205, 205),
+            LayerSet::single(Layer::Metal3),
+        ));
+        // Both nets need to cross the wall, and the only crossing is the
+        // vertical-plane cell at (200, 200).
+        let a = l.add_net("first", NetClass::Signal);
+        l.add_pin(a, None, Point::new(100, 100), Layer::Metal2);
+        l.add_pin(a, None, Point::new(100, 300), Layer::Metal2);
+        let b = l.add_net("second", NetClass::Signal);
+        l.add_pin(b, None, Point::new(300, 110), Layer::Metal2);
+        l.add_pin(b, None, Point::new(300, 310), Layer::Metal2);
+        (l, vec![a, b])
+    }
+
+    #[test]
+    fn rip_up_lets_the_blocked_net_claim_the_chokepoint() {
+        let (l, nets) = chokepoint_layout();
+        // Without rip-up: whichever routes first wins, the other fails.
+        let mut plain = LevelBRouter::new(
+            &l,
+            &nets,
+            LevelBConfig {
+                rip_up_budget: 0,
+                ordering: crate::order::NetOrdering::User(nets.clone()),
+                ..LevelBConfig::default()
+            },
+        )
+        .expect("router");
+        let res0 = plain.route_all().expect("route_all");
+        assert_eq!(res0.stats.nets_routed, 1);
+        assert!(
+            res0.design.route(nets[0]).is_some(),
+            "first net holds the gap"
+        );
+        assert_eq!(res0.design.failed, vec![nets[1]]);
+
+        // With rip-up: the second net rips the first and routes; the
+        // first re-routes and fails (the chokepoint admits one net), so
+        // completion count is the same but ownership flipped — and the
+        // grid stayed consistent throughout.
+        let mut ripper = LevelBRouter::new(
+            &l,
+            &nets,
+            LevelBConfig {
+                rip_up_budget: 1,
+                ordering: crate::order::NetOrdering::User(nets.clone()),
+                ..LevelBConfig::default()
+            },
+        )
+        .expect("router");
+        let res1 = ripper.route_all().expect("route_all");
+        assert!(res1.stats.rips >= 1, "a rip must have happened");
+        assert!(res1.design.route(nets[1]).is_some(), "second net rescued");
+        // Whatever routed must validate cleanly.
+        let mut clean = res1.design.clone();
+        clean.failed.clear();
+        let errors = validate_routed_design(&l, &clean);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn failed_net_leaves_no_grid_debris() {
+        let (l, nets) = chokepoint_layout();
+        let mut router = LevelBRouter::new(
+            &l,
+            &nets,
+            LevelBConfig {
+                rip_up_budget: 0,
+                ordering: crate::order::NetOrdering::User(nets.clone()),
+                ..LevelBConfig::default()
+            },
+        )
+        .expect("router");
+        let res = router.route_all().expect("route_all");
+        assert_eq!(res.design.failed, vec![nets[1]]);
+        // All cells used on the grid must belong to net 0's route or to
+        // terminal reservations — net 1's rollback freed everything else.
+        let g = router.grid();
+        let mut used_by_1 = 0;
+        for j in 0..g.nh() {
+            for i in 0..g.nv() {
+                for d in Dir::BOTH {
+                    if matches!(g.state(d, i, j), CellState::Used(n) if n == nets[1].0) {
+                        used_by_1 += 1;
+                    }
+                }
+            }
+        }
+        // Exactly the two terminal cells × two planes each.
+        assert_eq!(
+            used_by_1, 4,
+            "rollback must leave only terminal reservations"
+        );
+    }
+
+    #[test]
+    fn sensitive_net_term_steers_the_corner_away() {
+        // Sensitive net S runs horizontally near the lower-right corner
+        // option of net N's two equal-length 1-corner L paths. With
+        // w24 > 0 (and the other corner terms off to isolate it), N's
+        // corner must land on the upper-left instead.
+        let mut l = Layout::new(Rect::new(0, 0, 400, 400));
+        let s = l.add_net("sensitive", NetClass::Signal);
+        l.add_pin(s, None, Point::new(200, 30), Layer::Metal2);
+        l.add_pin(s, None, Point::new(390, 30), Layer::Metal2);
+        let n = l.add_net("victim", NetClass::Signal);
+        l.add_pin(n, None, Point::new(100, 50), Layer::Metal2);
+        l.add_pin(n, None, Point::new(350, 300), Layer::Metal2);
+
+        let run = |w24: f64, sensitive: Vec<NetId>| -> Point {
+            let cfg = LevelBConfig {
+                weights: crate::cost::CostWeights {
+                    w21: 0.0,
+                    w22: 0.0,
+                    w23: 0.0,
+                    w24,
+                    ..crate::cost::CostWeights::default()
+                },
+                sensitive_nets: sensitive,
+                // The sensitive net must be in place before the victim
+                // routes, or there is nothing to avoid.
+                ordering: crate::order::NetOrdering::User(vec![s, n]),
+                ..LevelBConfig::default()
+            };
+            let mut r = LevelBRouter::new(&l, &[s, n], cfg).expect("router");
+            let res = r.route_all().expect("routes");
+            assert_eq!(res.stats.nets_failed, 0);
+            // N's corner via is the one not at a terminal.
+            let route = res.design.route(n).expect("routed");
+            route
+                .vias
+                .iter()
+                .find(|v| {
+                    v.lower == Layer::Metal3
+                        && v.upper == Layer::Metal4
+                        && v.at != Point::new(100, 50)
+                        && v.at != Point::new(350, 300)
+                })
+                .expect("corner via")
+                .at
+        };
+        // With the term active, the corner avoids the sensitive wire at
+        // y=30 near x=350: it must be the upper-left corner (100, 300).
+        let steered = run(5.0, vec![s]);
+        assert_eq!(steered, Point::new(100, 300));
+        // Without it (w24 = 0) both corners tie; the router may pick
+        // either, but the term's activation must be what guarantees the
+        // avoidance — assert the evaluator actually distinguishes them.
+        let cfg_probe = run(0.0, vec![]);
+        let _ = cfg_probe; // either corner is acceptable here
+    }
+
+    #[test]
+    fn five_pin_net_with_obstacle_routes_connected() {
+        let (mut l, nets) = layout_with_nets(&[&[
+            Point::new(40, 40),
+            Point::new(360, 40),
+            Point::new(40, 360),
+            Point::new(360, 360),
+            Point::new(200, 200),
+        ]]);
+        l.add_obstacle(Obstacle::new(
+            Rect::new(120, 120, 180, 280),
+            LayerSet::level_b(),
+        ));
+        let res = route(&l, &nets);
+        assert_eq!(res.stats.nets_failed, 0);
+        assert_eq!(res.stats.connections, 4, "n pins need n-1 branches");
+        let errors = validate_routed_design(&l, &res.design);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn window_expansion_rescues_detours_outside_the_initial_window() {
+        // Terminals close together; a wall forces a detour far outside
+        // the initial window, so the router must expand it.
+        let (mut l, nets) = layout_with_nets(&[&[Point::new(100, 200), Point::new(160, 200)]]);
+        l.add_obstacle(Obstacle::new(
+            Rect::new(125, 50, 135, 350),
+            LayerSet::level_b(),
+        ));
+        let mut r = LevelBRouter::new(
+            &l,
+            &nets,
+            LevelBConfig {
+                window_margin: 1,
+                ..LevelBConfig::default()
+            },
+        )
+        .expect("router");
+        let res = r.route_all().expect("routes");
+        assert_eq!(res.stats.nets_failed, 0);
+        assert!(res.stats.window_expansions > 0, "window had to grow");
+        assert!(validate_routed_design(&l, &res.design).is_empty());
+    }
+
+    #[test]
+    fn pitch_override_changes_grid_density() {
+        let (l, nets) = layout_with_nets(&[&[Point::new(20, 30), Point::new(300, 200)]]);
+        let coarse = LevelBRouter::new(
+            &l,
+            &nets,
+            LevelBConfig {
+                pitch: Some(50),
+                ..LevelBConfig::default()
+            },
+        )
+        .expect("router");
+        let fine = LevelBRouter::new(
+            &l,
+            &nets,
+            LevelBConfig {
+                pitch: Some(10),
+                ..LevelBConfig::default()
+            },
+        )
+        .expect("router");
+        assert!(coarse.grid().nv() < fine.grid().nv());
+        assert!(coarse.grid().nh() < fine.grid().nh());
+    }
+
+    #[test]
+    fn stats_expansion_counts_accumulate() {
+        let (l, nets) = layout_with_nets(&[&[Point::new(20, 30), Point::new(300, 200)]]);
+        let res = route(&l, &nets);
+        assert!(res.stats.expanded_vertices > 0);
+        assert_eq!(res.stats.connections, 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! The Modified Breadth-First Search (MBFS) over the Track Intersection
+//! Graph.
+//!
+//! Paper §3.1: "Path searching is accomplished using a modified breadth
+//! first search (MBFS) algorithm. A path consists of a sequence of
+//! alternating horizontal and vertical track segments. For each
+//! two-terminal connection, all possible paths with the minimum number
+//! of corners are found … Two modified breadth first searches are
+//! performed, starting from one of the two terminals [one from the
+//! terminal's vertical track, one from its horizontal track] … During
+//! the MBFS for possible paths, each vertex is examined exactly once
+//! with the exception of the target vertices. This results in the
+//! exclusion of paths requiring more than one corner on the same track."
+//!
+//! Each BFS level adds one corner; the first level at which either
+//! target track (covering the destination terminal) appears gives the
+//! minimum corner count, and the recorded predecessor sets form the
+//! Path Selection Trees of §3.2 (see [`crate::pst`]).
+
+use crate::tig::Tig;
+use ocr_geom::Dir;
+use std::collections::HashMap;
+
+/// A TIG vertex: a physical routing track.
+pub type VertexKey = (Dir, usize);
+
+/// Per-vertex data recorded by one MBFS.
+#[derive(Clone, Debug)]
+pub struct VertexData {
+    /// BFS level = number of corners on any path reaching this vertex.
+    pub level: usize,
+    /// The free run (cross-index interval) of the track reachable within
+    /// the window, recorded at first discovery.
+    pub run: (usize, usize),
+    /// All predecessors one level up (the Path Selection Tree edges).
+    pub parents: Vec<VertexKey>,
+}
+
+/// The outcome of one MBFS: a Path Selection Tree rooted at `start`.
+#[derive(Clone, Debug)]
+pub struct Pst {
+    /// The start vertex (one of terminal 1's two tracks).
+    pub start: VertexKey,
+    /// Visited vertices.
+    pub vertices: HashMap<VertexKey, VertexData>,
+    /// Target vertices reached at the minimum level (each is a track of
+    /// terminal 2 whose run covers the terminal).
+    pub targets: Vec<VertexKey>,
+    /// Minimum corner count found, if any path exists.
+    pub corners: Option<usize>,
+    /// Vertices expanded (performance counter for the maze comparison).
+    pub expanded: usize,
+}
+
+/// Inclusive index window bounding one search (the paper's rectangular
+/// region defined by the two terminal locations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchWindow {
+    /// Lowest vertical-track index.
+    pub i0: usize,
+    /// Highest vertical-track index.
+    pub i1: usize,
+    /// Lowest horizontal-track index.
+    pub j0: usize,
+    /// Highest horizontal-track index.
+    pub j1: usize,
+}
+
+impl SearchWindow {
+    /// Window spanning the two terminals expanded by `margin` tracks,
+    /// clipped to the grid.
+    pub fn around(
+        tig: &Tig<'_>,
+        a: (usize, usize),
+        b: (usize, usize),
+        margin: usize,
+    ) -> SearchWindow {
+        let (nv, nh) = (tig.grid().nv(), tig.grid().nh());
+        SearchWindow {
+            i0: a.0.min(b.0).saturating_sub(margin),
+            i1: (a.0.max(b.0) + margin).min(nv - 1),
+            j0: a.1.min(b.1).saturating_sub(margin),
+            j1: (a.1.max(b.1) + margin).min(nh - 1),
+        }
+    }
+
+    /// The full-grid window.
+    pub fn full(tig: &Tig<'_>) -> SearchWindow {
+        SearchWindow {
+            i0: 0,
+            i1: tig.grid().nv() - 1,
+            j0: 0,
+            j1: tig.grid().nh() - 1,
+        }
+    }
+
+    /// Cross-index bounds for a track running in `dir`.
+    fn cross_bounds(&self, dir: Dir) -> (usize, usize) {
+        match dir {
+            Dir::Horizontal => (self.i0, self.i1), // run over vertical indices
+            Dir::Vertical => (self.j0, self.j1),
+        }
+    }
+
+    /// `true` if the track itself lies inside the window.
+    fn track_in(&self, key: VertexKey) -> bool {
+        match key.0 {
+            Dir::Horizontal => self.j0 <= key.1 && key.1 <= self.j1,
+            Dir::Vertical => self.i0 <= key.1 && key.1 <= self.i1,
+        }
+    }
+}
+
+/// Runs one MBFS for `net` from terminal `term1`'s track of direction
+/// `start_dir`, searching for terminal `term2` within `window`.
+///
+/// Terminals are grid indices `(i, j)` (vertical track, horizontal
+/// track). Returns the Path Selection Tree; `corners` is `None` when no
+/// path exists within the window.
+pub fn mbfs(
+    tig: &Tig<'_>,
+    net: u32,
+    start_dir: Dir,
+    term1: (usize, usize),
+    term2: (usize, usize),
+    window: &SearchWindow,
+) -> Pst {
+    let start_track = match start_dir {
+        Dir::Horizontal => term1.1,
+        Dir::Vertical => term1.0,
+    };
+    let start: VertexKey = (start_dir, start_track);
+    let mut pst = Pst {
+        start,
+        vertices: HashMap::new(),
+        targets: Vec::new(),
+        corners: None,
+        expanded: 0,
+    };
+
+    // The two target tracks of terminal 2.
+    let target_v: VertexKey = (Dir::Vertical, term2.0);
+    let target_h: VertexKey = (Dir::Horizontal, term2.1);
+    let covers_term2 = |key: VertexKey, run: (usize, usize)| -> bool {
+        if key == target_v {
+            run.0 <= term2.1 && term2.1 <= run.1
+        } else if key == target_h {
+            run.0 <= term2.0 && term2.0 <= run.1
+        } else {
+            false
+        }
+    };
+    let through1 = match start_dir {
+        Dir::Horizontal => term1.0,
+        Dir::Vertical => term1.1,
+    };
+
+    if !window.track_in(start) {
+        return pst;
+    }
+    let (wlo, whi) = window.cross_bounds(start_dir);
+    let Some(run0) = tig.free_run(net, start_dir, start_track, through1, wlo, whi) else {
+        return pst;
+    };
+    pst.vertices.insert(
+        start,
+        VertexData {
+            level: 0,
+            run: run0,
+            parents: Vec::new(),
+        },
+    );
+    if covers_term2(start, run0) {
+        pst.targets.push(start);
+        pst.corners = Some(0);
+        return pst;
+    }
+
+    let mut frontier: Vec<VertexKey> = vec![start];
+    let mut level = 0usize;
+    while !frontier.is_empty() {
+        let mut next: Vec<VertexKey> = Vec::new();
+        for &u in &frontier {
+            pst.expanded += 1;
+            let (u_dir, u_track) = u;
+            let run = pst.vertices[&u].run;
+            let perp = u_dir.perp();
+            for k in run.0..=run.1 {
+                // Corner cell between track u and perpendicular track k.
+                let (ci, cj) = match u_dir {
+                    Dir::Horizontal => (k, u_track),
+                    Dir::Vertical => (u_track, k),
+                };
+                if !tig.edge_usable(net, ci, cj) {
+                    continue;
+                }
+                let v: VertexKey = (perp, k);
+                if !window.track_in(v) {
+                    continue;
+                }
+                match pst.vertices.get_mut(&v) {
+                    Some(data) => {
+                        if data.level == level + 1 && !data.parents.contains(&u) {
+                            data.parents.push(u);
+                        }
+                    }
+                    None => {
+                        let (plo, phi) = window.cross_bounds(perp);
+                        let through = match perp {
+                            Dir::Horizontal => ci,
+                            Dir::Vertical => cj,
+                        };
+                        let Some(vrun) = tig.free_run(net, perp, k, through, plo, phi) else {
+                            continue;
+                        };
+                        pst.vertices.insert(
+                            v,
+                            VertexData {
+                                level: level + 1,
+                                run: vrun,
+                                parents: vec![u],
+                            },
+                        );
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        // Level `level + 1` is now complete (all parents recorded):
+        // check for targets.
+        for &v in &next {
+            if covers_term2(v, pst.vertices[&v].run) {
+                pst.targets.push(v);
+            }
+        }
+        if !pst.targets.is_empty() {
+            pst.corners = Some(level + 1);
+            break;
+        }
+        frontier = next;
+        level += 1;
+    }
+    pst
+}
+
+/// Runs the paper's two MBFS passes (from the terminal's vertical and
+/// horizontal tracks) and reports the pair plus the global minimum
+/// corner count.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// PST of the search started from terminal 1's vertical track.
+    pub from_v: Pst,
+    /// PST of the search started from terminal 1's horizontal track.
+    pub from_h: Pst,
+    /// Global minimum corner count over both searches.
+    pub corners: Option<usize>,
+    /// Total vertices expanded by both searches.
+    pub expanded: usize,
+}
+
+/// Runs both MBFS passes for one two-terminal connection.
+pub fn search_min_corner_paths(
+    tig: &Tig<'_>,
+    net: u32,
+    term1: (usize, usize),
+    term2: (usize, usize),
+    window: &SearchWindow,
+) -> SearchOutcome {
+    let from_v = mbfs(tig, net, Dir::Vertical, term1, term2, window);
+    let from_h = mbfs(tig, net, Dir::Horizontal, term1, term2, window);
+    let corners = match (from_v.corners, from_h.corners) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let expanded = from_v.expanded + from_h.expanded;
+    SearchOutcome {
+        from_v,
+        from_h,
+        corners,
+        expanded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocr_geom::{Interval, Rect};
+    use ocr_grid::{GridModel, TrackSet};
+
+    fn grid(n: i64, pitch: i64) -> GridModel {
+        GridModel::new(
+            Rect::new(0, 0, n, n),
+            TrackSet::from_pitch(Interval::new(0, n), pitch),
+            TrackSet::from_pitch(Interval::new(0, n), pitch),
+        )
+    }
+
+    #[test]
+    fn l_connection_needs_one_corner() {
+        let g = grid(100, 10);
+        let tig = Tig::new(&g);
+        let w = SearchWindow::full(&tig);
+        let out = search_min_corner_paths(&tig, 0, (0, 0), (10, 10), &w);
+        assert_eq!(out.corners, Some(1));
+    }
+
+    #[test]
+    fn straight_connection_needs_zero_corners() {
+        let g = grid(100, 10);
+        let tig = Tig::new(&g);
+        let w = SearchWindow::full(&tig);
+        // Same row: terminal 1 at (0, 5), terminal 2 at (10, 5).
+        let out = search_min_corner_paths(&tig, 0, (0, 5), (10, 5), &w);
+        assert_eq!(out.corners, Some(0));
+        // The zero-corner path comes from the horizontal-track search.
+        assert_eq!(out.from_h.corners, Some(0));
+    }
+
+    #[test]
+    fn obstacle_raises_corner_count() {
+        let mut g = grid(100, 10);
+        // Block the direct horizontal run between the terminals on the
+        // horizontal plane, full width of the gap.
+        g.block_rect(&Rect::new(25, 45, 75, 55), Dir::Horizontal);
+        let tig = Tig::new(&g);
+        let w = SearchWindow::full(&tig);
+        let out = search_min_corner_paths(&tig, 0, (0, 5), (10, 5), &w);
+        // Must dodge: at least 2 corners now.
+        assert!(out.corners.expect("path exists") >= 2);
+    }
+
+    #[test]
+    fn no_path_in_sealed_box() {
+        let mut g = grid(100, 10);
+        for dir in [Dir::Horizontal, Dir::Vertical] {
+            // Seal terminal 1 inside a box.
+            g.block_rect(&Rect::new(15, 15, 45, 45), dir);
+        }
+        // Terminal inside the blocked region interior.
+        let tig = Tig::new(&g);
+        let w = SearchWindow::full(&tig);
+        let out = search_min_corner_paths(&tig, 0, (3, 3), (9, 9), &w);
+        assert_eq!(out.corners, None);
+    }
+
+    #[test]
+    fn window_limits_search() {
+        let mut g = grid(100, 10);
+        // Wall forcing a detour outside the tight window.
+        g.block_rect(&Rect::new(35, -5, 45, 85), Dir::Horizontal);
+        g.block_rect(&Rect::new(35, -5, 45, 85), Dir::Vertical);
+        let tig = Tig::new(&g);
+        let tight = SearchWindow::around(&tig, (0, 5), (10, 5), 1);
+        let out = search_min_corner_paths(&tig, 0, (0, 5), (10, 5), &tight);
+        assert_eq!(out.corners, None, "detour requires leaving the window");
+        let full = SearchWindow::full(&tig);
+        let out2 = search_min_corner_paths(&tig, 0, (0, 5), (10, 5), &full);
+        assert!(out2.corners.is_some());
+    }
+
+    #[test]
+    fn parents_record_all_min_corner_predecessors() {
+        let g = grid(100, 10);
+        let tig = Tig::new(&g);
+        let w = SearchWindow::full(&tig);
+        // Two corners needed from (0,0) to (10,10) starting via the
+        // horizontal track at j=0: h0 → some v → h10 … actually 1 corner:
+        // h0 covers i=10, corner at (10, 0), then v10 up to (10,10):
+        // the target v-track v10 reached at level 1.
+        let pst = mbfs(&tig, 0, Dir::Horizontal, (0, 0), (10, 10), &w);
+        assert_eq!(pst.corners, Some(1));
+        // All 11 vertical tracks become level-1 vertices; the target v10
+        // has exactly one parent (h0).
+        let t = &pst.vertices[&(Dir::Vertical, 10)];
+        assert_eq!(t.parents, vec![(Dir::Horizontal, 0)]);
+    }
+
+    #[test]
+    fn blocked_straight_line_needs_two_corners() {
+        let mut g = grid(100, 10);
+        // Terminals share row y = 50; the row between them is cut on the
+        // horizontal plane, but the vertical plane stays open, so a
+        // U-shaped 2-corner dodge exists.
+        g.block_rect(&Rect::new(25, 45, 75, 55), Dir::Horizontal);
+        let tig = Tig::new(&g);
+        let w = SearchWindow::full(&tig);
+        let out = search_min_corner_paths(&tig, 0, (0, 5), (10, 5), &w);
+        assert_eq!(out.corners, Some(2));
+    }
+
+    #[test]
+    fn target_terminal_cell_blocked_on_one_plane_still_reachable() {
+        let mut g = grid(100, 10);
+        // The target's vertical plane is occupied by another net; the
+        // horizontal-track approach still lands.
+        g.set_state(Dir::Vertical, 10, 5, ocr_grid::CellState::Used(99));
+        let tig = Tig::new(&g);
+        let w = SearchWindow::full(&tig);
+        let out = search_min_corner_paths(&tig, 0, (0, 5), (10, 5), &w);
+        assert_eq!(out.corners, Some(0), "same-row run needs no corner");
+    }
+
+    #[test]
+    fn both_searches_agree_when_symmetric() {
+        let g = grid(100, 10);
+        let tig = Tig::new(&g);
+        let w = SearchWindow::full(&tig);
+        // Diagonal terminals: both the v-start and h-start searches find
+        // 1-corner paths (the two L orientations).
+        let out = search_min_corner_paths(&tig, 0, (2, 2), (8, 8), &w);
+        assert_eq!(out.from_v.corners, Some(1));
+        assert_eq!(out.from_h.corners, Some(1));
+    }
+
+    #[test]
+    fn expanded_counts_are_small_on_empty_grid() {
+        let g = grid(1000, 10);
+        let tig = Tig::new(&g);
+        let w = SearchWindow::full(&tig);
+        let out = search_min_corner_paths(&tig, 0, (0, 0), (100, 100), &w);
+        // Track-based search expands O(tracks), not O(area).
+        assert!(out.expanded < 2 * (g.nv() + g.nh()));
+    }
+}

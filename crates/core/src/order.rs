@@ -1,0 +1,109 @@
+//! Net ordering for serial Level B routing.
+//!
+//! Paper §3: "The level B routing algorithm processes the nets serially.
+//! … Net ordering is accomplished using a longest distance criterion.
+//! The option of a user specified ordering criterion, such as net
+//! criticality, can be exercised."
+
+use ocr_netlist::{Layout, NetId};
+
+/// Net processing order policies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetOrdering {
+    /// Longest half-perimeter first (the paper's default).
+    LongestFirst,
+    /// Shortest half-perimeter first (ablation comparator).
+    ShortestFirst,
+    /// Highest [`criticality`](ocr_netlist::Net::criticality) first,
+    /// ties broken longest-first.
+    Criticality,
+    /// Explicit user order; nets absent from the list go last in
+    /// longest-first order.
+    User(Vec<NetId>),
+}
+
+impl NetOrdering {
+    /// Sorts `nets` according to the policy.
+    pub fn order(&self, layout: &Layout, nets: &[NetId]) -> Vec<NetId> {
+        let mut v: Vec<NetId> = nets.to_vec();
+        match self {
+            NetOrdering::LongestFirst => {
+                v.sort_by_key(|&n| (std::cmp::Reverse(layout.net_hpwl(n)), n.0));
+            }
+            NetOrdering::ShortestFirst => {
+                v.sort_by_key(|&n| (layout.net_hpwl(n), n.0));
+            }
+            NetOrdering::Criticality => {
+                v.sort_by_key(|&n| {
+                    (
+                        std::cmp::Reverse(layout.net(n).criticality),
+                        std::cmp::Reverse(layout.net_hpwl(n)),
+                        n.0,
+                    )
+                });
+            }
+            NetOrdering::User(order) => {
+                let pos = |n: NetId| order.iter().position(|&x| x == n);
+                v.sort_by_key(|&n| {
+                    (
+                        pos(n).unwrap_or(usize::MAX),
+                        std::cmp::Reverse(layout.net_hpwl(n)),
+                        n.0,
+                    )
+                });
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocr_geom::{Layer, Point, Rect};
+    use ocr_netlist::NetClass;
+
+    fn layout3() -> (Layout, Vec<NetId>) {
+        let mut l = Layout::new(Rect::new(0, 0, 1000, 1000));
+        let mk = |l: &mut Layout, name: &str, a: Point, b: Point, crit: i32| {
+            let n = l.add_net(name, NetClass::Signal);
+            l.add_pin(n, None, a, Layer::Metal2);
+            l.add_pin(n, None, b, Layer::Metal2);
+            l.net_mut(n).criticality = crit;
+            n
+        };
+        let short = mk(&mut l, "short", Point::new(0, 0), Point::new(10, 10), 5);
+        let medium = mk(&mut l, "medium", Point::new(0, 0), Point::new(100, 100), 0);
+        let long = mk(&mut l, "long", Point::new(0, 0), Point::new(900, 900), 1);
+        (l, vec![short, medium, long])
+    }
+
+    #[test]
+    fn longest_first_orders_by_hpwl_desc() {
+        let (l, nets) = layout3();
+        let o = NetOrdering::LongestFirst.order(&l, &nets);
+        assert_eq!(o, vec![nets[2], nets[1], nets[0]]);
+    }
+
+    #[test]
+    fn shortest_first_is_reverse() {
+        let (l, nets) = layout3();
+        let o = NetOrdering::ShortestFirst.order(&l, &nets);
+        assert_eq!(o, vec![nets[0], nets[1], nets[2]]);
+    }
+
+    #[test]
+    fn criticality_dominates() {
+        let (l, nets) = layout3();
+        let o = NetOrdering::Criticality.order(&l, &nets);
+        assert_eq!(o, vec![nets[0], nets[2], nets[1]]);
+    }
+
+    #[test]
+    fn user_order_wins_then_falls_back() {
+        let (l, nets) = layout3();
+        let o = NetOrdering::User(vec![nets[1]]).order(&l, &nets);
+        assert_eq!(o[0], nets[1]);
+        assert_eq!(o[1], nets[2]); // fallback: longest first
+    }
+}

@@ -1,0 +1,200 @@
+//! Rectilinear Steiner tree heuristic for multi-terminal nets.
+//!
+//! Paper §3.3: "A new heuristic algorithm that approximates the
+//! rectilinear Steiner tree was developed based on Prim's algorithm …
+//! The new algorithm enlarges the output component by adding a vertex
+//! with minimum distance not only from vertices from set P that already
+//! belong to the output component but also from Steiner points that
+//! belong to the output component. The vertex selected is then connected
+//! to the set P vertex or Steiner point to which it is closest."
+//!
+//! [`SteinerAccumulator`] maintains the growing component as the set of
+//! routed wire runs; candidate attachment points are the nearest points
+//! *on those runs* (every point of a routed run is a potential Steiner
+//! point). The actual branch routing is done by the Level B router; this
+//! module provides the geometric engine plus a pure estimator used by
+//! tests ([`rectilinear_mst_length`]).
+
+use ocr_geom::{manhattan, Coord, Point};
+
+/// One axis-parallel run of already-routed wiring (layer-agnostic; the
+/// accumulator only cares about geometry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// One endpoint.
+    pub a: Point,
+    /// Other endpoint (shares an axis with `a`).
+    pub b: Point,
+}
+
+impl Run {
+    /// Nearest point on the run to `q`, with its Manhattan distance.
+    pub fn nearest_to(&self, q: Point) -> (Point, Coord) {
+        let (lox, hix) = (self.a.x.min(self.b.x), self.a.x.max(self.b.x));
+        let (loy, hiy) = (self.a.y.min(self.b.y), self.a.y.max(self.b.y));
+        let p = Point::new(q.x.clamp(lox, hix), q.y.clamp(loy, hiy));
+        (p, manhattan(p, q))
+    }
+}
+
+/// The growing Steiner component: terminals connected so far plus all
+/// routed runs, any point of which may serve as a Steiner point.
+#[derive(Clone, Debug, Default)]
+pub struct SteinerAccumulator {
+    runs: Vec<Run>,
+    points: Vec<Point>,
+}
+
+impl SteinerAccumulator {
+    /// Starts a component at a seed terminal.
+    pub fn new(seed: Point) -> Self {
+        SteinerAccumulator {
+            runs: Vec::new(),
+            points: vec![seed],
+        }
+    }
+
+    /// Adds the runs of a routed branch (consecutive path points).
+    pub fn absorb_path(&mut self, path_points: &[Point]) {
+        for w in path_points.windows(2) {
+            if w[0] != w[1] {
+                self.runs.push(Run { a: w[0], b: w[1] });
+            }
+        }
+        self.points.extend_from_slice(path_points);
+    }
+
+    /// Nearest attachment point in the component to `q` and its
+    /// distance. Considers isolated points and every point on every run.
+    pub fn nearest(&self, q: Point) -> (Point, Coord) {
+        let mut best = (
+            *self.points.first().expect("non-empty component"),
+            Coord::MAX,
+        );
+        for &p in &self.points {
+            let d = manhattan(p, q);
+            if d < best.1 {
+                best = (p, d);
+            }
+        }
+        for r in &self.runs {
+            let (p, d) = r.nearest_to(q);
+            if d < best.1 {
+                best = (p, d);
+            }
+        }
+        best
+    }
+
+    /// Picks the unconnected terminal closest to the component — Prim's
+    /// selection rule extended with Steiner points. Returns
+    /// `(index into unconnected, attachment point, distance)`.
+    pub fn select_next(&self, unconnected: &[Point]) -> Option<(usize, Point, Coord)> {
+        unconnected
+            .iter()
+            .enumerate()
+            .map(|(k, &q)| {
+                let (p, d) = self.nearest(q);
+                (k, p, d)
+            })
+            .min_by_key(|&(_, _, d)| d)
+    }
+}
+
+/// Length of the rectilinear minimum spanning tree over `points`
+/// (Prim's algorithm, O(n²)). The Steiner heuristic's total length must
+/// never exceed this — the classic sanity bound used by the tests.
+pub fn rectilinear_mst_length(points: &[Point]) -> Coord {
+    if points.len() < 2 {
+        return 0;
+    }
+    let n = points.len();
+    let mut in_tree = vec![false; n];
+    let mut dist = vec![Coord::MAX; n];
+    in_tree[0] = true;
+    for k in 1..n {
+        dist[k] = manhattan(points[0], points[k]);
+    }
+    let mut total = 0;
+    for _ in 1..n {
+        let (k, &d) = dist
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| !in_tree[k])
+            .min_by_key(|&(_, d)| *d)
+            .expect("unconnected vertex remains");
+        total += d;
+        in_tree[k] = true;
+        for j in 0..n {
+            if !in_tree[j] {
+                dist[j] = dist[j].min(manhattan(points[k], points[j]));
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_nearest_clamps_into_span() {
+        let r = Run {
+            a: Point::new(0, 10),
+            b: Point::new(100, 10),
+        };
+        assert_eq!(r.nearest_to(Point::new(50, 40)), (Point::new(50, 10), 30));
+        assert_eq!(r.nearest_to(Point::new(-20, 10)), (Point::new(0, 10), 20));
+    }
+
+    #[test]
+    fn accumulator_prefers_steiner_points_on_runs() {
+        let mut acc = SteinerAccumulator::new(Point::new(0, 0));
+        acc.absorb_path(&[Point::new(0, 0), Point::new(100, 0)]);
+        // Terminal at (50, 30): nearest component point is (50, 0) on the
+        // run — a Steiner point, not an original terminal.
+        let (p, d) = acc.nearest(Point::new(50, 30));
+        assert_eq!(p, Point::new(50, 0));
+        assert_eq!(d, 30);
+    }
+
+    #[test]
+    fn select_next_is_prim_extended() {
+        let mut acc = SteinerAccumulator::new(Point::new(0, 0));
+        acc.absorb_path(&[Point::new(0, 0), Point::new(100, 0)]);
+        let unconnected = [Point::new(50, 30), Point::new(200, 200)];
+        let (k, attach, d) = acc.select_next(&unconnected).expect("candidates");
+        assert_eq!(k, 0);
+        assert_eq!(attach, Point::new(50, 0));
+        assert_eq!(d, 30);
+    }
+
+    #[test]
+    fn steiner_beats_star_on_t_shape() {
+        // Terminals: (0,0), (100,0), (50,50). Star from (0,0):
+        // 100 + 100 = 200. MST: 100 + 80 = 180.
+        // Steiner with trunk (0,0)-(100,0) and stub (50,0)-(50,50): 150.
+        let mut acc = SteinerAccumulator::new(Point::new(0, 0));
+        acc.absorb_path(&[Point::new(0, 0), Point::new(100, 0)]);
+        let (_, attach, d) = acc.select_next(&[Point::new(50, 50)]).expect("candidate");
+        let total = 100 + d;
+        assert_eq!(attach, Point::new(50, 0));
+        assert_eq!(total, 150);
+        assert!(
+            total
+                <= rectilinear_mst_length(&[
+                    Point::new(0, 0),
+                    Point::new(100, 0),
+                    Point::new(50, 50)
+                ])
+        );
+    }
+
+    #[test]
+    fn mst_length_on_collinear_points() {
+        let pts = [Point::new(0, 0), Point::new(10, 0), Point::new(30, 0)];
+        assert_eq!(rectilinear_mst_length(&pts), 30);
+        assert_eq!(rectilinear_mst_length(&pts[..1]), 0);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Synthetic benchmark layouts for the over-cell router.
+//!
+//! The paper evaluates on two MCNC macro-cell benchmarks (ami33, Xerox)
+//! and an industrial chip (ex3). Those data files are not obtainable
+//! here, so this crate synthesizes layouts with the *published
+//! statistics* from the paper's Table 1 — cell count, net count, pin
+//! count, Level A net count and average pins per Level A net — using a
+//! seeded RNG and a row-based macro-cell placement. The experiments
+//! measure the relative behaviour of routing flows, which these
+//! statistics-preserving equivalents retain (see DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use ocr_gen::suite;
+//!
+//! let chip = suite::ami33_like();
+//! assert_eq!(chip.layout.cells.len(), 33);
+//! assert_eq!(chip.layout.nets.len(), 123);
+//! assert!(chip.layout.audit().is_empty());
+//! assert!(chip.placement.audit(&chip.layout).is_empty());
+//! ```
+
+pub mod random;
+pub mod spec;
+pub mod suite;
+
+pub use random::{generate, GeneratedChip};
+pub use spec::BenchmarkSpec;

@@ -1,0 +1,221 @@
+//! Closed one-dimensional integer intervals.
+
+use crate::Coord;
+use std::fmt;
+
+/// A closed interval `[lo, hi]` on a track, in database units.
+///
+/// Intervals are used for track occupancy (which stretch of a track a wire
+/// or obstacle covers) and for channel-routing net spans.
+///
+/// ```
+/// use ocr_geom::Interval;
+/// let a = Interval::new(0, 10);
+/// let b = Interval::new(5, 20);
+/// assert!(a.overlaps(&b));
+/// assert_eq!(a.intersect(&b), Some(Interval::new(5, 10)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    lo: Coord,
+    hi: Coord,
+}
+
+impl Interval {
+    /// Creates the closed interval `[lo, hi]`, normalizing order.
+    #[inline]
+    pub fn new(a: Coord, b: Coord) -> Self {
+        if a <= b {
+            Interval { lo: a, hi: b }
+        } else {
+            Interval { lo: b, hi: a }
+        }
+    }
+
+    /// Creates a degenerate single-point interval `[p, p]`.
+    #[inline]
+    pub fn point(p: Coord) -> Self {
+        Interval { lo: p, hi: p }
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn lo(&self) -> Coord {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn hi(&self) -> Coord {
+        self.hi
+    }
+
+    /// Length `hi - lo` (zero for a point interval).
+    #[inline]
+    pub fn len(&self) -> Coord {
+        self.hi - self.lo
+    }
+
+    /// `true` if the interval is a single point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `true` if `v` lies within `[lo, hi]`.
+    #[inline]
+    pub fn contains(&self, v: Coord) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` if `other` lies entirely within `self`.
+    #[inline]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// `true` if the two closed intervals share at least one point.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// `true` if the two *open interiors* overlap (sharing only an endpoint
+    /// does not count). Two wires may abut end-to-end without conflict.
+    #[inline]
+    pub fn overlaps_interior(&self, other: &Interval) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Intersection, or `None` if the intervals are disjoint.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest interval containing both inputs (their *hull*).
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Expands both endpoints outward by `amount` (inward if negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative `amount` would invert the interval.
+    #[inline]
+    pub fn expand(&self, amount: Coord) -> Interval {
+        let lo = self.lo - amount;
+        let hi = self.hi + amount;
+        assert!(lo <= hi, "expand({amount}) inverted interval {self}");
+        Interval { lo, hi }
+    }
+
+    /// Clamps `v` into the interval.
+    #[inline]
+    pub fn clamp(&self, v: Coord) -> Coord {
+        v.max(self.lo).min(self.hi)
+    }
+
+    /// Removes `cut` from `self`, returning the (up to two) remaining
+    /// pieces in ascending order. Used when an obstacle or routed wire
+    /// splits a free track segment.
+    ///
+    /// The pieces are closed intervals that exclude the *interior* of
+    /// `cut`: a remaining piece may share an endpoint with `cut` (a wire
+    /// may end exactly where an obstacle begins).
+    ///
+    /// ```
+    /// use ocr_geom::Interval;
+    /// let free = Interval::new(0, 100);
+    /// let cut = Interval::new(40, 60);
+    /// assert_eq!(
+    ///     free.subtract(&cut),
+    ///     vec![Interval::new(0, 40), Interval::new(60, 100)]
+    /// );
+    /// ```
+    pub fn subtract(&self, cut: &Interval) -> Vec<Interval> {
+        if !self.overlaps_interior(cut) {
+            return vec![*self];
+        }
+        let mut out = Vec::with_capacity(2);
+        if self.lo < cut.lo {
+            out.push(Interval::new(self.lo, cut.lo));
+        }
+        if cut.hi < self.hi {
+            out.push(Interval::new(cut.hi, self.hi));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_order() {
+        assert_eq!(Interval::new(5, 1), Interval::new(1, 5));
+    }
+
+    #[test]
+    fn overlap_rules() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(10, 20);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps_interior(&b));
+        let c = Interval::new(11, 20);
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn subtract_middle_splits_in_two() {
+        let free = Interval::new(0, 100);
+        let out = free.subtract(&Interval::new(40, 60));
+        assert_eq!(out, vec![Interval::new(0, 40), Interval::new(60, 100)]);
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_self() {
+        let free = Interval::new(0, 10);
+        assert_eq!(free.subtract(&Interval::new(20, 30)), vec![free]);
+    }
+
+    #[test]
+    fn subtract_covering_removes_all() {
+        let free = Interval::new(5, 10);
+        assert!(free.subtract(&Interval::new(0, 20)).is_empty());
+    }
+
+    #[test]
+    fn subtract_touching_edge_keeps_whole() {
+        // The cut only shares an endpoint; the interior is untouched.
+        let free = Interval::new(0, 10);
+        assert_eq!(free.subtract(&Interval::new(10, 20)), vec![free]);
+    }
+
+    #[test]
+    fn hull_and_intersect() {
+        let a = Interval::new(0, 4);
+        let b = Interval::new(2, 9);
+        assert_eq!(a.hull(&b), Interval::new(0, 9));
+        assert_eq!(a.intersect(&b), Some(Interval::new(2, 4)));
+        assert_eq!(a.intersect(&Interval::new(5, 9)), None);
+    }
+}

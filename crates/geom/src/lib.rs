@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! Geometry primitives for the over-cell multi-layer router.
+//!
+//! This crate provides the low-level geometric vocabulary shared by every
+//! other crate in the workspace: integer database-unit coordinates
+//! ([`Coord`]), points ([`Point`]), axis-aligned rectangles ([`Rect`]),
+//! one-dimensional intervals ([`Interval`]), routing directions ([`Dir`])
+//! and metal layers ([`Layer`]).
+//!
+//! All coordinates are integers in *database units* (DBU). The router never
+//! works in floating point for geometry; only cost evaluation uses `f64`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ocr_geom::{Point, Rect};
+//!
+//! let die = Rect::new(0, 0, 1000, 800);
+//! let cell = Rect::new(100, 100, 300, 250);
+//! assert!(die.contains_rect(&cell));
+//! assert_eq!(cell.width(), 200);
+//! assert_eq!(cell.area(), 200 * 150);
+//! let p = Point::new(150, 120);
+//! assert!(cell.contains(p));
+//! ```
+
+pub mod dir;
+pub mod interval;
+pub mod layer;
+pub mod point;
+pub mod rect;
+
+pub use dir::Dir;
+pub use interval::Interval;
+pub use layer::{Layer, LayerSet};
+pub use point::Point;
+pub use rect::Rect;
+
+/// Database-unit coordinate type used throughout the workspace.
+///
+/// One DBU typically corresponds to a quarter micron in the 1990-era
+/// process the paper targets, but nothing in the code depends on the
+/// physical interpretation.
+pub type Coord = i64;
+
+/// Manhattan (rectilinear, L1) distance between two points.
+///
+/// This is the wire-length metric used by the router and by the
+/// rectilinear Steiner tree heuristic.
+///
+/// ```
+/// use ocr_geom::{manhattan, Point};
+/// assert_eq!(manhattan(Point::new(0, 0), Point::new(3, 4)), 7);
+/// ```
+#[inline]
+pub fn manhattan(a: Point, b: Point) -> Coord {
+    (a.x - b.x).abs() + (a.y - b.y).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Point::new(-3, 9);
+        let b = Point::new(12, -1);
+        assert_eq!(manhattan(a, b), manhattan(b, a));
+        assert_eq!(manhattan(a, b), 15 + 10);
+    }
+
+    #[test]
+    fn manhattan_zero_for_same_point() {
+        let p = Point::new(5, 5);
+        assert_eq!(manhattan(p, p), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Two-dimensional integer points.
+
+use crate::{Coord, Dir};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in the layout plane, in database units.
+///
+/// ```
+/// use ocr_geom::Point;
+/// let p = Point::new(3, 4) + Point::new(1, 1);
+/// assert_eq!(p, Point::new(4, 5));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Coord,
+    /// Vertical coordinate.
+    pub y: Coord,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0, 0);
+
+    /// Returns the coordinate along `dir`: `x` for [`Dir::Horizontal`]
+    /// (position *along* a horizontal run), `y` for [`Dir::Vertical`].
+    #[inline]
+    pub fn along(&self, dir: Dir) -> Coord {
+        match dir {
+            Dir::Horizontal => self.x,
+            Dir::Vertical => self.y,
+        }
+    }
+
+    /// Returns the coordinate *across* `dir`, i.e. the offset that names a
+    /// track running in direction `dir`: a horizontal track is named by its
+    /// `y`, a vertical track by its `x`.
+    #[inline]
+    pub fn across(&self, dir: Dir) -> Coord {
+        match dir {
+            Dir::Horizontal => self.y,
+            Dir::Vertical => self.x,
+        }
+    }
+
+    /// Builds a point from a (track offset, along-track position) pair for
+    /// a track running in `dir`. Inverse of [`Point::across`]/[`Point::along`].
+    ///
+    /// ```
+    /// use ocr_geom::{Dir, Point};
+    /// let p = Point::from_track(Dir::Horizontal, 10, 42);
+    /// assert_eq!(p, Point::new(42, 10));
+    /// ```
+    #[inline]
+    pub fn from_track(dir: Dir, across: Coord, along: Coord) -> Self {
+        match dir {
+            Dir::Horizontal => Point::new(along, across),
+            Dir::Vertical => Point::new(across, along),
+        }
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Point::new(7, -2);
+        let b = Point::new(-3, 11);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn along_across_are_consistent() {
+        let p = Point::new(5, 9);
+        assert_eq!(p.along(Dir::Horizontal), 5);
+        assert_eq!(p.along(Dir::Vertical), 9);
+        assert_eq!(p.across(Dir::Horizontal), 9);
+        assert_eq!(p.across(Dir::Vertical), 5);
+        for dir in [Dir::Horizontal, Dir::Vertical] {
+            assert_eq!(Point::from_track(dir, p.across(dir), p.along(dir)), p);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1, 2).to_string(), "(1, 2)");
+    }
+}

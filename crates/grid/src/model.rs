@@ -1,0 +1,398 @@
+//! The two-plane routing surface with occupancy.
+
+use crate::TrackSet;
+use ocr_geom::{Coord, Dir, Point, Rect};
+use std::fmt;
+
+/// Occupancy state of one track intersection on one routing plane.
+///
+/// The Level B surface has two planes: the *horizontal* plane (metal3,
+/// wires running along horizontal tracks) and the *vertical* plane
+/// (metal4). An intersection can be independently free, blocked by an
+/// obstacle, or used by a routed net on each plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellState {
+    /// Usable for routing.
+    Free,
+    /// Permanently unusable (obstacle / outside region).
+    Blocked,
+    /// Occupied by the net with this id.
+    Used(u32),
+}
+
+impl CellState {
+    /// `true` if a new wire may pass through.
+    #[inline]
+    pub fn is_free(self) -> bool {
+        matches!(self, CellState::Free)
+    }
+
+    /// `true` if occupied by a routed net.
+    #[inline]
+    pub fn is_used(self) -> bool {
+        matches!(self, CellState::Used(_))
+    }
+}
+
+impl fmt::Display for CellState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellState::Free => write!(f, "free"),
+            CellState::Blocked => write!(f, "blocked"),
+            CellState::Used(n) => write!(f, "used(net#{n})"),
+        }
+    }
+}
+
+/// The grid model of the paper's Level B routing surface.
+///
+/// An array of intersections defined by `nv` vertical × `nh` horizontal
+/// tracks (non-uniform spacing allowed). Each intersection carries an
+/// independent [`CellState`] per plane. Storage is `O(h·v)` exactly as
+/// the paper's Section 3.4 requires, and updating after a connection is
+/// `O(t), t = max(h, v)` since a two-terminal connection touches at most
+/// a constant number of tracks.
+#[derive(Clone, Debug)]
+pub struct GridModel {
+    region: Rect,
+    h: TrackSet,
+    v: TrackSet,
+    /// Occupancy, indexed `[dir][j * nv + i]` where `i` is the vertical
+    /// track index (x) and `j` the horizontal track index (y).
+    state: [Vec<CellState>; 2],
+}
+
+impl GridModel {
+    /// Creates a grid over `region` with the given track sets.
+    pub fn new(region: Rect, h: TrackSet, v: TrackSet) -> Self {
+        let n = h.len() * v.len();
+        GridModel {
+            region,
+            h,
+            v,
+            state: [vec![CellState::Free; n], vec![CellState::Free; n]],
+        }
+    }
+
+    /// The covered region.
+    #[inline]
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of horizontal tracks (`h` in the paper's complexity bound).
+    #[inline]
+    pub fn nh(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Number of vertical tracks (`v`).
+    #[inline]
+    pub fn nv(&self) -> usize {
+        self.v.len()
+    }
+
+    /// The horizontal track set (offsets are `y` coordinates).
+    #[inline]
+    pub fn h_tracks(&self) -> &TrackSet {
+        &self.h
+    }
+
+    /// The vertical track set (offsets are `x` coordinates).
+    #[inline]
+    pub fn v_tracks(&self) -> &TrackSet {
+        &self.v
+    }
+
+    /// Physical location of intersection `(i, j)` = (vertical track `i`,
+    /// horizontal track `j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn point(&self, i: usize, j: usize) -> Point {
+        Point::new(self.v.offset(i), self.h.offset(j))
+    }
+
+    /// Exact grid indices of a point, if it lies on a track crossing.
+    pub fn snap(&self, p: Point) -> Option<(usize, usize)> {
+        Some((self.v.index_of(p.x)?, self.h.index_of(p.y)?))
+    }
+
+    /// Nearest grid indices to a point. `None` only for an empty grid.
+    pub fn nearest(&self, p: Point) -> Option<(usize, usize)> {
+        Some((self.v.nearest(p.x)?, self.h.nearest(p.y)?))
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.nv() && j < self.nh());
+        j * self.v.len() + i
+    }
+
+    /// Occupancy of intersection `(i, j)` on the plane whose wires run in
+    /// `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn state(&self, dir: Dir, i: usize, j: usize) -> CellState {
+        self.state[dir.index()][self.idx(i, j)]
+    }
+
+    /// Sets occupancy of intersection `(i, j)` on plane `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn set_state(&mut self, dir: Dir, i: usize, j: usize, s: CellState) {
+        let idx = self.idx(i, j);
+        self.state[dir.index()][idx] = s;
+    }
+
+    /// `true` if `(i, j)` is free on plane `dir`.
+    #[inline]
+    pub fn is_free(&self, dir: Dir, i: usize, j: usize) -> bool {
+        self.state(dir, i, j).is_free()
+    }
+
+    /// Blocks, on plane `dir`, every intersection a wire could not pass
+    /// through without its centerline crossing the rectangle's
+    /// *interior*.
+    ///
+    /// A wire running exactly on the obstacle boundary is legal (see
+    /// `ocr_netlist::validate`), so tracks on the boundary stay usable
+    /// for runs that *stop* there — but an intersection is blocked when
+    /// either of its adjacent along-plane segments would cross the
+    /// interior, which also makes obstacles thinner than the track
+    /// pitch (no interior track at all) correctly impassable.
+    pub fn block_rect(&mut self, rect: &Rect, dir: Dir) {
+        // Open-interval overlap of a wire segment (a, b) with (lo, hi).
+        let crosses = |a: Coord, b: Coord, lo: Coord, hi: Coord| a.min(b) < hi && a.max(b) > lo;
+        match dir {
+            Dir::Horizontal => {
+                for j in 0..self.nh() {
+                    let y = self.h.offset(j);
+                    if y <= rect.y0() || y >= rect.y1() {
+                        continue;
+                    }
+                    for i in 0..self.nv() {
+                        let x = self.v.offset(i);
+                        let inside = x > rect.x0() && x < rect.x1();
+                        let left = i > 0 && crosses(self.v.offset(i - 1), x, rect.x0(), rect.x1());
+                        let right = i + 1 < self.nv()
+                            && crosses(x, self.v.offset(i + 1), rect.x0(), rect.x1());
+                        if inside || left || right {
+                            self.set_state(Dir::Horizontal, i, j, CellState::Blocked);
+                        }
+                    }
+                }
+            }
+            Dir::Vertical => {
+                for i in 0..self.nv() {
+                    let x = self.v.offset(i);
+                    if x <= rect.x0() || x >= rect.x1() {
+                        continue;
+                    }
+                    for j in 0..self.nh() {
+                        let y = self.h.offset(j);
+                        let inside = y > rect.y0() && y < rect.y1();
+                        let below = j > 0 && crosses(self.h.offset(j - 1), y, rect.y0(), rect.y1());
+                        let above = j + 1 < self.nh()
+                            && crosses(y, self.h.offset(j + 1), rect.y0(), rect.y1());
+                        if inside || below || above {
+                            self.set_state(Dir::Vertical, i, j, CellState::Blocked);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks a run of intersections along a track as used by `net`.
+    ///
+    /// For a horizontal run, `track` is the horizontal track index `j`
+    /// and `from..=to` are vertical track indices; vice versa for a
+    /// vertical run. Marks the plane whose wires run in `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn occupy_run(&mut self, dir: Dir, track: usize, from: usize, to: usize, net: u32) {
+        let (lo, hi) = (from.min(to), from.max(to));
+        for k in lo..=hi {
+            let (i, j) = match dir {
+                Dir::Horizontal => (k, track),
+                Dir::Vertical => (track, k),
+            };
+            self.set_state(dir, i, j, CellState::Used(net));
+        }
+    }
+
+    /// `true` if every intersection of the run is free on plane `dir`,
+    /// except that intersections already used by `net` itself are
+    /// allowed (a net may reuse its own wiring, e.g. Steiner trunks).
+    pub fn run_is_free(&self, dir: Dir, track: usize, from: usize, to: usize, net: u32) -> bool {
+        let (lo, hi) = (from.min(to), from.max(to));
+        (lo..=hi).all(|k| {
+            let (i, j) = match dir {
+                Dir::Horizontal => (k, track),
+                Dir::Vertical => (track, k),
+            };
+            match self.state(dir, i, j) {
+                CellState::Free => true,
+                CellState::Used(n) => n == net,
+                CellState::Blocked => false,
+            }
+        })
+    }
+
+    /// Number of used grid points (either plane) within the closed index
+    /// window `[i0, i1] × [j0, j1]`, for congestion / proximity costs.
+    pub fn used_in_window(&self, i0: usize, i1: usize, j0: usize, j1: usize) -> usize {
+        let mut n = 0;
+        for j in j0..=j1.min(self.nh().saturating_sub(1)) {
+            for i in i0..=i1.min(self.nv().saturating_sub(1)) {
+                if self.state(Dir::Horizontal, i, j).is_used()
+                    || self.state(Dir::Vertical, i, j).is_used()
+                {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Number of non-free (used or blocked) grid points in the window,
+    /// over both planes — the numerator of the paper's *area congestion
+    /// factor*.
+    pub fn congested_in_window(&self, i0: usize, i1: usize, j0: usize, j1: usize) -> usize {
+        let mut n = 0;
+        for j in j0..=j1.min(self.nh().saturating_sub(1)) {
+            for i in i0..=i1.min(self.nv().saturating_sub(1)) {
+                if !self.is_free(Dir::Horizontal, i, j) || !self.is_free(Dir::Vertical, i, j) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Fraction of intersections that are free on plane `dir` (1.0 for an
+    /// empty grid). Useful for reporting and tests.
+    pub fn free_fraction(&self, dir: Dir) -> f64 {
+        let total = self.state[dir.index()].len();
+        if total == 0 {
+            return 1.0;
+        }
+        let free = self.state[dir.index()]
+            .iter()
+            .filter(|s| s.is_free())
+            .count();
+        free as f64 / total as f64
+    }
+
+    /// Manhattan distance between two intersections in physical units.
+    pub fn distance(&self, a: (usize, usize), b: (usize, usize)) -> Coord {
+        ocr_geom::manhattan(self.point(a.0, a.1), self.point(b.0, b.1))
+    }
+}
+
+impl fmt::Display for GridModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grid {}×{} over {}", self.nv(), self.nh(), self.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocr_geom::Interval;
+
+    fn grid5() -> GridModel {
+        GridModel::new(
+            Rect::new(0, 0, 40, 40),
+            TrackSet::from_pitch(Interval::new(0, 40), 10),
+            TrackSet::from_pitch(Interval::new(0, 40), 10),
+        )
+    }
+
+    #[test]
+    fn fresh_grid_is_all_free() {
+        let g = grid5();
+        assert_eq!(g.free_fraction(Dir::Horizontal), 1.0);
+        assert_eq!(g.free_fraction(Dir::Vertical), 1.0);
+    }
+
+    #[test]
+    fn block_rect_covers_interior_and_crossing_segments() {
+        let mut g = grid5();
+        g.block_rect(&Rect::new(10, 10, 30, 30), Dir::Horizontal);
+        // (20,20) strictly inside: blocked.
+        assert_eq!(g.state(Dir::Horizontal, 2, 2), CellState::Blocked);
+        // Boundary-row cells stay free (no interior crossing there).
+        assert!(g.is_free(Dir::Horizontal, 1, 1));
+        // Boundary-column cells on an interior row are blocked: a run
+        // through them would cross the obstacle interior.
+        assert_eq!(g.state(Dir::Horizontal, 3, 2), CellState::Blocked);
+        assert_eq!(g.state(Dir::Horizontal, 1, 2), CellState::Blocked);
+        // Cells two tracks away stay free.
+        assert!(g.is_free(Dir::Horizontal, 0, 2));
+        assert!(g.is_free(Dir::Horizontal, 4, 2));
+        // Other plane untouched.
+        assert!(g.is_free(Dir::Vertical, 2, 2));
+    }
+
+    #[test]
+    fn block_rect_thinner_than_pitch_still_blocks_crossings() {
+        let mut g = grid5();
+        // A sliver strictly between tracks x = 10 and x = 20: no track
+        // is inside it, but runs jumping it must be cut.
+        g.block_rect(&Rect::new(12, 5, 18, 35), Dir::Horizontal);
+        for j in 1..=3 {
+            assert_eq!(g.state(Dir::Horizontal, 1, j), CellState::Blocked);
+            assert_eq!(g.state(Dir::Horizontal, 2, j), CellState::Blocked);
+        }
+        assert!(g.is_free(Dir::Horizontal, 0, 2));
+        assert!(g.is_free(Dir::Horizontal, 3, 2));
+    }
+
+    #[test]
+    fn occupy_and_run_free_interaction() {
+        let mut g = grid5();
+        g.occupy_run(Dir::Horizontal, 2, 1, 3, 7);
+        assert!(!g.run_is_free(Dir::Horizontal, 2, 0, 4, 9));
+        // The owning net may pass through its own wiring.
+        assert!(g.run_is_free(Dir::Horizontal, 2, 0, 4, 7));
+        // Vertical plane is independent.
+        assert!(g.run_is_free(Dir::Vertical, 2, 0, 4, 9));
+    }
+
+    #[test]
+    fn snap_and_nearest() {
+        let g = grid5();
+        assert_eq!(g.snap(Point::new(20, 30)), Some((2, 3)));
+        assert_eq!(g.snap(Point::new(21, 30)), None);
+        assert_eq!(g.nearest(Point::new(21, 29)), Some((2, 3)));
+    }
+
+    #[test]
+    fn windows_count_used_and_congested() {
+        let mut g = grid5();
+        g.occupy_run(Dir::Vertical, 1, 0, 2, 3); // (1,0),(1,1),(1,2) used
+                                                 // Interior row y=30; blocked cells x = 20 (crossing segment),
+                                                 // 30 (inside), 40 (crossing segment).
+        g.block_rect(&Rect::new(25, 25, 40, 40), Dir::Horizontal);
+        assert_eq!(g.used_in_window(0, 4, 0, 4), 3);
+        assert_eq!(g.congested_in_window(0, 4, 0, 4), 3 + 3);
+    }
+
+    #[test]
+    fn distance_uses_physical_offsets() {
+        let g = grid5();
+        assert_eq!(g.distance((0, 0), (2, 3)), 20 + 30);
+    }
+}

@@ -1,0 +1,207 @@
+//! Routing tracks and track sets.
+
+use ocr_geom::{Coord, Dir, Interval};
+use std::fmt;
+
+/// Identifies one physical track: its direction and its index within the
+/// [`TrackSet`] for that direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId {
+    /// Run direction of the track.
+    pub dir: Dir,
+    /// Index into the track set for `dir` (ascending offset order).
+    pub idx: usize,
+}
+
+impl TrackId {
+    /// Creates a track id.
+    #[inline]
+    pub fn new(dir: Dir, idx: usize) -> Self {
+        TrackId { dir, idx }
+    }
+}
+
+impl fmt::Display for TrackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dir {
+            Dir::Horizontal => write!(f, "h{}", self.idx),
+            Dir::Vertical => write!(f, "v{}", self.idx),
+        }
+    }
+}
+
+/// A sorted set of track offsets in one direction.
+///
+/// Offsets are the cross-axis coordinates of the tracks: `y` values for
+/// horizontal tracks, `x` values for vertical tracks. Spacing need not be
+/// uniform — the paper explicitly allows "tracks that can have different
+/// spacing", and [`TrackSet::ensure`] inserts extra tracks through
+/// terminal positions.
+///
+/// ```
+/// use ocr_geom::Interval;
+/// use ocr_grid::TrackSet;
+///
+/// let mut ts = TrackSet::from_pitch(Interval::new(0, 30), 10);
+/// assert_eq!(ts.offsets(), &[0, 10, 20, 30]);
+/// ts.ensure(17); // a terminal at offset 17 gets its own track
+/// assert_eq!(ts.offsets(), &[0, 10, 17, 20, 30]);
+/// assert_eq!(ts.index_of(17), Some(2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrackSet {
+    offsets: Vec<Coord>,
+}
+
+impl TrackSet {
+    /// Builds a uniform track set covering `span` at the given `pitch`,
+    /// starting at `span.lo()`. The last track is at or before
+    /// `span.hi()`; `span.hi()` itself is included if it falls on pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch <= 0`.
+    pub fn from_pitch(span: Interval, pitch: Coord) -> Self {
+        assert!(pitch > 0, "track pitch must be positive, got {pitch}");
+        let mut offsets = Vec::new();
+        let mut o = span.lo();
+        while o <= span.hi() {
+            offsets.push(o);
+            o += pitch;
+        }
+        TrackSet { offsets }
+    }
+
+    /// Builds a track set from explicit offsets (sorted and deduplicated).
+    pub fn from_offsets(mut offsets: Vec<Coord>) -> Self {
+        offsets.sort_unstable();
+        offsets.dedup();
+        TrackSet { offsets }
+    }
+
+    /// Number of tracks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `true` if there are no tracks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The sorted offsets.
+    #[inline]
+    pub fn offsets(&self) -> &[Coord] {
+        &self.offsets
+    }
+
+    /// Offset of track `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn offset(&self, idx: usize) -> Coord {
+        self.offsets[idx]
+    }
+
+    /// Index of the track at exactly `offset`, if one exists.
+    pub fn index_of(&self, offset: Coord) -> Option<usize> {
+        self.offsets.binary_search(&offset).ok()
+    }
+
+    /// Index of the track nearest to `offset` (ties resolve downward).
+    /// Returns `None` for an empty set.
+    pub fn nearest(&self, offset: Coord) -> Option<usize> {
+        if self.offsets.is_empty() {
+            return None;
+        }
+        match self.offsets.binary_search(&offset) {
+            Ok(i) => Some(i),
+            Err(0) => Some(0),
+            Err(i) if i == self.offsets.len() => Some(i - 1),
+            Err(i) => {
+                let below = offset - self.offsets[i - 1];
+                let above = self.offsets[i] - offset;
+                Some(if above < below { i } else { i - 1 })
+            }
+        }
+    }
+
+    /// Inserts a track at `offset` if not already present; returns its
+    /// index either way.
+    pub fn ensure(&mut self, offset: Coord) -> usize {
+        match self.offsets.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => {
+                self.offsets.insert(i, offset);
+                i
+            }
+        }
+    }
+
+    /// Indices of all tracks with offsets inside the closed interval.
+    pub fn range(&self, iv: Interval) -> std::ops::Range<usize> {
+        let lo = self.offsets.partition_point(|&o| o < iv.lo());
+        let hi = self.offsets.partition_point(|&o| o <= iv.hi());
+        lo..hi
+    }
+}
+
+impl fmt::Display for TrackSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} tracks", self.offsets.len())?;
+        if let (Some(first), Some(last)) = (self.offsets.first(), self.offsets.last()) {
+            write!(f, " in [{first}, {last}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pitch_includes_endpoint_on_pitch() {
+        let ts = TrackSet::from_pitch(Interval::new(0, 30), 10);
+        assert_eq!(ts.offsets(), &[0, 10, 20, 30]);
+        let ts2 = TrackSet::from_pitch(Interval::new(0, 29), 10);
+        assert_eq!(ts2.offsets(), &[0, 10, 20]);
+    }
+
+    #[test]
+    fn nearest_resolves_ties_downward() {
+        let ts = TrackSet::from_offsets(vec![0, 10]);
+        assert_eq!(ts.nearest(5), Some(0));
+        assert_eq!(ts.nearest(6), Some(1));
+        assert_eq!(ts.nearest(-100), Some(0));
+        assert_eq!(ts.nearest(100), Some(1));
+    }
+
+    #[test]
+    fn ensure_is_idempotent_and_sorted() {
+        let mut ts = TrackSet::from_offsets(vec![0, 20]);
+        let i = ts.ensure(10);
+        assert_eq!(i, 1);
+        assert_eq!(ts.ensure(10), 1);
+        assert_eq!(ts.offsets(), &[0, 10, 20]);
+    }
+
+    #[test]
+    fn range_is_inclusive_both_ends() {
+        let ts = TrackSet::from_offsets(vec![0, 5, 10, 15, 20]);
+        assert_eq!(ts.range(Interval::new(5, 15)), 1..4);
+        assert_eq!(ts.range(Interval::new(6, 9)), 2..2);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let ts = TrackSet::from_offsets(vec![]);
+        assert!(ts.is_empty());
+        assert_eq!(ts.nearest(3), None);
+        assert_eq!(ts.index_of(3), None);
+    }
+}

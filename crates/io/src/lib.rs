@@ -1,0 +1,627 @@
+#![warn(missing_docs)]
+
+//! Text-format serialization for layouts, placements and routed designs.
+//!
+//! A simple line-oriented format (`.ocr`) that round-trips everything
+//! the routing flows need, so chips can be generated once, versioned,
+//! edited by hand and routed from the command line:
+//!
+//! ```text
+//! # comment
+//! die 0 0 1000 800
+//! rule metal1 3 3 3            # wire_width wire_spacing via_size
+//! cell alu 60 60 270 180
+//! row 60 120 alu rom           # y0 height cell-names…
+//! margins 60 60
+//! obstacle 300 200 500 400 metal3 metal4
+//! net clk critical 5           # name class criticality
+//! pin clk alu 120 180 metal2   # net cell x y layer ('-' = pad)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ocr_geom::{Layer, Point, Rect};
+//! use ocr_netlist::{Layout, NetClass, Row, RowPlacement};
+//! use ocr_io::{parse_chip, write_chip};
+//!
+//! let mut layout = Layout::new(Rect::new(0, 0, 100, 100));
+//! let c = layout.add_cell("a", Rect::new(20, 20, 80, 60));
+//! let n = layout.add_net("n0", NetClass::Signal);
+//! layout.add_pin(n, Some(c), Point::new(30, 60), Layer::Metal2);
+//! layout.add_pin(n, Some(c), Point::new(60, 20), Layer::Metal2);
+//! let placement = RowPlacement::new(
+//!     vec![Row { y0: 20, height: 40, cells: vec![c] }], 20, 20);
+//!
+//! let text = write_chip(&layout, &placement);
+//! let (layout2, placement2) = parse_chip(&text)?;
+//! assert_eq!(layout2.cells.len(), 1);
+//! assert_eq!(placement2.rows.len(), 1);
+//! assert_eq!(write_chip(&layout2, &placement2), text); // round-trip
+//! # Ok::<(), ocr_io::ParseError>(())
+//! ```
+
+use ocr_geom::{Coord, Layer, LayerSet, Point, Rect};
+use ocr_netlist::{
+    CellId, Layout, NetClass, NetId, NetRoute, Obstacle, RoutedDesign, Row, RowPlacement,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parse failure with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn layer_name(l: Layer) -> &'static str {
+    match l {
+        Layer::Metal1 => "metal1",
+        Layer::Metal2 => "metal2",
+        Layer::Metal3 => "metal3",
+        Layer::Metal4 => "metal4",
+    }
+}
+
+fn parse_layer(s: &str, line: usize) -> Result<Layer, ParseError> {
+    match s {
+        "metal1" | "m1" => Ok(Layer::Metal1),
+        "metal2" | "m2" => Ok(Layer::Metal2),
+        "metal3" | "m3" => Ok(Layer::Metal3),
+        "metal4" | "m4" => Ok(Layer::Metal4),
+        other => Err(ParseError {
+            line,
+            message: format!("unknown layer `{other}`"),
+        }),
+    }
+}
+
+fn class_name(c: NetClass) -> &'static str {
+    match c {
+        NetClass::Signal => "signal",
+        NetClass::Critical => "critical",
+        NetClass::Timing => "timing",
+        NetClass::Clock => "clock",
+        NetClass::Power => "power",
+    }
+}
+
+fn parse_class(s: &str, line: usize) -> Result<NetClass, ParseError> {
+    match s {
+        "signal" => Ok(NetClass::Signal),
+        "critical" => Ok(NetClass::Critical),
+        "timing" => Ok(NetClass::Timing),
+        "clock" => Ok(NetClass::Clock),
+        "power" => Ok(NetClass::Power),
+        other => Err(ParseError {
+            line,
+            message: format!("unknown net class `{other}`"),
+        }),
+    }
+}
+
+/// Serializes a layout + placement into the `.ocr` text format.
+///
+/// # Panics
+///
+/// Panics if a cell or net name contains whitespace or `#` — the
+/// line-oriented format uses those as separators. Keep names to
+/// identifier-like tokens.
+pub fn write_chip(layout: &Layout, placement: &RowPlacement) -> String {
+    let name_ok = |n: &str| !n.is_empty() && !n.contains(char::is_whitespace) && !n.contains('#');
+    for cell in &layout.cells {
+        assert!(
+            name_ok(&cell.name),
+            "cell name {:?} not serializable",
+            cell.name
+        );
+    }
+    for net in &layout.nets {
+        assert!(
+            name_ok(&net.name),
+            "net name {:?} not serializable",
+            net.name
+        );
+    }
+    let mut s = String::new();
+    let d = layout.die;
+    let _ = writeln!(s, "die {} {} {} {}", d.x0(), d.y0(), d.x1(), d.y1());
+    for l in Layer::ALL {
+        let r = layout.rules.layer(l);
+        let _ = writeln!(
+            s,
+            "rule {} {} {} {}",
+            layer_name(l),
+            r.wire_width,
+            r.wire_spacing,
+            r.via_size
+        );
+    }
+    for cell in &layout.cells {
+        let o = cell.outline;
+        let _ = writeln!(
+            s,
+            "cell {} {} {} {} {}",
+            cell.name,
+            o.x0(),
+            o.y0(),
+            o.x1(),
+            o.y1()
+        );
+    }
+    for row in &placement.rows {
+        let names: Vec<&str> = row
+            .cells
+            .iter()
+            .map(|&c| layout.cell(c).name.as_str())
+            .collect();
+        let _ = writeln!(s, "row {} {} {}", row.y0, row.height, names.join(" "));
+    }
+    let _ = writeln!(
+        s,
+        "margins {} {}",
+        placement.left_margin, placement.right_margin
+    );
+    for ob in &layout.obstacles {
+        let r = ob.rect;
+        let layers: Vec<&str> = ob.layers.iter().map(layer_name).collect();
+        let _ = writeln!(
+            s,
+            "obstacle {} {} {} {} {}",
+            r.x0(),
+            r.y0(),
+            r.x1(),
+            r.y1(),
+            layers.join(" ")
+        );
+    }
+    for net in &layout.nets {
+        let _ = writeln!(
+            s,
+            "net {} {} {}",
+            net.name,
+            class_name(net.class),
+            net.criticality
+        );
+        for &pid in &net.pins {
+            let pin = layout.pin(pid);
+            let owner = pin
+                .cell
+                .map(|c| layout.cell(c).name.clone())
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                s,
+                "pin {} {} {} {} {}",
+                net.name,
+                owner,
+                pin.position.x,
+                pin.position.y,
+                layer_name(pin.layer)
+            );
+        }
+    }
+    s
+}
+
+/// Parses the `.ocr` text format back into a layout + placement.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line number for any
+/// malformed directive, unknown name, or missing field.
+pub fn parse_chip(text: &str) -> Result<(Layout, RowPlacement), ParseError> {
+    let mut layout = Layout::new(Rect::new(0, 0, 1, 1));
+    let mut rows: Vec<Row> = Vec::new();
+    let mut margins: (Coord, Coord) = (0, 0);
+    let mut cells_by_name: HashMap<String, CellId> = HashMap::new();
+    let mut nets_by_name: HashMap<String, NetId> = HashMap::new();
+
+    let err = |line: usize, message: String| ParseError { line, message };
+    let num = |tok: Option<&str>, line: usize| -> Result<Coord, ParseError> {
+        tok.ok_or_else(|| err(line, "missing number".into()))?
+            .parse::<Coord>()
+            .map_err(|e| err(line, format!("bad number: {e}")))
+    };
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = ln + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tok = content.split_whitespace();
+        let kind = tok.next().expect("non-empty");
+        match kind {
+            "die" => {
+                let (x0, y0, x1, y1) = (
+                    num(tok.next(), line)?,
+                    num(tok.next(), line)?,
+                    num(tok.next(), line)?,
+                    num(tok.next(), line)?,
+                );
+                layout.die = Rect::new(x0, y0, x1, y1);
+            }
+            "rule" => {
+                let layer = parse_layer(
+                    tok.next()
+                        .ok_or_else(|| err(line, "missing layer".into()))?,
+                    line,
+                )?;
+                let r = layout.rules.layer_mut(layer);
+                r.wire_width = num(tok.next(), line)?;
+                r.wire_spacing = num(tok.next(), line)?;
+                r.via_size = num(tok.next(), line)?;
+            }
+            "cell" => {
+                let name = tok
+                    .next()
+                    .ok_or_else(|| err(line, "missing cell name".into()))?;
+                if cells_by_name.contains_key(name) {
+                    return Err(err(line, format!("duplicate cell `{name}`")));
+                }
+                let (x0, y0, x1, y1) = (
+                    num(tok.next(), line)?,
+                    num(tok.next(), line)?,
+                    num(tok.next(), line)?,
+                    num(tok.next(), line)?,
+                );
+                let id = layout.add_cell(name, Rect::new(x0, y0, x1, y1));
+                cells_by_name.insert(name.to_string(), id);
+            }
+            "row" => {
+                let y0 = num(tok.next(), line)?;
+                let height = num(tok.next(), line)?;
+                let mut cells = Vec::new();
+                for name in tok {
+                    let id = cells_by_name
+                        .get(name)
+                        .ok_or_else(|| err(line, format!("unknown cell `{name}` in row")))?;
+                    cells.push(*id);
+                }
+                rows.push(Row { y0, height, cells });
+            }
+            "margins" => {
+                margins = (num(tok.next(), line)?, num(tok.next(), line)?);
+            }
+            "obstacle" => {
+                let (x0, y0, x1, y1) = (
+                    num(tok.next(), line)?,
+                    num(tok.next(), line)?,
+                    num(tok.next(), line)?,
+                    num(tok.next(), line)?,
+                );
+                let mut layers = LayerSet::empty();
+                let mut any = false;
+                for l in tok {
+                    layers.insert(parse_layer(l, line)?);
+                    any = true;
+                }
+                if !any {
+                    return Err(err(line, "obstacle needs at least one layer".into()));
+                }
+                layout.add_obstacle(Obstacle::new(Rect::new(x0, y0, x1, y1), layers));
+            }
+            "net" => {
+                let name = tok
+                    .next()
+                    .ok_or_else(|| err(line, "missing net name".into()))?;
+                if nets_by_name.contains_key(name) {
+                    return Err(err(line, format!("duplicate net `{name}`")));
+                }
+                let class = parse_class(
+                    tok.next()
+                        .ok_or_else(|| err(line, "missing net class".into()))?,
+                    line,
+                )?;
+                let crit: i32 = tok
+                    .next()
+                    .unwrap_or("0")
+                    .parse()
+                    .map_err(|e| err(line, format!("bad criticality: {e}")))?;
+                let id = layout.add_net(name, class);
+                layout.net_mut(id).criticality = crit;
+                nets_by_name.insert(name.to_string(), id);
+            }
+            "pin" => {
+                let net_name = tok.next().ok_or_else(|| err(line, "missing net".into()))?;
+                let net = *nets_by_name
+                    .get(net_name)
+                    .ok_or_else(|| err(line, format!("unknown net `{net_name}`")))?;
+                let owner = tok.next().ok_or_else(|| err(line, "missing cell".into()))?;
+                let cell = if owner == "-" {
+                    None
+                } else {
+                    Some(
+                        *cells_by_name
+                            .get(owner)
+                            .ok_or_else(|| err(line, format!("unknown cell `{owner}` for pin")))?,
+                    )
+                };
+                let x = num(tok.next(), line)?;
+                let y = num(tok.next(), line)?;
+                let layer = parse_layer(
+                    tok.next()
+                        .ok_or_else(|| err(line, "missing pin layer".into()))?,
+                    line,
+                )?;
+                layout.add_pin(net, cell, Point::new(x, y), layer);
+            }
+            other => {
+                return Err(err(line, format!("unknown directive `{other}`")));
+            }
+        }
+    }
+    Ok((layout, RowPlacement::new(rows, margins.0, margins.1)))
+}
+
+/// Serializes a routed design's geometry (one line per segment or via)
+/// for inspection or downstream consumption.
+pub fn write_routes(layout: &Layout, design: &RoutedDesign) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# routed design: die {} {} {} {}",
+        design.die.x0(),
+        design.die.y0(),
+        design.die.x1(),
+        design.die.y1()
+    );
+    for (net, route) in design.iter_routes() {
+        let name = &layout.net(net).name;
+        for seg in &route.segs {
+            let _ = writeln!(
+                s,
+                "wire {} {} {} {} {} {}",
+                name,
+                layer_name(seg.layer()),
+                seg.a().x,
+                seg.a().y,
+                seg.b().x,
+                seg.b().y
+            );
+        }
+        for via in &route.vias {
+            let _ = writeln!(
+                s,
+                "via {} {} {} {} {}",
+                name,
+                layer_name(via.lower),
+                layer_name(via.upper),
+                via.at.x,
+                via.at.y
+            );
+        }
+    }
+    for &net in &design.failed {
+        let _ = writeln!(s, "failed {}", layout.net(net).name);
+    }
+    s
+}
+
+/// Parses routed geometry written by [`write_routes`] back into a
+/// [`RoutedDesign`] over `layout` (used for round-trip checks and for
+/// loading saved routing results).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed lines or unknown net names.
+pub fn parse_routes(layout: &Layout, text: &str) -> Result<RoutedDesign, ParseError> {
+    let mut design = RoutedDesign::new(layout.die, layout.nets.len());
+    let err = |line: usize, message: String| ParseError { line, message };
+    let by_name: HashMap<&str, NetId> = layout
+        .nets
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.name.as_str(), NetId(i as u32)))
+        .collect();
+    let mut routes: HashMap<NetId, NetRoute> = HashMap::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = ln + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tok = content.split_whitespace();
+        let kind = tok.next().expect("non-empty");
+        match kind {
+            "wire" => {
+                let name = raw.split_whitespace().nth(1).expect("checked");
+                let net = *by_name
+                    .get(name)
+                    .ok_or_else(|| err(line, format!("unknown net `{name}`")))?;
+                let mut tok2 = content.split_whitespace().skip(2);
+                let layer = parse_layer(
+                    tok2.next()
+                        .ok_or_else(|| err(line, "missing layer".into()))?,
+                    line,
+                )?;
+                let nums: Vec<Coord> = tok2
+                    .map(|t| t.parse().map_err(|e| err(line, format!("bad number: {e}"))))
+                    .collect::<Result<_, _>>()?;
+                if nums.len() != 4 {
+                    return Err(err(line, "wire needs 4 coordinates".into()));
+                }
+                routes
+                    .entry(net)
+                    .or_default()
+                    .segs
+                    .push(ocr_netlist::RouteSeg::new(
+                        Point::new(nums[0], nums[1]),
+                        Point::new(nums[2], nums[3]),
+                        layer,
+                    ));
+            }
+            "via" => {
+                let name = raw.split_whitespace().nth(1).expect("checked");
+                let net = *by_name
+                    .get(name)
+                    .ok_or_else(|| err(line, format!("unknown net `{name}`")))?;
+                let mut tok2 = content.split_whitespace().skip(2);
+                let lower = parse_layer(
+                    tok2.next()
+                        .ok_or_else(|| err(line, "missing layer".into()))?,
+                    line,
+                )?;
+                let upper = parse_layer(
+                    tok2.next()
+                        .ok_or_else(|| err(line, "missing layer".into()))?,
+                    line,
+                )?;
+                let nums: Vec<Coord> = tok2
+                    .map(|t| t.parse().map_err(|e| err(line, format!("bad number: {e}"))))
+                    .collect::<Result<_, _>>()?;
+                if nums.len() != 2 {
+                    return Err(err(line, "via needs 2 coordinates".into()));
+                }
+                routes
+                    .entry(net)
+                    .or_default()
+                    .vias
+                    .push(ocr_netlist::Via::new(
+                        Point::new(nums[0], nums[1]),
+                        lower,
+                        upper,
+                    ));
+            }
+            "failed" => {
+                let name = tok.next().ok_or_else(|| err(line, "missing net".into()))?;
+                let net = *by_name
+                    .get(name)
+                    .ok_or_else(|| err(line, format!("unknown net `{name}`")))?;
+                design.set_failed(net);
+            }
+            other => return Err(err(line, format!("unknown directive `{other}`"))),
+        }
+    }
+    for (net, route) in routes {
+        design.set_route(net, route);
+    }
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Layout, RowPlacement) {
+        let mut layout = Layout::new(Rect::new(0, 0, 300, 200));
+        let a = layout.add_cell("alu", Rect::new(40, 40, 140, 100));
+        let b = layout.add_cell("rom", Rect::new(160, 40, 260, 100));
+        let n0 = layout.add_net("clk", NetClass::Critical);
+        layout.net_mut(n0).criticality = 7;
+        layout.add_pin(n0, Some(a), Point::new(60, 100), Layer::Metal2);
+        layout.add_pin(n0, Some(b), Point::new(200, 100), Layer::Metal2);
+        let n1 = layout.add_net("d0", NetClass::Signal);
+        layout.add_pin(n1, Some(a), Point::new(80, 40), Layer::Metal1);
+        layout.add_pin(n1, None, Point::new(280, 200), Layer::Metal2);
+        layout.add_obstacle(Obstacle::new(
+            Rect::new(50, 50, 70, 70),
+            LayerSet::of(&[Layer::Metal3, Layer::Metal4]),
+        ));
+        let placement = RowPlacement::new(
+            vec![Row {
+                y0: 40,
+                height: 60,
+                cells: vec![a, b],
+            }],
+            40,
+            40,
+        );
+        (layout, placement)
+    }
+
+    #[test]
+    fn chip_round_trip_is_exact() {
+        let (layout, placement) = sample();
+        let text = write_chip(&layout, &placement);
+        let (l2, p2) = parse_chip(&text).expect("parses");
+        assert_eq!(write_chip(&l2, &p2), text);
+        assert_eq!(l2.die, layout.die);
+        assert_eq!(l2.cells.len(), 2);
+        assert_eq!(l2.nets.len(), 2);
+        assert_eq!(l2.pins.len(), 4);
+        assert_eq!(l2.net(NetId(0)).criticality, 7);
+        assert_eq!(l2.obstacles.len(), 1);
+        assert_eq!(p2.left_margin, 40);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# header\ndie 0 0 10 10  # trailing\n\n";
+        let (l, _) = parse_chip(text).expect("parses");
+        assert_eq!(l.die, Rect::new(0, 0, 10, 10));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "die 0 0 10 10\nfrobnicate 3";
+        let e = parse_chip(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_references_are_rejected() {
+        let e = parse_chip("pin nosuch - 0 0 metal1").unwrap_err();
+        assert!(e.message.contains("unknown net"));
+        let e2 = parse_chip("net a signal\npin a ghost 0 0 metal1").unwrap_err();
+        assert!(e2.message.contains("unknown cell"));
+        let e3 = parse_chip("row 0 10 ghost").unwrap_err();
+        assert!(e3.message.contains("unknown cell"));
+    }
+
+    #[test]
+    fn routes_round_trip() {
+        let (layout, _) = sample();
+        let mut design = RoutedDesign::new(layout.die, layout.nets.len());
+        let mut r = NetRoute::new();
+        r.segs.push(ocr_netlist::RouteSeg::new(
+            Point::new(60, 100),
+            Point::new(200, 100),
+            Layer::Metal3,
+        ));
+        r.vias.push(ocr_netlist::Via::new(
+            Point::new(60, 100),
+            Layer::Metal2,
+            Layer::Metal3,
+        ));
+        design.set_route(NetId(0), r);
+        design.set_failed(NetId(1));
+        let text = write_routes(&layout, &design);
+        let back = parse_routes(&layout, &text).expect("parses");
+        assert_eq!(back.routed_count(), 1);
+        assert_eq!(back.failed, vec![NetId(1)]);
+        assert_eq!(
+            back.route(NetId(0)).expect("route").wire_length(),
+            design.route(NetId(0)).expect("route").wire_length()
+        );
+        assert_eq!(write_routes(&layout, &back), text);
+    }
+
+    #[test]
+    #[should_panic(expected = "not serializable")]
+    fn names_with_whitespace_are_rejected() {
+        let mut layout = Layout::new(Rect::new(0, 0, 10, 10));
+        layout.add_cell("two words", Rect::new(0, 0, 5, 5));
+        let placement = RowPlacement::new(vec![], 0, 0);
+        let _ = write_chip(&layout, &placement);
+    }
+
+    #[test]
+    fn bad_layer_is_reported() {
+        let e = parse_chip("rule metal9 1 1 1").unwrap_err();
+        assert!(e.message.contains("unknown layer"));
+    }
+}

@@ -1,0 +1,790 @@
+#![warn(missing_docs)]
+
+//! Lee-style maze routing baseline.
+//!
+//! Section 3 of the paper claims the Track Intersection Graph router
+//! "results in faster completion of the interconnections on the average
+//! when compared to maze type algorithms". This crate supplies the
+//! comparator: a classic Lee router (Lee, "An algorithm for path
+//! connections and its applications", 1961) expanding a wave over the
+//! same two-plane grid model the Level B router uses, plus an A*
+//! variant.
+//!
+//! The unit of comparison is **expanded nodes**: a maze wave touches
+//! `O(area)` grid cells per connection, while the TIG search touches
+//! `O(tracks)` vertices.
+//!
+//! # Example
+//!
+//! ```
+//! use ocr_geom::{Interval, Point, Rect};
+//! use ocr_grid::{GridModel, TrackSet};
+//! use ocr_maze::{route_maze, MazeOptions};
+//!
+//! let mut grid = GridModel::new(
+//!     Rect::new(0, 0, 100, 100),
+//!     TrackSet::from_pitch(Interval::new(0, 100), 10),
+//!     TrackSet::from_pitch(Interval::new(0, 100), 10),
+//! );
+//! let path = route_maze(&mut grid, 1, Point::new(0, 0), Point::new(100, 100),
+//!                       MazeOptions::default())?;
+//! assert_eq!(path.route.wire_length(), 200);
+//! # Ok::<(), ocr_maze::MazeError>(())
+//! ```
+
+pub mod mikami;
+
+pub use mikami::route_mikami;
+
+use ocr_geom::{Coord, Dir, Point};
+use ocr_grid::{CellState, GridModel};
+use ocr_netlist::{NetRoute, RouteSeg, Via};
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Options for the maze router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MazeOptions {
+    /// Extra cost charged for a plane change (a via).
+    pub via_cost: Coord,
+    /// Use the A* lower-bound (remaining Manhattan distance) to focus
+    /// the wave. `false` reproduces the undirected Lee expansion.
+    pub astar: bool,
+}
+
+impl Default for MazeOptions {
+    fn default() -> Self {
+        MazeOptions {
+            via_cost: 5,
+            astar: false,
+        }
+    }
+}
+
+/// Errors from the maze router.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MazeError {
+    /// A terminal does not lie on the grid.
+    OffGrid(Point),
+    /// A terminal's grid cell is blocked on both planes.
+    TerminalBlocked(Point),
+    /// The wave exhausted the grid without reaching the target.
+    NoPath,
+}
+
+impl fmt::Display for MazeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MazeError::OffGrid(p) => write!(f, "terminal {p} is off the routing grid"),
+            MazeError::TerminalBlocked(p) => write!(f, "terminal {p} is blocked on both planes"),
+            MazeError::NoPath => write!(f, "no path exists between the terminals"),
+        }
+    }
+}
+
+impl std::error::Error for MazeError {}
+
+/// A found maze path.
+#[derive(Clone, Debug)]
+pub struct MazePath {
+    /// The physical route (wires on M3/M4, corner vias).
+    pub route: NetRoute,
+    /// Total cost (wire length plus via penalties).
+    pub cost: Coord,
+    /// Number of search nodes expanded — the performance measure the
+    /// paper's comparison is about.
+    pub expanded: usize,
+    /// Grid nodes of the path as `(i, j, plane)`.
+    pub nodes: Vec<(usize, usize, Dir)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct QueueEntry {
+    priority: Coord,
+    cost: Coord,
+    node: (usize, usize, usize),
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .priority
+            .cmp(&self.priority)
+            .then(other.cost.cmp(&self.cost))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Routes one two-terminal connection with a Lee/Dijkstra wave over the
+/// grid's two planes, marking the found path as used by `net`.
+///
+/// Horizontal moves run on the horizontal plane (metal3), vertical moves
+/// on the vertical plane (metal4); plane changes cost
+/// [`MazeOptions::via_cost`]. Cells already used by `net` itself are
+/// passable (reuse of own wiring).
+///
+/// # Errors
+///
+/// See [`MazeError`].
+pub fn route_maze(
+    grid: &mut GridModel,
+    net: u32,
+    from: Point,
+    to: Point,
+    opts: MazeOptions,
+) -> Result<MazePath, MazeError> {
+    let src = grid.snap(from).ok_or(MazeError::OffGrid(from))?;
+    let dst = grid.snap(to).ok_or(MazeError::OffGrid(to))?;
+    let (nv, nh) = (grid.nv(), grid.nh());
+    let idx = |i: usize, j: usize, p: usize| (j * nv + i) * 2 + p;
+    let passable = |g: &GridModel, i: usize, j: usize, p: usize| match g.state(
+        if p == 0 {
+            Dir::Horizontal
+        } else {
+            Dir::Vertical
+        },
+        i,
+        j,
+    ) {
+        CellState::Free => true,
+        CellState::Used(n) => n == net,
+        CellState::Blocked => false,
+    };
+
+    let mut dist: Vec<Coord> = vec![Coord::MAX; nv * nh * 2];
+    let mut prev: Vec<u32> = vec![u32::MAX; nv * nh * 2];
+    let mut heap = BinaryHeap::new();
+    let h = |i: usize, j: usize| -> Coord {
+        if opts.astar {
+            grid.distance((i, j), dst)
+        } else {
+            0
+        }
+    };
+    let mut start_ok = false;
+    for p in 0..2 {
+        if passable(grid, src.0, src.1, p) {
+            dist[idx(src.0, src.1, p)] = 0;
+            heap.push(QueueEntry {
+                priority: h(src.0, src.1),
+                cost: 0,
+                node: (src.0, src.1, p),
+            });
+            start_ok = true;
+        }
+    }
+    if !start_ok {
+        return Err(MazeError::TerminalBlocked(from));
+    }
+    if !(0..2).any(|p| passable(grid, dst.0, dst.1, p)) {
+        return Err(MazeError::TerminalBlocked(to));
+    }
+
+    let mut expanded = 0usize;
+    let mut goal: Option<(usize, usize, usize)> = None;
+    while let Some(QueueEntry { cost, node, .. }) = heap.pop() {
+        let (i, j, p) = node;
+        if cost > dist[idx(i, j, p)] {
+            continue;
+        }
+        expanded += 1;
+        if (i, j) == dst {
+            goal = Some(node);
+            break;
+        }
+        // Neighbour moves along the plane's direction.
+        let push = |grid: &GridModel,
+                    heap: &mut BinaryHeap<QueueEntry>,
+                    dist: &mut Vec<Coord>,
+                    prev: &mut Vec<u32>,
+                    ni: usize,
+                    nj: usize,
+                    np: usize,
+                    step: Coord| {
+            if !passable(grid, ni, nj, np) {
+                return;
+            }
+            let nd = cost + step;
+            let k = idx(ni, nj, np);
+            if nd < dist[k] {
+                dist[k] = nd;
+                prev[k] = idx(i, j, p) as u32;
+                heap.push(QueueEntry {
+                    priority: nd + h(ni, nj),
+                    cost: nd,
+                    node: (ni, nj, np),
+                });
+            }
+        };
+        if p == 0 {
+            // Horizontal plane: move along x.
+            if i > 0 {
+                let step = grid.v_tracks().offset(i) - grid.v_tracks().offset(i - 1);
+                push(grid, &mut heap, &mut dist, &mut prev, i - 1, j, 0, step);
+            }
+            if i + 1 < nv {
+                let step = grid.v_tracks().offset(i + 1) - grid.v_tracks().offset(i);
+                push(grid, &mut heap, &mut dist, &mut prev, i + 1, j, 0, step);
+            }
+        } else {
+            // Vertical plane: move along y.
+            if j > 0 {
+                let step = grid.h_tracks().offset(j) - grid.h_tracks().offset(j - 1);
+                push(grid, &mut heap, &mut dist, &mut prev, i, j - 1, 1, step);
+            }
+            if j + 1 < nh {
+                let step = grid.h_tracks().offset(j + 1) - grid.h_tracks().offset(j);
+                push(grid, &mut heap, &mut dist, &mut prev, i, j + 1, 1, step);
+            }
+        }
+        // Plane change (via).
+        push(
+            grid,
+            &mut heap,
+            &mut dist,
+            &mut prev,
+            i,
+            j,
+            1 - p,
+            opts.via_cost,
+        );
+    }
+
+    let goal = goal.ok_or(MazeError::NoPath)?;
+    // Reconstruct.
+    let mut nodes_rev: Vec<(usize, usize, usize)> = Vec::new();
+    let mut cur = idx(goal.0, goal.1, goal.2);
+    loop {
+        let p = cur % 2;
+        let rest = cur / 2;
+        nodes_rev.push((rest % nv, rest / nv, p));
+        let pr = prev[cur];
+        if pr == u32::MAX {
+            break;
+        }
+        cur = pr as usize;
+    }
+    nodes_rev.reverse();
+    let nodes: Vec<(usize, usize, Dir)> = nodes_rev
+        .iter()
+        .map(|&(i, j, p)| {
+            (
+                i,
+                j,
+                if p == 0 {
+                    Dir::Horizontal
+                } else {
+                    Dir::Vertical
+                },
+            )
+        })
+        .collect();
+
+    let route = path_to_route(grid, &nodes);
+    occupy_path(grid, net, &nodes);
+    Ok(MazePath {
+        route,
+        cost: dist[idx(goal.0, goal.1, goal.2)],
+        expanded,
+        nodes,
+    })
+}
+
+/// A soft path: the cheapest route when other nets' wiring is passable
+/// at a penalty, plus the nets that wiring belongs to.
+///
+/// Used by rip-up-and-reroute: when a net is hard-blocked, the soft
+/// path names the cheapest set of victim nets to rip.
+#[derive(Clone, Debug)]
+pub struct SoftPath {
+    /// Grid nodes of the path as `(i, j, plane)`.
+    pub nodes: Vec<(usize, usize, Dir)>,
+    /// Total cost including blocker penalties.
+    pub cost: Coord,
+    /// Distinct ids of other nets whose wiring the path crosses, in
+    /// first-encounter order.
+    pub blockers: Vec<u32>,
+}
+
+/// Finds the cheapest path from `from` to `to` treating cells used by
+/// *other* nets as passable at `block_penalty` per cell (obstacles stay
+/// impassable). Does **not** modify the grid.
+///
+/// # Errors
+///
+/// [`MazeError::OffGrid`] for off-grid terminals; [`MazeError::NoPath`]
+/// when even ripping every net would not connect the terminals
+/// (obstacles seal them apart).
+pub fn find_soft_path(
+    grid: &GridModel,
+    net: u32,
+    from: Point,
+    to: Point,
+    opts: MazeOptions,
+    block_penalty: Coord,
+) -> Result<SoftPath, MazeError> {
+    find_soft_path_filtered(grid, net, from, to, opts, block_penalty, |_, _| true)
+}
+
+/// Like [`find_soft_path`], but only cells for which
+/// `rippable(i, j)` returns `true` may be crossed at a penalty; other
+/// nets' cells failing the filter stay impassable.
+///
+/// Rip-up-and-reroute uses this to exclude cells that ripping cannot
+/// free (terminal reservations), so every named blocker is genuinely
+/// removable.
+///
+/// # Errors
+///
+/// Same as [`find_soft_path`].
+pub fn find_soft_path_filtered(
+    grid: &GridModel,
+    net: u32,
+    from: Point,
+    to: Point,
+    opts: MazeOptions,
+    block_penalty: Coord,
+    rippable: impl Fn(usize, usize) -> bool,
+) -> Result<SoftPath, MazeError> {
+    let src = grid.snap(from).ok_or(MazeError::OffGrid(from))?;
+    let dst = grid.snap(to).ok_or(MazeError::OffGrid(to))?;
+    let (nv, nh) = (grid.nv(), grid.nh());
+    let idx = |i: usize, j: usize, p: usize| (j * nv + i) * 2 + p;
+    let dir_of = |p: usize| {
+        if p == 0 {
+            Dir::Horizontal
+        } else {
+            Dir::Vertical
+        }
+    };
+    // Entry cost of a cell: None = impassable, Some(extra) otherwise.
+    let entry = |i: usize, j: usize, p: usize| -> Option<Coord> {
+        match grid.state(dir_of(p), i, j) {
+            CellState::Free => Some(0),
+            CellState::Used(n) if n == net => Some(0),
+            CellState::Used(_) if rippable(i, j) => Some(block_penalty),
+            CellState::Used(_) => None,
+            CellState::Blocked => None,
+        }
+    };
+
+    let mut dist: Vec<Coord> = vec![Coord::MAX; nv * nh * 2];
+    let mut prev: Vec<u32> = vec![u32::MAX; nv * nh * 2];
+    let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
+    for p in 0..2 {
+        if let Some(extra) = entry(src.0, src.1, p) {
+            let d = extra;
+            if d < dist[idx(src.0, src.1, p)] {
+                dist[idx(src.0, src.1, p)] = d;
+                heap.push(QueueEntry {
+                    priority: d,
+                    cost: d,
+                    node: (src.0, src.1, p),
+                });
+            }
+        }
+    }
+    if heap.is_empty() {
+        return Err(MazeError::TerminalBlocked(from));
+    }
+
+    let mut goal: Option<(usize, usize, usize)> = None;
+    while let Some(QueueEntry { cost, node, .. }) = heap.pop() {
+        let (i, j, p) = node;
+        if cost > dist[idx(i, j, p)] {
+            continue;
+        }
+        if (i, j) == dst {
+            goal = Some(node);
+            break;
+        }
+        let mut relax = |ni: usize, nj: usize, np: usize, step: Coord| {
+            let Some(extra) = entry(ni, nj, np) else {
+                return;
+            };
+            let nd = cost + step + extra;
+            let k = idx(ni, nj, np);
+            if nd < dist[k] {
+                dist[k] = nd;
+                prev[k] = idx(i, j, p) as u32;
+                heap.push(QueueEntry {
+                    priority: nd,
+                    cost: nd,
+                    node: (ni, nj, np),
+                });
+            }
+        };
+        if p == 0 {
+            if i > 0 {
+                relax(
+                    i - 1,
+                    j,
+                    0,
+                    grid.v_tracks().offset(i) - grid.v_tracks().offset(i - 1),
+                );
+            }
+            if i + 1 < nv {
+                relax(
+                    i + 1,
+                    j,
+                    0,
+                    grid.v_tracks().offset(i + 1) - grid.v_tracks().offset(i),
+                );
+            }
+        } else {
+            if j > 0 {
+                relax(
+                    i,
+                    j - 1,
+                    1,
+                    grid.h_tracks().offset(j) - grid.h_tracks().offset(j - 1),
+                );
+            }
+            if j + 1 < nh {
+                relax(
+                    i,
+                    j + 1,
+                    1,
+                    grid.h_tracks().offset(j + 1) - grid.h_tracks().offset(j),
+                );
+            }
+        }
+        relax(i, j, 1 - p, opts.via_cost);
+    }
+
+    let goal = goal.ok_or(MazeError::NoPath)?;
+    let mut nodes_rev = Vec::new();
+    let mut cur = idx(goal.0, goal.1, goal.2);
+    loop {
+        let p = cur % 2;
+        let rest = cur / 2;
+        nodes_rev.push((rest % nv, rest / nv, dir_of(p)));
+        let pr = prev[cur];
+        if pr == u32::MAX {
+            break;
+        }
+        cur = pr as usize;
+    }
+    nodes_rev.reverse();
+    let mut blockers: Vec<u32> = Vec::new();
+    for &(i, j, d) in &nodes_rev {
+        if let CellState::Used(n) = grid.state(d, i, j) {
+            if n != net && !blockers.contains(&n) {
+                blockers.push(n);
+            }
+        }
+    }
+    Ok(SoftPath {
+        cost: dist[idx(goal.0, goal.1, goal.2)],
+        nodes: nodes_rev,
+        blockers,
+    })
+}
+
+/// Converts a node path into wire segments and corner vias.
+pub(crate) fn path_to_route(grid: &GridModel, nodes: &[(usize, usize, Dir)]) -> NetRoute {
+    let mut route = NetRoute::new();
+    if nodes.is_empty() {
+        return route;
+    }
+    let layer_of = |d: Dir| match d {
+        Dir::Horizontal => ocr_geom::Layer::Metal3,
+        Dir::Vertical => ocr_geom::Layer::Metal4,
+    };
+    let mut run_start = 0usize;
+    for k in 1..=nodes.len() {
+        let end_run = k == nodes.len() || nodes[k].2 != nodes[run_start].2;
+        if !end_run {
+            continue;
+        }
+        let (i0, j0, d) = nodes[run_start];
+        let (i1, j1, _) = nodes[k - 1];
+        let a = grid.point(i0, j0);
+        let b = grid.point(i1, j1);
+        if a != b {
+            route.segs.push(RouteSeg::new(a, b, layer_of(d)));
+        }
+        if k < nodes.len() {
+            // Plane change: via at the junction point.
+            let at = grid.point(nodes[k].0, nodes[k].1);
+            route.vias.push(Via::new(
+                at,
+                ocr_geom::Layer::Metal3,
+                ocr_geom::Layer::Metal4,
+            ));
+            run_start = k;
+        }
+    }
+    route
+}
+
+/// Marks the path's cells as used by `net` on their respective planes.
+pub(crate) fn occupy_path(grid: &mut GridModel, net: u32, nodes: &[(usize, usize, Dir)]) {
+    for &(i, j, d) in nodes {
+        grid.set_state(d, i, j, CellState::Used(net));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocr_geom::{Interval, Rect};
+    use ocr_grid::TrackSet;
+
+    fn grid(n: Coord, pitch: Coord) -> GridModel {
+        GridModel::new(
+            Rect::new(0, 0, n, n),
+            TrackSet::from_pitch(Interval::new(0, n), pitch),
+            TrackSet::from_pitch(Interval::new(0, n), pitch),
+        )
+    }
+
+    #[test]
+    fn straight_line_costs_its_length() {
+        let mut g = grid(100, 10);
+        let p = route_maze(
+            &mut g,
+            1,
+            Point::new(0, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+        )
+        .expect("routes");
+        assert_eq!(p.route.wire_length(), 100);
+        assert_eq!(p.route.vias.len(), 0);
+    }
+
+    #[test]
+    fn l_path_has_one_via() {
+        let mut g = grid(100, 10);
+        let p = route_maze(
+            &mut g,
+            1,
+            Point::new(0, 0),
+            Point::new(100, 100),
+            MazeOptions::default(),
+        )
+        .expect("routes");
+        assert_eq!(p.route.wire_length(), 200);
+        assert_eq!(p.route.vias.len(), 1);
+    }
+
+    #[test]
+    fn detours_around_obstacle() {
+        let mut g = grid(100, 10);
+        // Wall across the middle on both planes, with a hole at the top.
+        for dir in [Dir::Horizontal, Dir::Vertical] {
+            g.block_rect(&Rect::new(45, -5, 55, 85), dir);
+        }
+        let p = route_maze(
+            &mut g,
+            1,
+            Point::new(0, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+        )
+        .expect("routes");
+        assert!(p.route.wire_length() > 100, "must detour");
+        // Path must stay clear of blocked cells — re-route of same net
+        // over its own path is fine, so just check wire length grew.
+    }
+
+    #[test]
+    fn no_path_is_reported() {
+        let mut g = grid(100, 10);
+        for dir in [Dir::Horizontal, Dir::Vertical] {
+            g.block_rect(&Rect::new(45, -5, 55, 105), dir);
+        }
+        let err = route_maze(
+            &mut g,
+            1,
+            Point::new(0, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, MazeError::NoPath);
+    }
+
+    #[test]
+    fn astar_expands_no_more_than_dijkstra() {
+        let mut g1 = grid(200, 10);
+        let mut g2 = grid(200, 10);
+        let lee = route_maze(
+            &mut g1,
+            1,
+            Point::new(0, 0),
+            Point::new(200, 200),
+            MazeOptions::default(),
+        )
+        .expect("routes");
+        let astar = route_maze(
+            &mut g2,
+            1,
+            Point::new(0, 0),
+            Point::new(200, 200),
+            MazeOptions {
+                astar: true,
+                ..MazeOptions::default()
+            },
+        )
+        .expect("routes");
+        assert_eq!(lee.route.wire_length(), astar.route.wire_length());
+        assert!(astar.expanded <= lee.expanded);
+    }
+
+    #[test]
+    fn second_net_avoids_first() {
+        let mut g = grid(100, 10);
+        let first = route_maze(
+            &mut g,
+            1,
+            Point::new(0, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+        )
+        .expect("net 1");
+        assert_eq!(first.route.wire_length(), 100);
+        // Net 2 wants the same horizontal track: it must switch tracks.
+        let second = route_maze(
+            &mut g,
+            2,
+            Point::new(0, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+        );
+        match second {
+            Ok(p) => assert!(p.route.wire_length() > 100 || !p.route.vias.is_empty()),
+            Err(e) => panic!("net 2 should still route: {e}"),
+        }
+    }
+
+    #[test]
+    fn own_wiring_is_reusable() {
+        let mut g = grid(100, 10);
+        route_maze(
+            &mut g,
+            7,
+            Point::new(0, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+        )
+        .expect("first pass");
+        // Same net again across its own wire: allowed.
+        let again = route_maze(
+            &mut g,
+            7,
+            Point::new(0, 50),
+            Point::new(50, 50),
+            MazeOptions::default(),
+        )
+        .expect("reuse");
+        assert_eq!(again.route.wire_length(), 50);
+    }
+
+    #[test]
+    fn soft_path_names_the_blockers() {
+        let mut g = grid(100, 10);
+        // Net 5 owns three full columns on both planes — a wall of
+        // wiring no other net can cross without paying its penalty.
+        for i in 4..=6 {
+            for j in 0..=10 {
+                g.set_state(Dir::Horizontal, i, j, ocr_grid::CellState::Used(5));
+                g.set_state(Dir::Vertical, i, j, ocr_grid::CellState::Used(5));
+            }
+        }
+        // Hard search fails…
+        let hard = route_maze(
+            &mut g.clone(),
+            1,
+            Point::new(0, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+        );
+        assert_eq!(hard.unwrap_err(), MazeError::NoPath);
+        // …but the soft search crosses net 5 and names it.
+        let soft = find_soft_path(
+            &g,
+            1,
+            Point::new(0, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+            10_000,
+        )
+        .expect("soft path");
+        assert_eq!(soft.blockers, vec![5]);
+        assert!(soft.cost >= 10_000);
+    }
+
+    #[test]
+    fn soft_path_prefers_free_routes_over_ripping() {
+        let mut g = grid(100, 10);
+        // Net 5 occupies the straight row, but a free detour exists.
+        g.occupy_run(Dir::Horizontal, 5, 0, 10, 5);
+        let soft = find_soft_path(
+            &g,
+            1,
+            Point::new(0, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+            10_000,
+        )
+        .expect("soft path");
+        assert!(soft.blockers.is_empty(), "should detour instead of ripping");
+    }
+
+    #[test]
+    fn soft_path_still_fails_through_obstacles() {
+        let mut g = grid(100, 10);
+        for dir in [Dir::Horizontal, Dir::Vertical] {
+            g.block_rect(&Rect::new(45, -5, 55, 105), dir);
+        }
+        let err = find_soft_path(
+            &g,
+            1,
+            Point::new(0, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+            10_000,
+        )
+        .unwrap_err();
+        assert_eq!(err, MazeError::NoPath);
+    }
+
+    #[test]
+    fn non_uniform_tracks_give_physical_lengths() {
+        // Tracks at 0, 10, 50, 60: a run across the wide gap costs its
+        // physical distance, not a unit step.
+        let ts = TrackSet::from_offsets(vec![0, 10, 50, 60]);
+        let mut g = GridModel::new(Rect::new(0, 0, 60, 60), ts.clone(), ts);
+        let p = route_maze(
+            &mut g,
+            1,
+            Point::new(0, 0),
+            Point::new(60, 0),
+            MazeOptions::default(),
+        )
+        .expect("routes");
+        assert_eq!(p.route.wire_length(), 60);
+        assert_eq!(p.cost, 60);
+    }
+
+    #[test]
+    fn off_grid_terminal_errors() {
+        let mut g = grid(100, 10);
+        let err = route_maze(
+            &mut g,
+            1,
+            Point::new(3, 50),
+            Point::new(100, 50),
+            MazeOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MazeError::OffGrid(_)));
+    }
+}

@@ -1,0 +1,71 @@
+//! Macro-cells.
+
+use ocr_geom::Rect;
+use std::fmt;
+
+/// Index of a [`Cell`] within a [`Layout`](crate::Layout).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// Zero-based index into [`Layout::cells`](crate::Layout::cells).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// A placed macro-cell.
+///
+/// Cells are opaque rectangles from the router's point of view: their
+/// internals use metal1/metal2 and are untouchable, while the area *over*
+/// the cell is available to Level B routing on metal3/metal4 except where
+/// an [`Obstacle`](crate::Obstacle) says otherwise (the paper's
+/// "limited use of metal3 and metal4 … inside the macro-cells" and
+/// "user specified areas … to avoid capacitive coupling with sensitive
+/// circuits").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Instance name.
+    pub name: String,
+    /// Placed outline in chip coordinates.
+    pub outline: Rect,
+}
+
+impl Cell {
+    /// Creates a placed cell.
+    pub fn new(name: impl Into<String>, outline: Rect) -> Self {
+        Cell {
+            name: name.into(),
+            outline,
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.name, self.outline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_display_includes_name_and_outline() {
+        let c = Cell::new("ram0", Rect::new(0, 0, 10, 20));
+        assert!(c.to_string().contains("ram0"));
+    }
+
+    #[test]
+    fn cell_id_index() {
+        assert_eq!(CellId(7).index(), 7);
+    }
+}

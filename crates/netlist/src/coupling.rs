@@ -1,0 +1,221 @@
+//! Capacitive-coupling exposure analysis.
+//!
+//! Paper §1: "Channel based multi-layer algorithms also tend to generate
+//! wires running parallel, one on top of the other, over relatively long
+//! distances, creating capacitive coupling that can cause severe
+//! cross-talk problems." This module measures that exposure so the
+//! flows can be compared quantitatively:
+//!
+//! * **stacked overlap** — total length over which wires of *different*
+//!   nets run directly on top of each other on the two same-direction
+//!   layers (metal1/metal3 horizontal, metal2/metal4 vertical, i.e. the
+//!   HVH/HV+HV stacking the quote describes);
+//! * **adjacent-track parallelism** — total length over which different
+//!   nets run side by side on the *same* layer within a given center
+//!   distance.
+
+use crate::{NetId, RoutedDesign};
+use ocr_geom::{Coord, Layer};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Coupling exposure of a routed design.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CouplingReport {
+    /// Total different-net overlap length between the two horizontal
+    /// layers (metal1 under metal3) at identical track offsets.
+    pub stacked_horizontal: Coord,
+    /// Total different-net overlap length between the two vertical
+    /// layers (metal2 under metal4).
+    pub stacked_vertical: Coord,
+    /// Longest single stacked overlap (the "relatively long distances"
+    /// the paper warns about).
+    pub max_stacked_run: Coord,
+    /// Total different-net parallel length on the same layer within the
+    /// analysis distance.
+    pub same_layer_parallel: Coord,
+}
+
+impl CouplingReport {
+    /// Total stacked overlap across both layer pairs.
+    pub fn stacked_total(&self) -> Coord {
+        self.stacked_horizontal + self.stacked_vertical
+    }
+}
+
+impl fmt::Display for CouplingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stacked H {} + V {} (max run {}), same-layer parallel {}",
+            self.stacked_horizontal,
+            self.stacked_vertical,
+            self.max_stacked_run,
+            self.same_layer_parallel
+        )
+    }
+}
+
+/// Computes the coupling exposure of `design`.
+///
+/// `adjacent_distance` is the maximum center-to-center distance at
+/// which same-layer runs are considered coupled (typically one routing
+/// pitch).
+pub fn coupling_report(design: &RoutedDesign, adjacent_distance: Coord) -> CouplingReport {
+    // Gather per (layer, dir, offset): (net, interval lo, hi).
+    type Bucket = Vec<(NetId, Coord, Coord)>;
+    let mut by_track: HashMap<(usize, usize, Coord), Bucket> = HashMap::new();
+    for (net, route) in design.iter_routes() {
+        for seg in &route.segs {
+            if seg.is_empty() {
+                continue;
+            }
+            let iv = seg.interval();
+            by_track
+                .entry((seg.layer().index(), seg.dir().index(), seg.track_offset()))
+                .or_default()
+                .push((net, iv.lo(), iv.hi()));
+        }
+    }
+    let overlap = |a: &(NetId, Coord, Coord), b: &(NetId, Coord, Coord)| -> Coord {
+        if a.0 == b.0 {
+            return 0;
+        }
+        (a.2.min(b.2) - a.1.max(b.1)).max(0)
+    };
+
+    let mut report = CouplingReport::default();
+    // Stacked overlap: same direction, same offset, layer pairs
+    // (M1, M3) and (M2, M4).
+    for (pair, out) in [
+        ((Layer::Metal1, Layer::Metal3), 0usize),
+        ((Layer::Metal2, Layer::Metal4), 1usize),
+    ] {
+        let ((lo_layer, hi_layer), which) = (pair, out);
+        let dir = lo_layer.preferred_dir();
+        // Iterate offsets present on the lower layer.
+        for ((layer, d, offset), lower) in &by_track {
+            if *layer != lo_layer.index() || *d != dir.index() {
+                continue;
+            }
+            let Some(upper) = by_track.get(&(hi_layer.index(), dir.index(), *offset)) else {
+                continue;
+            };
+            for a in lower {
+                for b in upper {
+                    let ov = overlap(a, b);
+                    if ov > 0 {
+                        match which {
+                            0 => report.stacked_horizontal += ov,
+                            _ => report.stacked_vertical += ov,
+                        }
+                        report.max_stacked_run = report.max_stacked_run.max(ov);
+                    }
+                }
+            }
+        }
+    }
+    // Same-layer adjacent-track parallelism.
+    let mut keys: Vec<&(usize, usize, Coord)> = by_track.keys().collect();
+    keys.sort();
+    for (k, &&(layer, d, offset)) in keys.iter().enumerate() {
+        for &&(l2, d2, o2) in &keys[k + 1..] {
+            if l2 != layer || d2 != d {
+                break;
+            }
+            let gap = o2 - offset;
+            if gap == 0 {
+                continue;
+            }
+            if gap > adjacent_distance {
+                break;
+            }
+            let a_bucket = &by_track[&(layer, d, offset)];
+            let b_bucket = &by_track[&(l2, d2, o2)];
+            for a in a_bucket {
+                for b in b_bucket {
+                    report.same_layer_parallel += overlap(a, b);
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetRoute, RouteSeg};
+    use ocr_geom::{Point, Rect};
+
+    fn design_with(segs: Vec<(u32, Point, Point, Layer)>) -> RoutedDesign {
+        let max_net = segs.iter().map(|s| s.0).max().unwrap_or(0) as usize;
+        let mut d = RoutedDesign::new(Rect::new(0, 0, 1000, 1000), max_net + 1);
+        let mut routes: HashMap<u32, NetRoute> = HashMap::new();
+        for (net, a, b, layer) in segs {
+            routes
+                .entry(net)
+                .or_default()
+                .segs
+                .push(RouteSeg::new(a, b, layer));
+        }
+        for (net, r) in routes {
+            d.set_route(NetId(net), r);
+        }
+        d
+    }
+
+    #[test]
+    fn stacked_overlap_between_m1_and_m3() {
+        let d = design_with(vec![
+            (0, Point::new(0, 50), Point::new(100, 50), Layer::Metal1),
+            (1, Point::new(40, 50), Point::new(200, 50), Layer::Metal3),
+        ]);
+        let r = coupling_report(&d, 10);
+        assert_eq!(r.stacked_horizontal, 60);
+        assert_eq!(r.max_stacked_run, 60);
+        assert_eq!(r.stacked_vertical, 0);
+    }
+
+    #[test]
+    fn same_net_stacking_does_not_count() {
+        let d = design_with(vec![
+            (0, Point::new(0, 50), Point::new(100, 50), Layer::Metal1),
+            (0, Point::new(0, 50), Point::new(100, 50), Layer::Metal3),
+        ]);
+        let r = coupling_report(&d, 10);
+        assert_eq!(r.stacked_total(), 0);
+    }
+
+    #[test]
+    fn perpendicular_layers_never_stack() {
+        let d = design_with(vec![
+            (0, Point::new(0, 50), Point::new(100, 50), Layer::Metal1),
+            (1, Point::new(50, 0), Point::new(50, 100), Layer::Metal2),
+        ]);
+        let r = coupling_report(&d, 10);
+        assert_eq!(r.stacked_total(), 0);
+        assert_eq!(r.same_layer_parallel, 0);
+    }
+
+    #[test]
+    fn adjacent_tracks_on_same_layer_count_within_distance() {
+        let d = design_with(vec![
+            (0, Point::new(0, 50), Point::new(100, 50), Layer::Metal3),
+            (1, Point::new(20, 56), Point::new(80, 56), Layer::Metal3),
+            (2, Point::new(20, 90), Point::new(80, 90), Layer::Metal3), // too far
+        ]);
+        let r = coupling_report(&d, 10);
+        assert_eq!(r.same_layer_parallel, 60);
+    }
+
+    #[test]
+    fn vertical_stacking_m2_m4() {
+        let d = design_with(vec![
+            (0, Point::new(30, 0), Point::new(30, 300), Layer::Metal2),
+            (1, Point::new(30, 100), Point::new(30, 250), Layer::Metal4),
+        ]);
+        let r = coupling_report(&d, 10);
+        assert_eq!(r.stacked_vertical, 150);
+    }
+}

@@ -1,0 +1,72 @@
+//! Net terminals (pins).
+
+use crate::{CellId, NetId};
+use ocr_geom::{Layer, Point};
+use std::fmt;
+
+/// Index of a [`Pin`] within a [`Layout`](crate::Layout).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PinId(pub u32);
+
+impl PinId {
+    /// Zero-based index into [`Layout::pins`](crate::Layout::pins).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pin#{}", self.0)
+    }
+}
+
+/// A net terminal: a fixed physical location where a net must be contacted.
+///
+/// Per the paper's terminal rule, a terminal's landing pad accommodates the
+/// via stack for whichever routing level its net is assigned to, so a
+/// Level B net reaches its metal1/metal2 terminal through stacked vias at
+/// exactly this location and nowhere else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pin {
+    /// The net this terminal belongs to.
+    pub net: NetId,
+    /// The owning macro-cell, or `None` for a chip I/O pad.
+    pub cell: Option<CellId>,
+    /// Terminal location in chip coordinates.
+    pub position: Point,
+    /// The metal layer the terminal's landing pad is on.
+    pub layer: Layer,
+}
+
+impl Pin {
+    /// Creates a terminal.
+    pub fn new(net: NetId, cell: Option<CellId>, position: Point, layer: Layer) -> Self {
+        Pin {
+            net,
+            cell,
+            position,
+            layer,
+        }
+    }
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {} at {}", self.net, self.layer, self.position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_fields_roundtrip() {
+        let p = Pin::new(NetId(3), Some(CellId(1)), Point::new(5, 6), Layer::Metal2);
+        assert_eq!(p.net, NetId(3));
+        assert_eq!(p.cell, Some(CellId(1)));
+        assert_eq!(p.position, Point::new(5, 6));
+    }
+}

@@ -1,0 +1,199 @@
+//! Row-based macro-cell placement structure.
+//!
+//! The channel-based flows (Level A and the all-channel baselines) need to
+//! know where the channels are. We use the classic row organization:
+//! macro-cells sit in horizontal rows, full-width routing channels run
+//! between consecutive rows, below the bottom row and above the top row.
+//! Left and right *corridor* margins (cell-free vertical strips) carry the
+//! wires of nets that span more than one channel.
+//!
+//! Channel `c` (of `rows + 1`) lies below row `c`; channel `rows` is above
+//! the top row.
+
+use crate::{CellId, Layout};
+use ocr_geom::{Coord, Interval};
+use std::fmt;
+
+/// One cell row: a horizontal band of cells with uniform height.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Bottom y of the row band (in the unexpanded layout).
+    pub y0: Coord,
+    /// Band height; every cell in the row has exactly this height.
+    pub height: Coord,
+    /// Cells in the row, left to right.
+    pub cells: Vec<CellId>,
+}
+
+impl Row {
+    /// Top y of the row band.
+    #[inline]
+    pub fn y1(&self) -> Coord {
+        self.y0 + self.height
+    }
+
+    /// The vertical interval of the band.
+    #[inline]
+    pub fn band(&self) -> Interval {
+        Interval::new(self.y0, self.y1())
+    }
+}
+
+/// A row placement: rows bottom-up plus the corridor margins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowPlacement {
+    /// Rows in ascending `y0` order.
+    pub rows: Vec<Row>,
+    /// Width of the cell-free strip at the left die edge.
+    pub left_margin: Coord,
+    /// Width of the cell-free strip at the right die edge.
+    pub right_margin: Coord,
+}
+
+impl RowPlacement {
+    /// Creates a placement from rows (sorted ascending by `y0`).
+    pub fn new(mut rows: Vec<Row>, left_margin: Coord, right_margin: Coord) -> Self {
+        rows.sort_by_key(|r| r.y0);
+        RowPlacement {
+            rows,
+            left_margin,
+            right_margin,
+        }
+    }
+
+    /// Number of channels (`rows + 1`).
+    #[inline]
+    pub fn channel_count(&self) -> usize {
+        self.rows.len() + 1
+    }
+
+    /// The row containing `cell`, if any.
+    pub fn row_of_cell(&self, cell: CellId) -> Option<usize> {
+        self.rows.iter().position(|r| r.cells.contains(&cell))
+    }
+
+    /// Structural consistency against a layout: rows non-overlapping and
+    /// ascending, every cell in exactly one row, cell outlines matching
+    /// their row band, cells clear of the corridor margins. Returns
+    /// human-readable problems (empty = consistent).
+    pub fn audit(&self, layout: &Layout) -> Vec<String> {
+        let mut problems = Vec::new();
+        for w in self.rows.windows(2) {
+            if w[0].y1() > w[1].y0 {
+                problems.push(format!(
+                    "rows overlap: band ending {} above next start {}",
+                    w[0].y1(),
+                    w[1].y0
+                ));
+            }
+        }
+        let mut seen = vec![false; layout.cells.len()];
+        for (ri, row) in self.rows.iter().enumerate() {
+            for &cid in &row.cells {
+                if cid.index() >= layout.cells.len() {
+                    problems.push(format!("row {ri} references missing {cid}"));
+                    continue;
+                }
+                if seen[cid.index()] {
+                    problems.push(format!("{cid} appears in multiple rows"));
+                }
+                seen[cid.index()] = true;
+                let o = layout.cell(cid).outline;
+                if o.y0() != row.y0 || o.y1() != row.y1() {
+                    problems.push(format!("{cid} outline {} not flush with row {ri} band", o));
+                }
+                if o.x0() < layout.die.x0() + self.left_margin
+                    || o.x1() > layout.die.x1() - self.right_margin
+                {
+                    problems.push(format!("{cid} intrudes into a corridor margin"));
+                }
+            }
+        }
+        for (i, s) in seen.iter().enumerate() {
+            if !s {
+                problems.push(format!("cell#{i} not assigned to any row"));
+            }
+        }
+        problems
+    }
+}
+
+impl fmt::Display for RowPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rows / {} channels, margins {}/{}",
+            self.rows.len(),
+            self.channel_count(),
+            self.left_margin,
+            self.right_margin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetClass;
+    use ocr_geom::Rect;
+
+    fn layout_two_rows() -> (Layout, RowPlacement) {
+        let mut l = Layout::new(Rect::new(0, 0, 200, 200));
+        let c0 = l.add_cell("a", Rect::new(30, 20, 90, 60));
+        let c1 = l.add_cell("b", Rect::new(100, 20, 160, 60));
+        let c2 = l.add_cell("c", Rect::new(30, 100, 150, 140));
+        let _ = l.add_net("n", NetClass::Signal); // keep layout audit quiet later
+        let p = RowPlacement::new(
+            vec![
+                Row {
+                    y0: 20,
+                    height: 40,
+                    cells: vec![c0, c1],
+                },
+                Row {
+                    y0: 100,
+                    height: 40,
+                    cells: vec![c2],
+                },
+            ],
+            20,
+            20,
+        );
+        (l, p)
+    }
+
+    #[test]
+    fn audit_accepts_consistent_placement() {
+        let (l, p) = layout_two_rows();
+        assert!(p.audit(&l).is_empty(), "{:?}", p.audit(&l));
+    }
+
+    #[test]
+    fn audit_catches_margin_intrusion() {
+        let (mut l, mut p) = layout_two_rows();
+        let c = l.add_cell("bad", Rect::new(5, 100, 60, 140));
+        p.rows[1].cells.push(c);
+        assert!(p.audit(&l).iter().any(|e| e.contains("corridor")));
+    }
+
+    #[test]
+    fn audit_catches_unassigned_cell() {
+        let (mut l, p) = layout_two_rows();
+        let _ = l.add_cell("stray", Rect::new(30, 160, 60, 200));
+        assert!(p.audit(&l).iter().any(|e| e.contains("not assigned")));
+    }
+
+    #[test]
+    fn audit_catches_band_mismatch() {
+        let (mut l, p) = layout_two_rows();
+        l.cells[0].outline = Rect::new(30, 20, 90, 50); // shorter than band
+        assert!(p.audit(&l).iter().any(|e| e.contains("not flush")));
+    }
+
+    #[test]
+    fn channel_count_is_rows_plus_one() {
+        let (_, p) = layout_two_rows();
+        assert_eq!(p.channel_count(), 3);
+        assert_eq!(p.row_of_cell(CellId(2)), Some(1));
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-layer design rules.
+//!
+//! A central argument of the paper is that track-count reductions from
+//! extra channel layers do **not** translate one-for-one into area
+//! reductions, because "as more metal layers are added, the linewidth of
+//! the wires and the size of the vias increase". [`DesignRules`] captures
+//! exactly that: each layer has its own wire width, spacing and via size,
+//! with the defaults growing toward the upper layers.
+
+use ocr_geom::{Coord, Layer};
+use std::fmt;
+
+/// Width/spacing/via rules for one metal layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerRules {
+    /// Minimum wire width (DBU).
+    pub wire_width: Coord,
+    /// Minimum wire-to-wire spacing (DBU).
+    pub wire_spacing: Coord,
+    /// Side length of a via landing pad connecting down from this layer.
+    pub via_size: Coord,
+}
+
+impl LayerRules {
+    /// Routing pitch: center-to-center distance of adjacent tracks,
+    /// `max(wire_width, via_size) + wire_spacing` so adjacent tracks can
+    /// both carry vias.
+    #[inline]
+    pub fn pitch(&self) -> Coord {
+        self.wire_width.max(self.via_size) + self.wire_spacing
+    }
+}
+
+impl fmt::Display for LayerRules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "w={} s={} via={} (pitch {})",
+            self.wire_width,
+            self.wire_spacing,
+            self.via_size,
+            self.pitch()
+        )
+    }
+}
+
+/// The process design rules for all four metal layers.
+///
+/// ```
+/// use ocr_geom::Layer;
+/// use ocr_netlist::DesignRules;
+///
+/// let rules = DesignRules::default();
+/// // Upper layers are coarser: metal4 pitch exceeds metal1 pitch.
+/// assert!(rules.layer(Layer::Metal4).pitch() > rules.layer(Layer::Metal1).pitch());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DesignRules {
+    layers: [LayerRules; 4],
+}
+
+impl DesignRules {
+    /// Builds rules from an explicit per-layer table (bottom-up order).
+    pub fn new(layers: [LayerRules; 4]) -> Self {
+        DesignRules { layers }
+    }
+
+    /// A uniform process where all four layers share one rule set.
+    /// Useful in tests and in the "optimistic" multi-layer channel model.
+    pub fn uniform(rule: LayerRules) -> Self {
+        DesignRules { layers: [rule; 4] }
+    }
+
+    /// Rules for one layer.
+    #[inline]
+    pub fn layer(&self, layer: Layer) -> &LayerRules {
+        &self.layers[layer.index()]
+    }
+
+    /// Mutable rules for one layer.
+    #[inline]
+    pub fn layer_mut(&mut self, layer: Layer) -> &mut LayerRules {
+        &mut self.layers[layer.index()]
+    }
+
+    /// Routing pitch of a layer (see [`LayerRules::pitch`]).
+    #[inline]
+    pub fn pitch(&self, layer: Layer) -> Coord {
+        self.layer(layer).pitch()
+    }
+
+    /// The pitch used when laying out a Level A channel routed on the
+    /// M1/M2 pair: the coarser of the two pitches.
+    #[inline]
+    pub fn channel_pitch_level_a(&self) -> Coord {
+        self.pitch(Layer::Metal1).max(self.pitch(Layer::Metal2))
+    }
+
+    /// The pitch governing a 4-layer channel: the coarsest of all four
+    /// layers, which is what makes "half the tracks" not mean
+    /// "half the area" (Section 1 of the paper).
+    #[inline]
+    pub fn channel_pitch_four_layer(&self) -> Coord {
+        Layer::ALL
+            .into_iter()
+            .map(|l| self.pitch(l))
+            .max()
+            .expect("four layers")
+    }
+
+    /// The pitch governing a 3-layer (HVH) channel: the coarsest of the
+    /// bottom three layers.
+    #[inline]
+    pub fn channel_pitch_three_layer(&self) -> Coord {
+        self.pitch(Layer::Metal1)
+            .max(self.pitch(Layer::Metal2))
+            .max(self.pitch(Layer::Metal3))
+    }
+
+    /// The pitch of the Level B over-cell grid: the coarser of M3/M4.
+    #[inline]
+    pub fn over_cell_pitch(&self) -> Coord {
+        self.pitch(Layer::Metal3).max(self.pitch(Layer::Metal4))
+    }
+}
+
+impl Default for DesignRules {
+    /// A 1990-era four-metal process in quarter-micron DBU:
+    /// M1/M2 at 3λ width / 3λ spacing, M3 wider at 4λ/4λ, M4 at 5λ/5λ,
+    /// with via size growing alongside. These defaults reproduce the
+    /// paper's premise that upper-layer tracks are coarser.
+    fn default() -> Self {
+        DesignRules {
+            layers: [
+                LayerRules {
+                    wire_width: 3,
+                    wire_spacing: 3,
+                    via_size: 3,
+                },
+                LayerRules {
+                    wire_width: 3,
+                    wire_spacing: 3,
+                    via_size: 3,
+                },
+                LayerRules {
+                    wire_width: 4,
+                    wire_spacing: 4,
+                    via_size: 4,
+                },
+                LayerRules {
+                    wire_width: 5,
+                    wire_spacing: 5,
+                    via_size: 5,
+                },
+            ],
+        }
+    }
+}
+
+impl fmt::Display for DesignRules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in Layer::ALL {
+            writeln!(f, "{l}: {}", self.layer(l))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pitches_grow_upward() {
+        let r = DesignRules::default();
+        assert!(r.pitch(Layer::Metal3) > r.pitch(Layer::Metal1));
+        assert!(r.pitch(Layer::Metal4) > r.pitch(Layer::Metal3));
+    }
+
+    #[test]
+    fn four_layer_channel_pitch_is_coarsest() {
+        let r = DesignRules::default();
+        assert_eq!(r.channel_pitch_four_layer(), r.pitch(Layer::Metal4));
+        assert!(r.channel_pitch_four_layer() > r.channel_pitch_level_a());
+    }
+
+    #[test]
+    fn uniform_rules_have_equal_pitch() {
+        let r = DesignRules::uniform(LayerRules {
+            wire_width: 2,
+            wire_spacing: 2,
+            via_size: 2,
+        });
+        assert_eq!(r.channel_pitch_four_layer(), r.channel_pitch_level_a());
+    }
+
+    #[test]
+    fn pitch_accounts_for_large_vias() {
+        let lr = LayerRules {
+            wire_width: 2,
+            wire_spacing: 3,
+            via_size: 6,
+        };
+        assert_eq!(lr.pitch(), 9);
+    }
+}

@@ -1,0 +1,500 @@
+//! Post-route auditing: electrical connectivity, short detection,
+//! obstacle violations and die containment.
+//!
+//! Every flow in the workspace runs its output through
+//! [`validate_routed_design`] in tests; the benchmark binaries assert a
+//! clean audit before reporting any numbers.
+
+use crate::{Layout, NetId, NetRoute, RoutedDesign};
+use ocr_geom::{Dir, Layer, Point};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A violation found while auditing a routed design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A net's pins are not all electrically connected by its route.
+    Disconnected {
+        /// The offending net.
+        net: NetId,
+        /// Number of connected components found (must be 1).
+        components: usize,
+    },
+    /// Two different nets share same-layer geometry.
+    Short {
+        /// First net.
+        a: NetId,
+        /// Second net.
+        b: NetId,
+        /// The layer of the conflict.
+        layer: Layer,
+    },
+    /// A wire crosses an obstacle that blocks its layer.
+    ObstacleViolation {
+        /// The offending net.
+        net: NetId,
+        /// Index into [`Layout::obstacles`].
+        obstacle: usize,
+    },
+    /// Geometry escapes the die.
+    OutsideDie {
+        /// The offending net.
+        net: NetId,
+    },
+    /// A routed net has no geometry.
+    EmptyRoute {
+        /// The offending net.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Disconnected { net, components } => {
+                write!(f, "{net} route splits into {components} components")
+            }
+            ValidationError::Short { a, b, layer } => {
+                write!(f, "short between {a} and {b} on {layer}")
+            }
+            ValidationError::ObstacleViolation { net, obstacle } => {
+                write!(f, "{net} crosses obstacle #{obstacle}")
+            }
+            ValidationError::OutsideDie { net } => write!(f, "{net} leaves the die"),
+            ValidationError::EmptyRoute { net } => write!(f, "{net} routed with no geometry"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Union-find over electrical nodes.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Checks that a single net's route electrically connects all its pins.
+///
+/// The model: an electrical node is a `(layer, point)` pair; a wire
+/// segment connects every node on its layer lying on its centerline; a
+/// via stack connects the nodes at its location on every layer it spans.
+/// Returns the number of connected components covering the net's pins
+/// (1 = fully connected).
+pub fn connectivity_components(layout: &Layout, net: NetId, route: &NetRoute) -> usize {
+    // Candidate points: segment endpoints, via locations, pin positions.
+    let mut nodes: HashMap<(usize, Point), usize> = HashMap::new();
+    let key = |nodes: &mut HashMap<(usize, Point), usize>, layer: Layer, p: Point| {
+        let next = nodes.len();
+        *nodes.entry((layer.index(), p)).or_insert(next)
+    };
+
+    let mut points: Vec<Point> = Vec::new();
+    for s in &route.segs {
+        points.push(s.a());
+        points.push(s.b());
+    }
+    for v in &route.vias {
+        points.push(v.at);
+    }
+    for &p in &layout.net(net).pins {
+        points.push(layout.pin(p).position);
+    }
+    points.sort();
+    points.dedup();
+
+    // Pre-create all node ids we will need, then union.
+    let mut dsu = Dsu::new(0);
+    let ensure =
+        |nodes: &mut HashMap<(usize, Point), usize>, dsu: &mut Dsu, layer: Layer, p: Point| {
+            let id = key(nodes, layer, p);
+            while dsu.parent.len() <= id {
+                let n = dsu.parent.len();
+                dsu.parent.push(n);
+            }
+            id
+        };
+
+    for s in &route.segs {
+        let on_seg: Vec<Point> = points
+            .iter()
+            .copied()
+            .filter(|p| point_on_seg(*p, s.a(), s.b()))
+            .collect();
+        if let Some(&first) = on_seg.first() {
+            let fid = ensure(&mut nodes, &mut dsu, s.layer(), first);
+            for p in &on_seg[1..] {
+                let pid = ensure(&mut nodes, &mut dsu, s.layer(), *p);
+                dsu.union(fid, pid);
+            }
+        }
+    }
+    for v in &route.vias {
+        let mut prev: Option<usize> = None;
+        for li in v.lower.index()..=v.upper.index() {
+            let id = ensure(&mut nodes, &mut dsu, Layer::from_index(li), v.at);
+            if let Some(p) = prev {
+                dsu.union(p, id);
+            }
+            prev = Some(id);
+        }
+    }
+
+    // Count components among the pins.
+    let mut roots: Vec<usize> = Vec::new();
+    for &pid in &layout.net(net).pins {
+        let pin = layout.pin(pid);
+        let id = ensure(&mut nodes, &mut dsu, pin.layer, pin.position);
+        let root = dsu.find(id);
+        if !roots.contains(&root) {
+            roots.push(root);
+        }
+    }
+    roots.len()
+}
+
+fn point_on_seg(p: Point, a: Point, b: Point) -> bool {
+    if a.y == b.y {
+        p.y == a.y && a.x.min(b.x) <= p.x && p.x <= a.x.max(b.x)
+    } else {
+        p.x == a.x && a.y.min(b.y) <= p.y && p.y <= a.y.max(b.y)
+    }
+}
+
+/// Audits a routed design against its layout.
+///
+/// Checks, for every routed net: non-empty geometry, die containment,
+/// electrical connectivity of all pins, obstacle avoidance; and globally,
+/// the absence of same-layer shorts between different nets.
+///
+/// Returns all violations found (empty = clean).
+pub fn validate_routed_design(layout: &Layout, design: &RoutedDesign) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+
+    for (net, route) in design.iter_routes() {
+        if route.is_empty() {
+            errors.push(ValidationError::EmptyRoute { net });
+            continue;
+        }
+        if let Some(bbox) = route.bbox() {
+            if !design.die.contains_rect(&bbox) {
+                errors.push(ValidationError::OutsideDie { net });
+            }
+        }
+        let components = connectivity_components(layout, net, route);
+        if components != 1 {
+            errors.push(ValidationError::Disconnected { net, components });
+        }
+        for (oi, ob) in layout.obstacles.iter().enumerate() {
+            let hit = route
+                .segs
+                .iter()
+                .any(|s| ob.blocks(s.layer()) && seg_crosses_rect_interior(s.a(), s.b(), ob));
+            if hit {
+                errors.push(ValidationError::ObstacleViolation { net, obstacle: oi });
+            }
+        }
+    }
+
+    errors.extend(find_shorts(design));
+    errors
+}
+
+/// Degenerate-aware test: does the centerline `a–b` pass through the
+/// interior of the obstacle rectangle?
+fn seg_crosses_rect_interior(a: Point, b: Point, ob: &crate::Obstacle) -> bool {
+    let r = ob.rect;
+    if a.y == b.y {
+        // horizontal
+        a.y > r.y0() && a.y < r.y1() && a.x.min(b.x) < r.x1() && a.x.max(b.x) > r.x0()
+    } else {
+        a.x > r.x0() && a.x < r.x1() && a.y.min(b.y) < r.y1() && a.y.max(b.y) > r.y0()
+    }
+}
+
+/// Segments bucketed by `(layer index, direction index, track offset)`.
+type TrackBuckets<'a> = HashMap<(usize, usize, i64), Vec<(NetId, &'a crate::RouteSeg)>>;
+
+/// Finds same-layer geometric conflicts between distinct nets.
+fn find_shorts(design: &RoutedDesign) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    // Bucket by (layer, direction): same-track overlap; plus cross-checks.
+    let mut all: Vec<(NetId, &crate::RouteSeg)> = Vec::new();
+    for (net, route) in design.iter_routes() {
+        for s in &route.segs {
+            all.push((net, s));
+        }
+    }
+
+    // Same-track parallel overlaps via (layer, dir, offset) buckets.
+    let mut buckets: TrackBuckets<'_> = HashMap::new();
+    for &(net, s) in &all {
+        buckets
+            .entry((s.layer().index(), s.dir().index(), s.track_offset()))
+            .or_default()
+            .push((net, s));
+    }
+    let mut reported: Vec<(NetId, NetId, Layer)> = Vec::new();
+    let mut report = |errors: &mut Vec<ValidationError>, a: NetId, b: NetId, layer: Layer| {
+        let key = if a.0 <= b.0 {
+            (a, b, layer)
+        } else {
+            (b, a, layer)
+        };
+        if !reported.contains(&key) {
+            reported.push(key);
+            errors.push(ValidationError::Short {
+                a: key.0,
+                b: key.1,
+                layer,
+            });
+        }
+    };
+    for ((_, _, _), list) in &buckets {
+        for i in 0..list.len() {
+            for j in i + 1..list.len() {
+                let (na, sa) = list[i];
+                let (nb, sb) = list[j];
+                if na != nb && sa.conflicts_with(sb) {
+                    report(&mut errors, na, nb, sa.layer());
+                }
+            }
+        }
+    }
+    // Same-layer perpendicular crossings.
+    for li in 0..4 {
+        let hs: Vec<_> = all
+            .iter()
+            .filter(|(_, s)| s.layer().index() == li && s.dir() == Dir::Horizontal)
+            .collect();
+        let vs: Vec<_> = all
+            .iter()
+            .filter(|(_, s)| s.layer().index() == li && s.dir() == Dir::Vertical)
+            .collect();
+        for (na, sa) in &hs {
+            for (nb, sb) in &vs {
+                if na != nb && sa.conflicts_with(sb) {
+                    report(&mut errors, *na, *nb, sa.layer());
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetClass, NetRoute, Obstacle, RouteSeg, Via};
+    use ocr_geom::{Layer, LayerSet, Rect};
+
+    fn two_pin_layout(a: Point, b: Point) -> (Layout, NetId) {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100));
+        let n = l.add_net("n", NetClass::Signal);
+        l.add_pin(n, None, a, Layer::Metal3);
+        l.add_pin(n, None, b, Layer::Metal3);
+        (l, n)
+    }
+
+    #[test]
+    fn straight_wire_connects() {
+        let (l, n) = two_pin_layout(Point::new(0, 10), Point::new(50, 10));
+        let mut r = NetRoute::new();
+        r.segs.push(RouteSeg::new(
+            Point::new(0, 10),
+            Point::new(50, 10),
+            Layer::Metal3,
+        ));
+        assert_eq!(connectivity_components(&l, n, &r), 1);
+    }
+
+    #[test]
+    fn l_route_needs_corner_via() {
+        let (l, n) = two_pin_layout(Point::new(0, 10), Point::new(50, 40));
+        let mut r = NetRoute::new();
+        r.segs.push(RouteSeg::new(
+            Point::new(0, 10),
+            Point::new(50, 10),
+            Layer::Metal3,
+        ));
+        r.segs.push(RouteSeg::new(
+            Point::new(50, 10),
+            Point::new(50, 40),
+            Layer::Metal4,
+        ));
+        // Missing corner via: the M3 and M4 segments touch geometrically
+        // but are on different layers => 2 components... but pin 2 is on
+        // M3 while the riser is M4, so also needs a terminal via.
+        assert!(connectivity_components(&l, n, &r) > 1);
+        r.vias
+            .push(Via::new(Point::new(50, 10), Layer::Metal3, Layer::Metal4));
+        r.vias
+            .push(Via::new(Point::new(50, 40), Layer::Metal3, Layer::Metal4));
+        assert_eq!(connectivity_components(&l, n, &r), 1);
+    }
+
+    #[test]
+    fn validate_flags_disconnection_and_shorts() {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100));
+        let n0 = l.add_net("n0", NetClass::Signal);
+        l.add_pin(n0, None, Point::new(0, 10), Layer::Metal3);
+        l.add_pin(n0, None, Point::new(50, 10), Layer::Metal3);
+        let n1 = l.add_net("n1", NetClass::Signal);
+        l.add_pin(n1, None, Point::new(20, 10), Layer::Metal3);
+        l.add_pin(n1, None, Point::new(40, 10), Layer::Metal3);
+
+        let mut d = RoutedDesign::new(l.die, 2);
+        let mut r0 = NetRoute::new();
+        r0.segs.push(RouteSeg::new(
+            Point::new(0, 10),
+            Point::new(50, 10),
+            Layer::Metal3,
+        ));
+        d.set_route(NetId(0), r0);
+        // n1 routed on the same track: short with n0.
+        let mut r1 = NetRoute::new();
+        r1.segs.push(RouteSeg::new(
+            Point::new(20, 10),
+            Point::new(40, 10),
+            Layer::Metal3,
+        ));
+        d.set_route(NetId(1), r1);
+
+        let errors = validate_routed_design(&l, &d);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::Short { .. })));
+    }
+
+    #[test]
+    fn validate_flags_obstacle_crossing() {
+        let (mut l, _n) = two_pin_layout(Point::new(0, 10), Point::new(50, 10));
+        l.add_obstacle(Obstacle::new(
+            Rect::new(20, 0, 30, 20),
+            LayerSet::single(Layer::Metal3),
+        ));
+        let mut d = RoutedDesign::new(l.die, 1);
+        let mut r = NetRoute::new();
+        r.segs.push(RouteSeg::new(
+            Point::new(0, 10),
+            Point::new(50, 10),
+            Layer::Metal3,
+        ));
+        d.set_route(NetId(0), r);
+        let errors = validate_routed_design(&l, &d);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::ObstacleViolation { .. })));
+    }
+
+    #[test]
+    fn validate_allows_wire_on_unblocked_layer_over_obstacle() {
+        let (mut l, _n) = two_pin_layout(Point::new(0, 10), Point::new(50, 10));
+        l.pins[0].layer = Layer::Metal1;
+        l.pins[1].layer = Layer::Metal1;
+        l.add_obstacle(Obstacle::new(
+            Rect::new(20, 0, 30, 20),
+            LayerSet::single(Layer::Metal3),
+        ));
+        let mut d = RoutedDesign::new(l.die, 1);
+        let mut r = NetRoute::new();
+        r.segs.push(RouteSeg::new(
+            Point::new(0, 10),
+            Point::new(50, 10),
+            Layer::Metal1,
+        ));
+        d.set_route(NetId(0), r);
+        assert!(validate_routed_design(&l, &d).is_empty());
+    }
+
+    #[test]
+    fn vertical_t_junction_between_nets_is_a_short() {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100));
+        let n0 = l.add_net("n0", NetClass::Signal);
+        l.add_pin(n0, None, Point::new(50, 0), Layer::Metal4);
+        l.add_pin(n0, None, Point::new(50, 80), Layer::Metal4);
+        let n1 = l.add_net("n1", NetClass::Signal);
+        l.add_pin(n1, None, Point::new(20, 40), Layer::Metal4);
+        l.add_pin(n1, None, Point::new(50, 40), Layer::Metal4);
+        let mut d = RoutedDesign::new(l.die, 2);
+        let mut r0 = NetRoute::new();
+        r0.segs.push(RouteSeg::new(
+            Point::new(50, 0),
+            Point::new(50, 80),
+            Layer::Metal4,
+        ));
+        d.set_route(NetId(0), r0);
+        // n1's horizontal M4 wire ends exactly on n0's vertical wire: a
+        // T-junction short (only a shared *endpoint of both* is legal).
+        let mut r1 = NetRoute::new();
+        r1.segs.push(RouteSeg::new(
+            Point::new(20, 40),
+            Point::new(50, 40),
+            Layer::Metal4,
+        ));
+        d.set_route(NetId(1), r1);
+        let errors = validate_routed_design(&l, &d);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::Short { .. })));
+    }
+
+    #[test]
+    fn multi_component_route_reports_component_count() {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100));
+        let n = l.add_net("n", NetClass::Signal);
+        for p in [Point::new(0, 10), Point::new(50, 10), Point::new(90, 90)] {
+            l.add_pin(n, None, p, Layer::Metal3);
+        }
+        let mut d = RoutedDesign::new(l.die, 1);
+        let mut r = NetRoute::new();
+        r.segs.push(RouteSeg::new(
+            Point::new(0, 10),
+            Point::new(50, 10),
+            Layer::Metal3,
+        ));
+        // Third pin untouched → 2 components.
+        d.set_route(NetId(0), r);
+        let errors = validate_routed_design(&l, &d);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::Disconnected { components: 2, .. })));
+    }
+
+    #[test]
+    fn validate_flags_out_of_die() {
+        let (l, _n) = two_pin_layout(Point::new(0, 10), Point::new(50, 10));
+        let mut d = RoutedDesign::new(l.die, 1);
+        let mut r = NetRoute::new();
+        r.segs.push(RouteSeg::new(
+            Point::new(0, 10),
+            Point::new(500, 10),
+            Layer::Metal3,
+        ));
+        d.set_route(NetId(0), r);
+        let errors = validate_routed_design(&l, &d);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::OutsideDie { .. })));
+    }
+}

@@ -1,0 +1,268 @@
+#![warn(missing_docs)]
+
+//! SVG rendering of routed layouts (the paper's Figure 3 equivalent).
+//!
+//! Renders a [`Layout`] and its [`RoutedDesign`] as an SVG document:
+//! cells as grey boxes, obstacles hatched, wires per-layer colored
+//! (metal1 dark blue, metal2 light blue, metal3 red, metal4 orange),
+//! vias as black squares.
+//!
+//! ```
+//! use ocr_geom::{Layer, Point, Rect};
+//! use ocr_netlist::{Layout, NetClass, NetRoute, RouteSeg, RoutedDesign, NetId};
+//! use ocr_render::render_svg;
+//!
+//! let mut layout = Layout::new(Rect::new(0, 0, 100, 100));
+//! let n = layout.add_net("n", NetClass::Signal);
+//! layout.add_pin(n, None, Point::new(0, 50), Layer::Metal3);
+//! layout.add_pin(n, None, Point::new(100, 50), Layer::Metal3);
+//! let mut design = RoutedDesign::new(layout.die, 1);
+//! let mut r = NetRoute::new();
+//! r.segs.push(RouteSeg::new(Point::new(0, 50), Point::new(100, 50), Layer::Metal3));
+//! design.set_route(NetId(0), r);
+//! let svg = render_svg(&layout, &design);
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("line"));
+//! ```
+
+use ocr_geom::{Coord, Layer, Rect};
+use ocr_netlist::{Layout, RoutedDesign};
+use std::fmt::Write as _;
+
+/// Stroke color per metal layer.
+fn layer_color(layer: Layer) -> &'static str {
+    match layer {
+        Layer::Metal1 => "#1a3a8f",
+        Layer::Metal2 => "#3fa7d6",
+        Layer::Metal3 => "#d64545",
+        Layer::Metal4 => "#e8890c",
+    }
+}
+
+/// Stroke width per metal layer (wider on upper layers, mirroring the
+/// design rules).
+fn layer_width(layer: Layer) -> f64 {
+    match layer {
+        Layer::Metal1 | Layer::Metal2 => 1.2,
+        Layer::Metal3 => 1.8,
+        Layer::Metal4 => 2.4,
+    }
+}
+
+/// Renders the layout and routed design to an SVG string.
+///
+/// The y axis is flipped so the layout's origin sits at the bottom-left,
+/// as in the paper's figures.
+pub fn render_svg(layout: &Layout, design: &RoutedDesign) -> String {
+    let die = design.die.hull(&layout.die);
+    let flip = |y: Coord| die.y1() - y + die.y0();
+    let mut s = String::new();
+    let (w, h) = (die.width(), die.height());
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="{} {} {} {}" width="{}" height="{}">"#,
+        die.x0(),
+        die.y0(),
+        w,
+        h,
+        w.min(1600),
+        h.min(1600),
+    );
+    let _ = write!(
+        s,
+        r##"<rect x="{}" y="{}" width="{}" height="{}" fill="#fbfbf8" stroke="#444"/>"##,
+        die.x0(),
+        die.y0(),
+        w,
+        h
+    );
+
+    let rect_el = |s: &mut String, r: &Rect, fill: &str, stroke: &str, opacity: f64| {
+        let _ = write!(
+            s,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}" stroke="{}" fill-opacity="{}"/>"#,
+            r.x0(),
+            flip(r.y1()),
+            r.width(),
+            r.height(),
+            fill,
+            stroke,
+            opacity
+        );
+    };
+
+    for cell in &layout.cells {
+        rect_el(&mut s, &cell.outline, "#d9d9d2", "#888", 1.0);
+    }
+    for ob in &layout.obstacles {
+        rect_el(&mut s, &ob.rect, "#9a9a94", "#555", 0.8);
+    }
+    for (_, route) in design.iter_routes() {
+        for seg in &route.segs {
+            if seg.is_empty() {
+                continue;
+            }
+            let _ = write!(
+                s,
+                r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}"/>"#,
+                seg.a().x,
+                flip(seg.a().y),
+                seg.b().x,
+                flip(seg.b().y),
+                layer_color(seg.layer()),
+                layer_width(seg.layer())
+            );
+        }
+        for via in &route.vias {
+            let _ = write!(
+                s,
+                r##"<rect x="{}" y="{}" width="3" height="3" fill="#111"/>"##,
+                via.at.x - 1,
+                flip(via.at.y) - 1
+            );
+        }
+    }
+    for pin in &layout.pins {
+        let _ = write!(
+            s,
+            r##"<circle cx="{}" cy="{}" r="1.5" fill="#0a7d38"/>"##,
+            pin.position.x,
+            flip(pin.position.y)
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// Renders a congestion heatmap of a Level B routing grid: one cell per
+/// track intersection, colored by how many planes are occupied
+/// (yellow = one plane used, red = both, dark = blocked; free cells are
+/// left transparent).
+///
+/// Useful for debugging dense layouts and for illustrating the cost
+/// function's congestion term.
+pub fn render_congestion(grid: &ocr_grid::GridModel) -> String {
+    use ocr_grid::CellState;
+    let region = grid.region();
+    let flip = |y: Coord| region.y1() - y + region.y0();
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="{} {} {} {}">"#,
+        region.x0(),
+        region.y0(),
+        region.width(),
+        region.height()
+    );
+    let class_of = |st: CellState| match st {
+        CellState::Free => 0u8,
+        CellState::Used(_) => 1,
+        CellState::Blocked => 2,
+    };
+    for j in 0..grid.nh() {
+        for i in 0..grid.nv() {
+            let h = class_of(grid.state(ocr_geom::Dir::Horizontal, i, j));
+            let v = class_of(grid.state(ocr_geom::Dir::Vertical, i, j));
+            let color = match (h, v) {
+                (0, 0) => continue, // free: background shows through
+                (2, _) | (_, 2) => "#333333",
+                (1, 1) => "#d64545",
+                _ => "#e8c547",
+            };
+            let p = grid.point(i, j);
+            let _ = write!(
+                s,
+                r#"<rect x="{}" y="{}" width="4" height="4" fill="{}"/>"#,
+                p.x - 2,
+                flip(p.y) - 2,
+                color
+            );
+        }
+    }
+    s.push_str("</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocr_geom::{Point, Rect};
+    use ocr_netlist::{NetClass, NetId, NetRoute, RouteSeg, Via};
+
+    fn simple() -> (Layout, RoutedDesign) {
+        let mut layout = Layout::new(Rect::new(0, 0, 100, 100));
+        layout.add_cell("c", Rect::new(10, 10, 40, 40));
+        let n = layout.add_net("n", NetClass::Signal);
+        layout.add_pin(n, None, Point::new(0, 50), Layer::Metal3);
+        layout.add_pin(n, None, Point::new(100, 60), Layer::Metal3);
+        let mut design = RoutedDesign::new(layout.die, 1);
+        let mut r = NetRoute::new();
+        r.segs.push(RouteSeg::new(
+            Point::new(0, 50),
+            Point::new(100, 50),
+            Layer::Metal3,
+        ));
+        r.segs.push(RouteSeg::new(
+            Point::new(100, 50),
+            Point::new(100, 60),
+            Layer::Metal4,
+        ));
+        r.vias
+            .push(Via::new(Point::new(100, 50), Layer::Metal3, Layer::Metal4));
+        design.set_route(NetId(0), r);
+        (layout, design)
+    }
+
+    #[test]
+    fn svg_contains_all_element_kinds() {
+        let (l, d) = simple();
+        let svg = render_svg(&l, &d);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("line"));
+        assert!(svg.contains("circle"));
+        assert!(svg.matches("<rect").count() >= 3); // die + cell + via
+    }
+
+    #[test]
+    fn layers_get_distinct_colors() {
+        let (l, d) = simple();
+        let svg = render_svg(&l, &d);
+        assert!(svg.contains(layer_color(Layer::Metal3)));
+        assert!(svg.contains(layer_color(Layer::Metal4)));
+        assert_ne!(layer_color(Layer::Metal3), layer_color(Layer::Metal4));
+    }
+
+    #[test]
+    fn congestion_heatmap_colors_by_occupancy() {
+        use ocr_geom::{Dir, Interval};
+        use ocr_grid::{CellState, GridModel, TrackSet};
+        let mut g = GridModel::new(
+            Rect::new(0, 0, 40, 40),
+            TrackSet::from_pitch(Interval::new(0, 40), 10),
+            TrackSet::from_pitch(Interval::new(0, 40), 10),
+        );
+        g.set_state(Dir::Horizontal, 1, 1, CellState::Used(3)); // one plane
+        g.set_state(Dir::Horizontal, 2, 2, CellState::Used(3)); // both
+        g.set_state(Dir::Vertical, 2, 2, CellState::Used(4));
+        // Blocks (3,2), (3,3), (3,4): the inside cell plus the two
+        // whose segments would cross the obstacle interior.
+        g.block_rect(&Rect::new(25, 25, 40, 40), Dir::Vertical);
+        let svg = render_congestion(&g);
+        assert!(svg.contains("#e8c547"), "one-plane color present");
+        assert!(svg.contains("#d64545"), "both-planes color present");
+        assert!(svg.contains("#333333"), "blocked color present");
+        // Two used cells + three blocked cells.
+        assert_eq!(svg.matches("<rect").count(), 5);
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let (l, d) = simple();
+        let svg = render_svg(&l, &d);
+        // The M3 wire at layout y=50 renders at svg y = 100-50 = 50 here;
+        // the via at layout (100,50) renders near y=50 too — check the
+        // cell at y0=10..40 renders with y = 100-40 = 60.
+        assert!(svg.contains(r#"<rect x="10" y="60" width="30" height="30""#));
+    }
+}

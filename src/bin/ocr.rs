@@ -1,0 +1,183 @@
+//! `ocr` — command-line driver for the over-cell router.
+//!
+//! ```text
+//! ocr generate <ami33|xerox|ex3|random> [--seed N] [-o chip.ocr]
+//! ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
+//!                      [--svg out.svg] [--routes out.txt]
+//! ocr stats <chip.ocr>
+//! ```
+
+use overcell_router::core::{
+    FourLayerChannelFlow, OverCellFlow, ThreeLayerChannelFlow, TwoLayerChannelFlow,
+};
+use overcell_router::gen::{random::small_random, suite};
+use overcell_router::io::{parse_chip, write_chip, write_routes};
+use overcell_router::netlist::{
+    validate_routed_design, ChipMetrics, Layout, NetClass, RowPlacement,
+};
+use overcell_router::render::render_svg;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ocr — multi-layer over-cell router (Katsadas & Shen, DAC 1990)
+
+USAGE:
+  ocr generate <ami33|xerox|ex3|random> [--seed N] [-o FILE]
+      Generate a benchmark chip and write it as .ocr text (stdout by
+      default).
+  ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
+                       [--svg FILE] [--routes FILE]
+      Route the chip with the selected flow (default: overcell), print
+      metrics, optionally write an SVG and the routed geometry.
+  ocr stats <chip.ocr>
+      Print the chip's Table-1-style statistics.
+  ocr help
+      Show this message.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(|s| s.as_str()) {
+        Some("generate") => generate(args),
+        Some("route") => route(args),
+        Some("stats") => stats(args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn load(path: &str) -> Result<(Layout, RowPlacement), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let (layout, placement) = parse_chip(&text).map_err(|e| format!("{path}: {e}"))?;
+    let problems = layout.audit();
+    if !problems.is_empty() {
+        return Err(format!(
+            "{path}: layout audit failed: {}",
+            problems.join("; ")
+        ));
+    }
+    let problems = placement.audit(&layout);
+    if !problems.is_empty() {
+        return Err(format!(
+            "{path}: placement audit failed: {}",
+            problems.join("; ")
+        ));
+    }
+    Ok((layout, placement))
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let which = args.get(1).ok_or("generate: missing benchmark name")?;
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let chip = match which.as_str() {
+        "ami33" => suite::ami33_like(),
+        "xerox" => suite::xerox_like(),
+        "ex3" => suite::ex3_like(),
+        "random" => small_random(8, 3, 4, 20, seed),
+        other => return Err(format!("unknown benchmark `{other}`")),
+    };
+    let text = write_chip(&chip.layout, &chip.placement);
+    match flag_value(args, "-o") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote {path}: {} cells, {} nets, {} pins",
+                chip.layout.cells.len(),
+                chip.layout.nets.len(),
+                chip.layout.total_pins()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn route(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("route: missing chip file")?;
+    let (layout, placement) = load(path)?;
+    let flow_name = flag_value(args, "--flow").unwrap_or("overcell");
+    let result = match flow_name {
+        "overcell" => OverCellFlow::default()
+            .run(&layout, &placement)
+            .map_err(|e| e.to_string())?,
+        "channel2" => TwoLayerChannelFlow::default()
+            .run(&layout, &placement)
+            .map_err(|e| e.to_string())?,
+        "channel3" => ThreeLayerChannelFlow::default()
+            .run(&layout, &placement)
+            .map_err(|e| e.to_string())?,
+        "channel4" => FourLayerChannelFlow::default()
+            .run(&layout, &placement)
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown flow `{other}`")),
+    };
+    let errors = validate_routed_design(&result.layout, &result.design);
+    println!("flow: {flow_name}");
+    println!("die:  {}", result.layout.die);
+    println!("metrics: {}", result.metrics);
+    println!(
+        "terminal via cuts (not counted above): {}",
+        result.metrics.terminal_via_cuts
+    );
+    if let Some(stats) = &result.stats {
+        println!("level B: {stats}");
+    }
+    if errors.is_empty() {
+        println!("validation: clean");
+    } else {
+        println!("validation: {} errors (first: {})", errors.len(), errors[0]);
+    }
+    if let Some(svg_path) = flag_value(args, "--svg") {
+        let svg = render_svg(&result.layout, &result.design);
+        std::fs::write(svg_path, svg).map_err(|e| format!("{svg_path}: {e}"))?;
+        eprintln!("wrote {svg_path}");
+    }
+    if let Some(routes_path) = flag_value(args, "--routes") {
+        let text = write_routes(&result.layout, &result.design);
+        std::fs::write(routes_path, text).map_err(|e| format!("{routes_path}: {e}"))?;
+        eprintln!("wrote {routes_path}");
+    }
+    if !errors.is_empty() {
+        return Err("routed design failed validation".into());
+    }
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("stats: missing chip file")?;
+    let (layout, placement) = load(path)?;
+    let level_a: Vec<_> = layout
+        .net_ids()
+        .filter(|&n| {
+            layout.net(n).class.is_level_a_default() || layout.net(n).class == NetClass::Power
+        })
+        .collect();
+    let m = ChipMetrics::of(path.as_str(), &layout, &level_a);
+    println!("{m}");
+    println!("placement: {placement}");
+    println!("die: {} (area {})", layout.die, layout.die.area());
+    Ok(())
+}

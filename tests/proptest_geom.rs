@@ -1,0 +1,95 @@
+//! Property-based tests on the geometry substrate.
+
+use overcell_router::geom::{manhattan, Dir, Interval, Point, Rect};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000i64..1000, -1000i64..1000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_points(a, b))
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (-1000i64..1000, -1000i64..1000).prop_map(|(a, b)| Interval::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(manhattan(a, c) <= manhattan(a, b) + manhattan(b, c));
+    }
+
+    #[test]
+    fn manhattan_symmetry_and_identity(a in arb_point(), b in arb_point()) {
+        prop_assert_eq!(manhattan(a, b), manhattan(b, a));
+        prop_assert_eq!(manhattan(a, a), 0);
+    }
+
+    #[test]
+    fn rect_intersection_commutes_and_is_contained(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn rect_hull_contains_both_and_is_minimal_area_monotone(a in arb_rect(), b in arb_rect()) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains_rect(&a) && h.contains_rect(&b));
+        prop_assert!(h.area() >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn rect_contains_point_iff_spans_contain(r in arb_rect(), p in arb_point()) {
+        let by_span = r.span(Dir::Horizontal).contains(p.x) && r.span(Dir::Vertical).contains(p.y);
+        prop_assert_eq!(r.contains(p), by_span);
+    }
+
+    #[test]
+    fn interval_subtract_is_disjoint_from_cut(a in arb_interval(), cut in arb_interval()) {
+        for piece in a.subtract(&cut) {
+            prop_assert!(a.contains_interval(&piece));
+            prop_assert!(!piece.overlaps_interior(&cut));
+        }
+    }
+
+    #[test]
+    fn interval_subtract_preserves_uncut_points(a in arb_interval(), cut in arb_interval(), x in -1000i64..1000) {
+        // Any point of `a` strictly outside `cut` must survive in a piece.
+        if a.contains(x) && !(cut.lo() < x && x < cut.hi()) {
+            let pieces = a.subtract(&cut);
+            prop_assert!(pieces.iter().any(|p| p.contains(x)),
+                "point {x} of {a} lost when cutting {cut}: {pieces:?}");
+        }
+    }
+
+    #[test]
+    fn interval_hull_and_intersect_are_dual(a in arb_interval(), b in arb_interval()) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains_interval(&a) && h.contains_interval(&b));
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains_interval(&i) && b.contains_interval(&i));
+            prop_assert_eq!(h.len(), a.len() + b.len() - i.len());
+        } else {
+            prop_assert!(h.len() > a.len() + b.len());
+        }
+    }
+
+    #[test]
+    fn rect_expand_round_trips(r in arb_rect(), d in 0i64..100) {
+        let grown = r.expand(d);
+        prop_assert!(grown.contains_rect(&r));
+        prop_assert_eq!(grown.expand(-d), r);
+    }
+
+    #[test]
+    fn point_track_coordinates_round_trip(p in arb_point()) {
+        for dir in [Dir::Horizontal, Dir::Vertical] {
+            prop_assert_eq!(Point::from_track(dir, p.across(dir), p.along(dir)), p);
+        }
+    }
+}

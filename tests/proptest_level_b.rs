@@ -1,0 +1,148 @@
+//! Property-based tests on the Level B over-cell router.
+
+use overcell_router::core::mbfs::{search_min_corner_paths, SearchWindow};
+use overcell_router::core::steiner::rectilinear_mst_length;
+use overcell_router::core::tig::Tig;
+use overcell_router::core::{config::LevelBConfig, level_b::LevelBRouter};
+use overcell_router::geom::{Layer, LayerSet, Point, Rect};
+use overcell_router::grid::{GridModel, TrackSet};
+use overcell_router::maze::{route_maze, MazeOptions};
+use overcell_router::netlist::{validate_routed_design, Layout, NetClass, Obstacle};
+use proptest::prelude::*;
+
+fn arb_grid_point() -> impl Strategy<Value = Point> {
+    (0i64..=20, 0i64..=20).prop_map(|(x, y)| Point::new(x * 10, y * 10))
+}
+
+fn layout_with(nets: Vec<Vec<Point>>, obstacles: Vec<Rect>) -> Layout {
+    let mut layout = Layout::new(Rect::new(0, 0, 200, 200));
+    for (k, pins) in nets.into_iter().enumerate() {
+        let n = layout.add_net(format!("n{k}"), NetClass::Signal);
+        for p in pins {
+            layout.add_pin(n, None, p, Layer::Metal2);
+        }
+    }
+    for r in obstacles {
+        layout.add_obstacle(Obstacle::new(r, LayerSet::level_b()));
+    }
+    layout
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every successfully routed design validates: connected, no shorts,
+    /// obstacles respected.
+    #[test]
+    fn routed_designs_validate(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(arb_grid_point(), 2..5), 1..6),
+        ob_x in 0i64..15, ob_y in 0i64..15,
+    ) {
+        // Deduplicate pins across nets (terminal cells are exclusive).
+        let mut seen = std::collections::HashSet::new();
+        let mut nets: Vec<Vec<Point>> = Vec::new();
+        for pins in raw {
+            let uniq: Vec<Point> = pins.into_iter().filter(|p| seen.insert(*p)).collect();
+            if uniq.len() >= 2 {
+                nets.push(uniq);
+            }
+        }
+        if nets.is_empty() {
+            return Ok(());
+        }
+        // An obstacle placed off-grid-corner so it can't seal terminals
+        // (strict-interior blocking; terminals sit on track crossings).
+        let ob = Rect::new(ob_x * 10 + 5, ob_y * 10 + 5, ob_x * 10 + 35, ob_y * 10 + 35);
+        let layout = layout_with(nets, vec![ob]);
+        let ids: Vec<_> = layout.net_ids().collect();
+        let mut router = LevelBRouter::new(&layout, &ids, LevelBConfig::default()).expect("router");
+        let res = router.route_all().expect("route_all");
+        // Failures are allowed (terminals may be unlucky), but whatever
+        // routed must be perfectly valid.
+        let mut clean = res.design.clone();
+        clean.failed.clear();
+        let errors = validate_routed_design(&layout, &clean);
+        prop_assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    /// On an empty grid the MBFS needs at most one corner between any
+    /// two terminals (zero when aligned) — min-corner optimality in the
+    /// trivial case.
+    #[test]
+    fn empty_grid_needs_at_most_one_corner(a in arb_grid_point(), b in arb_grid_point()) {
+        prop_assume!(a != b);
+        let grid = GridModel::new(
+            Rect::new(0, 0, 200, 200),
+            TrackSet::from_pitch(overcell_router::geom::Interval::new(0, 200), 10),
+            TrackSet::from_pitch(overcell_router::geom::Interval::new(0, 200), 10),
+        );
+        let tig = Tig::new(&grid);
+        let w = SearchWindow::full(&tig);
+        let ai = grid.snap(a).expect("grid");
+        let bi = grid.snap(b).expect("grid");
+        let out = search_min_corner_paths(&tig, 0, ai, bi, &w);
+        let aligned = a.x == b.x || a.y == b.y;
+        prop_assert_eq!(out.corners, Some(usize::from(!aligned)));
+    }
+
+    /// When the MBFS finds a path on an obstructed grid, its corner
+    /// count equals the minimum plane-change count found by the maze
+    /// router with a dominant via cost (the maze is complete, so it
+    /// certifies the minimum).
+    #[test]
+    fn mbfs_corner_count_is_minimal_when_it_succeeds(
+        a in arb_grid_point(), b in arb_grid_point(),
+        ox in 0i64..16, oy in 0i64..16, ow in 1i64..5, oh in 1i64..5,
+    ) {
+        prop_assume!(a != b);
+        let mut grid = GridModel::new(
+            Rect::new(0, 0, 200, 200),
+            TrackSet::from_pitch(overcell_router::geom::Interval::new(0, 200), 10),
+            TrackSet::from_pitch(overcell_router::geom::Interval::new(0, 200), 10),
+        );
+        let ob = Rect::new(ox * 10 - 5, oy * 10 - 5, (ox + ow) * 10 + 5, (oy + oh) * 10 + 5);
+        for dir in [overcell_router::geom::Dir::Horizontal, overcell_router::geom::Dir::Vertical] {
+            grid.block_rect(&ob, dir);
+        }
+        let Some(ai) = grid.snap(a) else { return Ok(()); };
+        let Some(bi) = grid.snap(b) else { return Ok(()); };
+        let tig = Tig::new(&grid);
+        // Terminals inside the obstacle are unroutable; skip.
+        prop_assume!(tig.edge_usable(0, ai.0, ai.1) && tig.edge_usable(0, bi.0, bi.1));
+        let w = SearchWindow::full(&tig);
+        let out = search_min_corner_paths(&tig, 0, ai, bi, &w);
+        let mut maze_grid = grid.clone();
+        let maze = route_maze(&mut maze_grid, 0, a, b, MazeOptions { via_cost: 100_000, astar: false });
+        match (out.corners, maze) {
+            (Some(c), Ok(path)) => {
+                prop_assert_eq!(c, path.route.vias.len(),
+                    "MBFS corners {} vs certified minimum {}", c, path.route.vias.len());
+            }
+            (Some(_), Err(_)) => prop_assert!(false, "MBFS found a path the maze missed"),
+            // MBFS may fail where the maze succeeds (incompleteness) —
+            // that is what the maze fallback is for.
+            (None, _) => {}
+        }
+    }
+
+    /// The routed Steiner tree never exceeds the terminal-only MST on an
+    /// empty grid.
+    #[test]
+    fn steiner_never_exceeds_terminal_mst(
+        raw in proptest::collection::vec(arb_grid_point(), 3..7)
+    ) {
+        let mut pins = raw;
+        pins.sort();
+        pins.dedup();
+        prop_assume!(pins.len() >= 3);
+        let layout = layout_with(vec![pins.clone()], vec![]);
+        let ids: Vec<_> = layout.net_ids().collect();
+        let mut router = LevelBRouter::new(&layout, &ids, LevelBConfig::default()).expect("router");
+        let res = router.route_all().expect("route_all");
+        prop_assume!(res.design.failed.is_empty());
+        let wl = res.design.route(ids[0]).expect("routed").wire_length();
+        let mst = rectilinear_mst_length(&pins);
+        prop_assert!(wl <= mst, "steiner {wl} exceeds terminal MST {mst}");
+    }
+}
