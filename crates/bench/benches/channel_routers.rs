@@ -3,23 +3,23 @@
 //! four-layer layer-pair decomposition, on random channel problems of
 //! growing width.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocr_bench::harness::{BenchmarkId, Criterion};
+use ocr_bench::{criterion_group, criterion_main};
 use ocr_channel::{
     route_four_layer, route_greedy, route_left_edge, ChannelProblem, GreedyOptions,
     LeftEdgeOptions, MultilayerOptions,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ocr_gen::rng::Rng;
 
 /// A random channel with ~`width / 3` two-to-four-pin nets.
 fn random_channel(width: usize, seed: u64) -> ChannelProblem {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut top = vec![0u32; width];
     let mut bottom = vec![0u32; width];
     let nets = width / 3;
     let mut free_cols: Vec<usize> = (0..width).collect();
     for net in 1..=nets {
-        let pins = rng.gen_range(2..=4).min(free_cols.len());
+        let pins = rng.gen_range(2usize..=4).min(free_cols.len());
         for _ in 0..pins {
             if free_cols.is_empty() {
                 break;

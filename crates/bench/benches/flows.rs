@@ -1,7 +1,8 @@
 //! End-to-end flow benchmarks on the paper's benchmark suite:
 //! the proposed over-cell flow vs the channel-only baselines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocr_bench::harness::{BenchmarkId, Criterion};
+use ocr_bench::{criterion_group, criterion_main};
 use ocr_core::{FourLayerChannelFlow, OverCellFlow, TwoLayerChannelFlow};
 use ocr_gen::suite;
 

@@ -7,16 +7,16 @@
 //! search touches O(tracks) vertices; the maze wave touches O(area)
 //! cells, so the gap widens with grid size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocr_bench::harness::{BenchmarkId, Criterion};
+use ocr_bench::{criterion_group, criterion_main};
 use ocr_core::cost::{CostEvaluator, CostWeights};
 use ocr_core::mbfs::{search_min_corner_paths, SearchWindow};
 use ocr_core::pst::select_best_path;
 use ocr_core::tig::Tig;
+use ocr_gen::rng::Rng;
 use ocr_geom::{Dir, Interval, Point, Rect};
 use ocr_grid::{GridModel, TrackSet};
 use ocr_maze::{route_maze, route_mikami, MazeOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A grid with scattered rectangular obstacles (~8% of area).
 fn obstacle_grid(tracks: i64, seed: u64) -> GridModel {
@@ -27,10 +27,10 @@ fn obstacle_grid(tracks: i64, seed: u64) -> GridModel {
         TrackSet::from_pitch(Interval::new(0, side), pitch),
         TrackSet::from_pitch(Interval::new(0, side), pitch),
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for _ in 0..tracks / 4 {
-        let w = rng.gen_range(2..6) * pitch;
-        let h = rng.gen_range(2..6) * pitch;
+        let w = rng.gen_range(2i64..6) * pitch;
+        let h = rng.gen_range(2i64..6) * pitch;
         let x = rng.gen_range(pitch..side - w - pitch);
         let y = rng.gen_range(pitch..side - h - pitch);
         let r = Rect::with_size(x, y, w, h);

@@ -6,16 +6,16 @@
 //! Benchmarks complete Level B runs while scaling (a) the grid size at
 //! fixed net count and (b) the net count at fixed grid size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocr_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ocr_bench::{criterion_group, criterion_main};
 use ocr_core::{config::LevelBConfig, level_b::LevelBRouter};
+use ocr_gen::rng::Rng;
 use ocr_geom::{Layer, Point, Rect};
 use ocr_netlist::{Layout, NetClass, NetId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A layout with `nets` random two-terminal nets on a `side`×`side` die.
 fn random_layout(side: i64, nets: usize, seed: u64) -> (Layout, Vec<NetId>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut layout = Layout::new(Rect::new(0, 0, side, side));
     let mut ids = Vec::new();
     let mut used = std::collections::HashSet::new();

@@ -2,22 +2,25 @@
 //! decomposition of §3.3, scaled over fanout, plus a quality report
 //! (routed length vs the terminal-only MST bound).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocr_bench::harness::{BenchmarkId, Criterion};
+use ocr_bench::{criterion_group, criterion_main};
 use ocr_core::steiner::rectilinear_mst_length;
 use ocr_core::{config::LevelBConfig, level_b::LevelBRouter};
+use ocr_gen::rng::Rng;
 use ocr_geom::{Layer, Point, Rect};
 use ocr_netlist::{Layout, NetClass, NetId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn fanout_layout(pins: usize, seed: u64) -> (Layout, NetId, Vec<Point>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut layout = Layout::new(Rect::new(0, 0, 2000, 2000));
     let net = layout.add_net("fan", NetClass::Signal);
     let mut pts = Vec::new();
     let mut used = std::collections::HashSet::new();
     while pts.len() < pins {
-        let p = Point::new(rng.gen_range(0..=200) * 10, rng.gen_range(0..=200) * 10);
+        let p = Point::new(
+            rng.gen_range(0i64..=200) * 10,
+            rng.gen_range(0i64..=200) * 10,
+        );
         if used.insert(p) {
             layout.add_pin(net, None, p, Layer::Metal2);
             pts.push(p);

@@ -11,6 +11,7 @@
 //! Each ablation reports completion, wire length, corners and routing
 //! vias on the ami33-equivalent.
 
+use ocr_bench::rng::Rng;
 use ocr_channel::{left_edge_track_count, ChannelProblem, LeftEdgeOptions};
 use ocr_core::{
     config::LevelBConfig, cost::CostWeights, level_b::LevelBRouter, order::NetOrdering,
@@ -18,8 +19,6 @@ use ocr_core::{
 };
 use ocr_gen::suite;
 use ocr_netlist::RouteMetrics;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn level_b_ablation(name: &str, config: LevelBConfig) {
     let chip = suite::ami33_like();
@@ -96,7 +95,7 @@ fn main() {
         "{:>6} {:>8} {:>10} {:>10}",
         "width", "density", "dogleg", "plain"
     );
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Rng::seed_from_u64(5);
     for width in [60usize, 120, 240] {
         let mut top = vec![0u32; width];
         let mut bottom = vec![0u32; width];

@@ -13,6 +13,10 @@
 //! * `fig2` — the Path Selection Trees of the same instance (Figure 2);
 //! * `fig3` — SVG of the ami33-equivalent Level B routing (Figure 3).
 
+pub mod harness;
+
+pub use ocr_gen::rng;
+
 use ocr_core::{
     run_analytic_four_layer_estimate, FlowResult, FourLayerChannelFlow, OverCellFlow,
     TwoLayerChannelFlow,

@@ -328,9 +328,8 @@ mod tests {
 
     #[test]
     fn three_layer_never_uses_more_tracks_than_two_layer() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(99);
+        use ocr_gen::rng::Rng;
+        let mut rng = Rng::seed_from_u64(99);
         for _ in 0..20 {
             let width = 24;
             let mut top = vec![0u32; width];

@@ -20,6 +20,7 @@ use crate::stats::RoutingStats;
 use ocr_channel::{ChannelFrame, ChannelRouterKind, ChipChannelOptions, MultilayerOptions};
 use ocr_geom::Coord;
 use ocr_netlist::{Layout, NetId, RouteMetrics, RoutedDesign, RowPlacement};
+use ocr_verify::VerifyReport;
 
 /// The output of any complete flow.
 #[derive(Clone, Debug)]
@@ -42,6 +43,14 @@ pub struct FlowResult {
     pub level_a_nets: Vec<NetId>,
     /// Nets routed over-cell (set B).
     pub level_b_nets: Vec<NetId>,
+    /// Independent oracle report (present when the flow's `verify` flag
+    /// was set).
+    pub verify: Option<VerifyReport>,
+}
+
+/// Runs the independent oracle when `enabled`, for [`FlowResult::verify`].
+fn maybe_verify(enabled: bool, layout: &Layout, design: &RoutedDesign) -> Option<VerifyReport> {
+    enabled.then(|| ocr_verify::verify(layout, design))
 }
 
 /// The proposed two-level flow.
@@ -53,6 +62,9 @@ pub struct OverCellFlow {
     pub level_a: ChipChannelOptions,
     /// Level B router configuration.
     pub level_b: LevelBConfig,
+    /// Run the `ocr-verify` oracle on the result (see
+    /// [`FlowResult::verify`]).
+    pub verify: bool,
 }
 
 impl Default for OverCellFlow {
@@ -61,6 +73,7 @@ impl Default for OverCellFlow {
             partition: PartitionStrategy::ByClass,
             level_a: ChipChannelOptions::default(),
             level_b: LevelBConfig::default(),
+            verify: false,
         }
     }
 }
@@ -98,6 +111,7 @@ impl OverCellFlow {
         let mut design = a.design;
         design.merge(b.design);
         let metrics = RouteMetrics::of(&design, &a.expanded);
+        let verify = maybe_verify(self.verify, &a.expanded, &design);
         Ok(FlowResult {
             design,
             layout: a.expanded,
@@ -108,6 +122,7 @@ impl OverCellFlow {
             channel_heights: a.channel_heights,
             level_a_nets: set_a,
             level_b_nets: set_b,
+            verify,
         })
     }
 }
@@ -117,6 +132,9 @@ impl OverCellFlow {
 pub struct TwoLayerChannelFlow {
     /// Chip-channel options (router kind forced to two-layer).
     pub options: ChipChannelOptions,
+    /// Run the `ocr-verify` oracle on the result (see
+    /// [`FlowResult::verify`]).
+    pub verify: bool,
 }
 
 impl TwoLayerChannelFlow {
@@ -133,6 +151,7 @@ impl TwoLayerChannelFlow {
         }
         let a = ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?;
         let metrics = RouteMetrics::of(&a.design, &a.expanded);
+        let verify = maybe_verify(self.verify, &a.expanded, &a.design);
         Ok(FlowResult {
             design: a.design,
             layout: a.expanded,
@@ -143,6 +162,7 @@ impl TwoLayerChannelFlow {
             channel_heights: a.channel_heights,
             level_a_nets: set_a,
             level_b_nets: Vec::new(),
+            verify,
         })
     }
 }
@@ -156,6 +176,9 @@ pub struct ThreeLayerChannelFlow {
     pub lea: ocr_channel::LeftEdgeOptions,
     /// Column pitch override.
     pub pitch: Option<Coord>,
+    /// Run the `ocr-verify` oracle on the result (see
+    /// [`FlowResult::verify`]).
+    pub verify: bool,
 }
 
 impl ThreeLayerChannelFlow {
@@ -172,6 +195,7 @@ impl ThreeLayerChannelFlow {
         };
         let a = ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?;
         let metrics = RouteMetrics::of(&a.design, &a.expanded);
+        let verify = maybe_verify(self.verify, &a.expanded, &a.design);
         Ok(FlowResult {
             design: a.design,
             layout: a.expanded,
@@ -182,6 +206,7 @@ impl ThreeLayerChannelFlow {
             channel_heights: a.channel_heights,
             level_a_nets: set_a,
             level_b_nets: Vec::new(),
+            verify,
         })
     }
 }
@@ -193,6 +218,9 @@ pub struct FourLayerChannelFlow {
     pub multilayer: MultilayerOptions,
     /// Column pitch override.
     pub pitch: Option<Coord>,
+    /// Run the `ocr-verify` oracle on the result (see
+    /// [`FlowResult::verify`]).
+    pub verify: bool,
 }
 
 impl FourLayerChannelFlow {
@@ -209,6 +237,7 @@ impl FourLayerChannelFlow {
         };
         let a = ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?;
         let metrics = RouteMetrics::of(&a.design, &a.expanded);
+        let verify = maybe_verify(self.verify, &a.expanded, &a.design);
         Ok(FlowResult {
             design: a.design,
             layout: a.expanded,
@@ -219,6 +248,7 @@ impl FourLayerChannelFlow {
             channel_heights: a.channel_heights,
             level_a_nets: set_a,
             level_b_nets: Vec::new(),
+            verify,
         })
     }
 }
@@ -316,7 +346,10 @@ mod tests {
     #[test]
     fn two_layer_baseline_routes_everything() {
         let (l, p) = chip();
-        let flow = TwoLayerChannelFlow { options: opts10() };
+        let flow = TwoLayerChannelFlow {
+            options: opts10(),
+            verify: false,
+        };
         let res = flow.run(&l, &p).expect("flow");
         assert_eq!(res.metrics.routed_nets, 3);
         let errors = validate_routed_design(&res.layout, &res.design);
@@ -345,9 +378,12 @@ mod tests {
         }
         .run(&l, &p)
         .expect("over-cell");
-        let two = TwoLayerChannelFlow { options: opts10() }
-            .run(&l, &p)
-            .expect("two-layer");
+        let two = TwoLayerChannelFlow {
+            options: opts10(),
+            verify: false,
+        }
+        .run(&l, &p)
+        .expect("two-layer");
         assert!(
             over.metrics.layout_area <= two.metrics.layout_area,
             "over-cell {} vs two-layer {}",
@@ -359,9 +395,12 @@ mod tests {
     #[test]
     fn analytic_estimate_is_bounded() {
         let (l, p) = chip();
-        let two = TwoLayerChannelFlow { options: opts10() }
-            .run(&l, &p)
-            .expect("two-layer");
+        let two = TwoLayerChannelFlow {
+            options: opts10(),
+            verify: false,
+        }
+        .run(&l, &p)
+        .expect("two-layer");
         let est = run_analytic_four_layer_estimate(&two, &l);
         // Lower bound: rows alone. Upper bound: all tracks (unhalved)
         // laid out at the coarse four-layer pitch. Note the estimate may
@@ -383,12 +422,35 @@ mod tests {
     }
 
     #[test]
+    fn verify_flag_attaches_a_clean_report() {
+        let (l, p) = chip();
+        let res = OverCellFlow {
+            level_a: opts10(),
+            verify: true,
+            ..OverCellFlow::default()
+        }
+        .run(&l, &p)
+        .expect("flow");
+        let report = res.verify.expect("verify flag set, report attached");
+        assert!(report.is_clean(), "{report}");
+
+        let silent = TwoLayerChannelFlow {
+            options: opts10(),
+            verify: false,
+        }
+        .run(&l, &p)
+        .expect("flow");
+        assert!(silent.verify.is_none());
+    }
+
+    #[test]
     fn all_b_partition_eliminates_channel_growth() {
         let (l, p) = chip();
         let res = OverCellFlow {
             partition: PartitionStrategy::AllB,
             level_a: opts10(),
             level_b: LevelBConfig::default(),
+            verify: false,
         }
         .run(&l, &p)
         .expect("flow");

@@ -24,8 +24,10 @@
 //! ```
 
 pub mod random;
+pub mod rng;
 pub mod spec;
 pub mod suite;
 
 pub use random::{generate, GeneratedChip};
+pub use rng::Rng;
 pub use spec::BenchmarkSpec;

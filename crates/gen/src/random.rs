@@ -1,10 +1,9 @@
 //! Seeded random layout generation.
 
+use crate::rng::Rng;
 use crate::spec::{distribute_pins, BenchmarkSpec};
 use ocr_geom::{Coord, Layer, LayerSet, Point, Rect};
 use ocr_netlist::{CellId, DesignRules, Layout, NetClass, NetId, Obstacle, Row, RowPlacement};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// A generated benchmark chip.
@@ -61,7 +60,7 @@ struct Slot {
 pub fn generate(spec: &BenchmarkSpec) -> GeneratedChip {
     let rules = DesignRules::default();
     let pitch = rules.channel_pitch_level_a();
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
 
     // ---- Cells in rows -------------------------------------------------
     let per_row = spec.cells.div_ceil(spec.rows);
@@ -79,7 +78,7 @@ pub fn generate(spec: &BenchmarkSpec) -> GeneratedChip {
     // density on real macro-cell boundaries is far below saturation.
     let avg_cols = (spec.pins() * 3 / (2 * spec.cells)).max(16) as Coord;
     for r in 0..spec.rows {
-        let height = pitch * rng.gen_range(28..44);
+        let height = pitch * rng.gen_range(28i64..44);
         let mut x = margin;
         let mut row_cells = Vec::new();
         let in_row = per_row.min(spec.cells - cell_idx);
@@ -133,10 +132,7 @@ pub fn generate(spec: &BenchmarkSpec) -> GeneratedChip {
         slots.len()
     );
     // Shuffle slots (Fisher–Yates over indices).
-    for k in (1..slots.len()).rev() {
-        let j = rng.gen_range(0..=k);
-        slots.swap(k, j);
-    }
+    rng.shuffle(&mut slots);
     let mut next_slot = 0usize;
     let mut used_cells_guard: HashSet<(u32, i64, bool)> = HashSet::new();
     let mut take_slot = |next_slot: &mut usize| -> Slot {

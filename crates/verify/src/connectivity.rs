@@ -1,0 +1,232 @@
+//! Independent electrical-connectivity extraction.
+//!
+//! Builds the electrical graph of one net from first principles: wire
+//! segments touch when their centerlines share a point on the same
+//! layer, vias bridge every layer they span at their cut point, and
+//! terminals join geometry that lands on their layer at their position.
+//! No router data structures are consulted — only the emitted geometry.
+
+use ocr_geom::{Layer, Point};
+use ocr_netlist::{NetRoute, RouteSeg, Via};
+
+/// Union–find over the items (pins, segments, vias) of one net.
+struct DisjointSets {
+    parent: Vec<usize>,
+}
+
+impl DisjointSets {
+    fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Result of the connectivity analysis of one net.
+#[derive(Clone, Debug)]
+pub struct NetConnectivity {
+    /// Number of disjoint electrical components the geometry + pins form.
+    pub components: usize,
+    /// Whether every terminal sits in one common component.
+    pub pins_connected: bool,
+    /// One representative location per component containing no terminal.
+    pub dangling: Vec<(Layer, Point)>,
+}
+
+/// `true` when the segment's centerline passes through `p` (segments are
+/// axis-parallel with normalized endpoints).
+fn seg_contains(seg: &RouteSeg, p: Point) -> bool {
+    let (a, b) = (seg.a(), seg.b());
+    a.x <= p.x && p.x <= b.x && a.y <= p.y && p.y <= b.y
+}
+
+/// `true` when two same-layer centerlines share at least one point.
+fn segs_touch(s: &RouteSeg, t: &RouteSeg) -> bool {
+    if s.layer() != t.layer() {
+        return false;
+    }
+    let (sa, sb, ta, tb) = (s.a(), s.b(), t.a(), t.b());
+    sa.x <= tb.x && ta.x <= sb.x && sa.y <= tb.y && ta.y <= sb.y
+}
+
+/// `true` when two vias share a cut point and at least one layer.
+fn vias_touch(u: &Via, v: &Via) -> bool {
+    u.at == v.at && u.lower.index() <= v.upper.index() && v.lower.index() <= u.upper.index()
+}
+
+/// Analyzes one net: `pins` are the net's terminals (position, layer),
+/// `route` its emitted geometry.
+pub fn analyze_net(pins: &[(Point, Layer)], route: &NetRoute) -> NetConnectivity {
+    let np = pins.len();
+    let ns = route.segs.len();
+    let nv = route.vias.len();
+    let n = np + ns + nv;
+    let mut sets = DisjointSets::new(n);
+
+    // Segment–segment contact.
+    for i in 0..ns {
+        for j in (i + 1)..ns {
+            if segs_touch(&route.segs[i], &route.segs[j]) {
+                sets.union(np + i, np + j);
+            }
+        }
+    }
+    // Via–segment and via–via contact.
+    for k in 0..nv {
+        let via = &route.vias[k];
+        for (i, seg) in route.segs.iter().enumerate() {
+            if via.spans(seg.layer()) && seg_contains(seg, via.at) {
+                sets.union(np + ns + k, np + i);
+            }
+        }
+        for l in (k + 1)..nv {
+            if vias_touch(via, &route.vias[l]) {
+                sets.union(np + ns + k, np + ns + l);
+            }
+        }
+    }
+    // Pin attachment.
+    for (p, &(pos, layer)) in pins.iter().enumerate() {
+        for (i, seg) in route.segs.iter().enumerate() {
+            if seg.layer() == layer && seg_contains(seg, pos) {
+                sets.union(p, np + i);
+            }
+        }
+        for (k, via) in route.vias.iter().enumerate() {
+            if via.spans(layer) && via.at == pos {
+                sets.union(p, np + ns + k);
+            }
+        }
+        for (q, &(qpos, qlayer)) in pins.iter().enumerate().skip(p + 1) {
+            if qpos == pos && qlayer == layer {
+                sets.union(p, q);
+            }
+        }
+    }
+
+    // Count components and find those without a terminal.
+    let roots: Vec<usize> = (0..n).map(|i| sets.find(i)).collect();
+    let mut uniq: Vec<usize> = roots.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let components = uniq.len();
+
+    let pins_connected = if np < 2 {
+        true
+    } else {
+        roots[..np].iter().all(|&r| r == roots[0])
+    };
+
+    let mut dangling = Vec::new();
+    if np > 0 {
+        for &root in &uniq {
+            if roots[..np].contains(&root) {
+                continue;
+            }
+            // Representative: first segment (start point) or via in the
+            // stray component.
+            if let Some(i) = (0..ns).find(|&i| roots[np + i] == root) {
+                dangling.push((route.segs[i].layer(), route.segs[i].a()));
+            } else if let Some(k) = (0..nv).find(|&k| roots[np + ns + k] == root) {
+                dangling.push((route.vias[k].lower, route.vias[k].at));
+            }
+        }
+    }
+
+    NetConnectivity {
+        components,
+        pins_connected,
+        dangling,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocr_netlist::NetRoute;
+
+    fn seg(ax: i64, ay: i64, bx: i64, by: i64, l: Layer) -> RouteSeg {
+        RouteSeg::new(Point::new(ax, ay), Point::new(bx, by), l)
+    }
+
+    #[test]
+    fn two_crossing_segs_plus_via_connect_pins() {
+        let mut route = NetRoute::new();
+        route.segs.push(seg(0, 5, 10, 5, Layer::Metal1));
+        route.segs.push(seg(4, 0, 4, 9, Layer::Metal2));
+        route
+            .vias
+            .push(Via::new(Point::new(4, 5), Layer::Metal1, Layer::Metal2));
+        let pins = [
+            (Point::new(0, 5), Layer::Metal1),
+            (Point::new(4, 0), Layer::Metal2),
+        ];
+        let c = analyze_net(&pins, &route);
+        assert_eq!(c.components, 1);
+        assert!(c.pins_connected);
+        assert!(c.dangling.is_empty());
+    }
+
+    #[test]
+    fn crossing_segs_on_different_layers_do_not_connect() {
+        let mut route = NetRoute::new();
+        route.segs.push(seg(0, 5, 10, 5, Layer::Metal1));
+        route.segs.push(seg(4, 0, 4, 9, Layer::Metal2));
+        let pins = [
+            (Point::new(0, 5), Layer::Metal1),
+            (Point::new(4, 0), Layer::Metal2),
+        ];
+        let c = analyze_net(&pins, &route);
+        assert_eq!(c.components, 2);
+        assert!(!c.pins_connected);
+    }
+
+    #[test]
+    fn stacked_vias_bridge_four_layers() {
+        let mut route = NetRoute::new();
+        route.segs.push(seg(0, 0, 8, 0, Layer::Metal1));
+        route.segs.push(seg(8, 0, 8, 6, Layer::Metal4));
+        route
+            .vias
+            .push(Via::new(Point::new(8, 0), Layer::Metal1, Layer::Metal2));
+        route
+            .vias
+            .push(Via::new(Point::new(8, 0), Layer::Metal2, Layer::Metal4));
+        let pins = [
+            (Point::new(0, 0), Layer::Metal1),
+            (Point::new(8, 6), Layer::Metal4),
+        ];
+        let c = analyze_net(&pins, &route);
+        assert_eq!(c.components, 1);
+        assert!(c.pins_connected);
+    }
+
+    #[test]
+    fn isolated_segment_is_dangling() {
+        let mut route = NetRoute::new();
+        route.segs.push(seg(0, 0, 8, 0, Layer::Metal1));
+        route.segs.push(seg(50, 50, 60, 50, Layer::Metal1));
+        let pins = [
+            (Point::new(0, 0), Layer::Metal1),
+            (Point::new(8, 0), Layer::Metal1),
+        ];
+        let c = analyze_net(&pins, &route);
+        assert!(c.pins_connected);
+        assert_eq!(c.dangling, vec![(Layer::Metal1, Point::new(50, 50))]);
+    }
+}

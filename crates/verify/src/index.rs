@@ -1,0 +1,161 @@
+//! Drawn-geometry extraction and the spatial sweep used by the short
+//! and spacing checks.
+//!
+//! All drawn rectangles are kept in **doubled coordinates** so that the
+//! half-width expansion of a centerline stays integral: a segment of
+//! centerline `[p, q]` on a layer with wire width `w` occupies the
+//! doubled-coordinate rectangle `[2p − w, 2q + w]` per axis (half-width
+//! `w/2` doubles to `w`). Gaps measured in doubled coordinates are twice
+//! the layout-unit gap.
+
+use ocr_geom::{Coord, Layer, LayerSet, Point};
+use ocr_netlist::{DesignRules, Layout, NetId, RoutedDesign};
+
+/// One drawn rectangle of metal, in doubled coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Drawn {
+    /// Owning net.
+    pub net: NetId,
+    /// Metal layer.
+    pub layer: Layer,
+    /// Doubled-coordinate bounds.
+    pub x0: i64,
+    /// Doubled-coordinate bounds.
+    pub y0: i64,
+    /// Doubled-coordinate bounds.
+    pub x1: i64,
+    /// Doubled-coordinate bounds.
+    pub y1: i64,
+}
+
+impl Drawn {
+    /// Center of the rectangle in original layout coordinates
+    /// (rounded), for violation reports.
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 4, (self.y0 + self.y1) / 4)
+    }
+}
+
+/// Whether stacked vias get landing pads on every layer they span or
+/// only at the two end layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViaPadModel {
+    /// Pads on every spanned layer (a full stacked-via column).
+    FullStack,
+    /// Pads only on the two end layers.
+    EndLayers,
+}
+
+/// Extracts every drawn rectangle of the design.
+///
+/// Layers in `drawn_layers` are expanded to their full wire width and
+/// via pad size; on the remaining layers wires and vias are kept as
+/// zero-width centerlines/points, which models the electrical contract
+/// of a track-based router whose tracks may sit off-pitch (distinct
+/// tracks never touch, but their drawn widths may be closer than the
+/// physical spacing rule).
+pub fn build_drawn(
+    layout: &Layout,
+    design: &RoutedDesign,
+    pads: ViaPadModel,
+    drawn_layers: LayerSet,
+) -> Vec<Drawn> {
+    let rules: &DesignRules = &layout.rules;
+    let mut out = Vec::new();
+    for (net, route) in design.iter_routes() {
+        for seg in &route.segs {
+            let w = if drawn_layers.contains(seg.layer()) {
+                rules.layer(seg.layer()).wire_width
+            } else {
+                0
+            };
+            let (a, b) = (seg.a(), seg.b());
+            out.push(Drawn {
+                net,
+                layer: seg.layer(),
+                x0: 2 * a.x - w,
+                y0: 2 * a.y - w,
+                x1: 2 * b.x + w,
+                y1: 2 * b.y + w,
+            });
+        }
+        for via in &route.vias {
+            let layers: Vec<Layer> = match pads {
+                ViaPadModel::FullStack => {
+                    Layer::ALL.into_iter().filter(|&l| via.spans(l)).collect()
+                }
+                ViaPadModel::EndLayers => {
+                    if via.lower == via.upper {
+                        vec![via.lower]
+                    } else {
+                        vec![via.lower, via.upper]
+                    }
+                }
+            };
+            for layer in layers {
+                let v = if drawn_layers.contains(layer) {
+                    rules
+                        .layer(layer)
+                        .via_size
+                        .max(rules.layer(layer).wire_width)
+                } else {
+                    0
+                };
+                out.push(Drawn {
+                    net,
+                    layer,
+                    x0: 2 * via.at.x - v,
+                    y0: 2 * via.at.y - v,
+                    x1: 2 * via.at.x + v,
+                    y1: 2 * via.at.y + v,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Separation between two drawn rectangles in doubled coordinates:
+/// `(dx, dy)` axis gaps, both zero when the rectangles overlap or touch.
+pub fn gap2(a: &Drawn, b: &Drawn) -> (i64, i64) {
+    let dx = (b.x0 - a.x1).max(a.x0 - b.x1).max(0);
+    let dy = (b.y0 - a.y1).max(a.y0 - b.y1).max(0);
+    (dx, dy)
+}
+
+/// Calls `f(i, j)` for every pair of same-layer items whose doubled
+/// x-gap is below `margin2`. Items are visited via a plane sweep over
+/// x, so the expected cost is near-linear for routed designs.
+pub fn for_each_near_pair(items: &[Drawn], margin2: i64, mut f: impl FnMut(usize, usize)) {
+    // Sort indices per layer by x0.
+    let mut by_layer: [Vec<usize>; 4] = Default::default();
+    for (i, d) in items.iter().enumerate() {
+        by_layer[d.layer.index()].push(i);
+    }
+    for order in by_layer.iter_mut() {
+        order.sort_unstable_by_key(|&i| items[i].x0);
+        let mut active: Vec<usize> = Vec::new();
+        for &i in order.iter() {
+            let cur = &items[i];
+            active.retain(|&j| items[j].x1 + margin2 > cur.x0);
+            for &j in &active {
+                // y prefilter; the caller does the exact distance test.
+                let (_, dy) = gap2(cur, &items[j]);
+                if dy < margin2 {
+                    f(j, i);
+                }
+            }
+            active.push(i);
+        }
+    }
+}
+
+/// Required minimum spacing for a layer, in doubled coordinates.
+pub fn spacing2(rules: &DesignRules, layer: Layer) -> i64 {
+    2 * rules.layer(layer).wire_spacing
+}
+
+/// The layer's required spacing in layout units (for reports).
+pub fn spacing_required(rules: &DesignRules, layer: Layer) -> Coord {
+    rules.layer(layer).wire_spacing
+}

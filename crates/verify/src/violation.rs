@@ -1,0 +1,256 @@
+//! Structured verification violations.
+
+use ocr_geom::{Coord, Layer, Point};
+use ocr_netlist::NetId;
+use std::fmt;
+
+/// One verification finding, with enough location data to inspect the
+/// offending geometry in a viewer or test assertion.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A net with two or more terminals has no route and was not
+    /// declared failed by the router.
+    MissingRoute {
+        /// The unrouted net.
+        net: NetId,
+    },
+    /// A net's route exists but contains no geometry.
+    EmptyRoute {
+        /// The net with the empty route.
+        net: NetId,
+    },
+    /// The net's terminals are not all electrically connected.
+    OpenNet {
+        /// The open net.
+        net: NetId,
+        /// Number of disjoint electrical components its geometry forms.
+        components: usize,
+    },
+    /// A connected component of the net's geometry touches no terminal
+    /// (stray metal that serves no connection).
+    Dangling {
+        /// The owning net.
+        net: NetId,
+        /// Layer of a representative piece of the stray component.
+        layer: Layer,
+        /// Location of that piece.
+        at: Point,
+    },
+    /// Drawn geometry of two distinct nets overlaps or touches.
+    Short {
+        /// First net (lower id).
+        a: NetId,
+        /// Second net.
+        b: NetId,
+        /// The layer the geometries collide on.
+        layer: Layer,
+        /// A point inside/near the collision.
+        at: Point,
+    },
+    /// Drawn geometry of two distinct nets is closer than the layer's
+    /// minimum spacing (without touching).
+    Spacing {
+        /// First net (lower id).
+        a: NetId,
+        /// Second net.
+        b: NetId,
+        /// The layer the geometries approach on.
+        layer: Layer,
+        /// A point near the narrow gap.
+        at: Point,
+        /// The measured edge-to-edge gap (Euclidean, layout units).
+        gap: f64,
+        /// The layer's required minimum spacing.
+        required: Coord,
+    },
+    /// A positive-length wire segment shorter than the layer's wire
+    /// width — a sliver the fab cannot print reliably.
+    MinWidth {
+        /// The owning net.
+        net: NetId,
+        /// The segment's layer.
+        layer: Layer,
+        /// The segment's start point.
+        at: Point,
+        /// The segment's drawn length.
+        length: Coord,
+        /// The layer's wire width (minimum printable run).
+        required: Coord,
+    },
+    /// A via has no same-net geometry to land on at one of its end
+    /// layers.
+    ViaLanding {
+        /// The owning net.
+        net: NetId,
+        /// The via location.
+        at: Point,
+        /// The end layer with nothing to land on.
+        missing: Layer,
+    },
+    /// Geometry extends beyond the die boundary.
+    OutsideDie {
+        /// The owning net.
+        net: NetId,
+        /// The layer of the offending geometry (`None` for a via).
+        layer: Option<Layer>,
+        /// A point of the geometry outside the die.
+        at: Point,
+    },
+    /// A wire segment crosses the interior of an obstacle region that
+    /// blocks its layer.
+    ObstacleIntrusion {
+        /// The owning net.
+        net: NetId,
+        /// Index of the obstacle in [`Layout::obstacles`](ocr_netlist::Layout::obstacles).
+        obstacle: usize,
+        /// The blocked layer the segment runs on.
+        layer: Layer,
+        /// The segment's start point.
+        at: Point,
+    },
+}
+
+/// Violation category, for counting and filtering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViolationKind {
+    /// [`Violation::MissingRoute`].
+    MissingRoute,
+    /// [`Violation::EmptyRoute`].
+    EmptyRoute,
+    /// [`Violation::OpenNet`].
+    OpenNet,
+    /// [`Violation::Dangling`].
+    Dangling,
+    /// [`Violation::Short`].
+    Short,
+    /// [`Violation::Spacing`].
+    Spacing,
+    /// [`Violation::MinWidth`].
+    MinWidth,
+    /// [`Violation::ViaLanding`].
+    ViaLanding,
+    /// [`Violation::OutsideDie`].
+    OutsideDie,
+    /// [`Violation::ObstacleIntrusion`].
+    ObstacleIntrusion,
+}
+
+impl ViolationKind {
+    /// All kinds, in report order.
+    pub const ALL: [ViolationKind; 10] = [
+        ViolationKind::MissingRoute,
+        ViolationKind::EmptyRoute,
+        ViolationKind::OpenNet,
+        ViolationKind::Dangling,
+        ViolationKind::Short,
+        ViolationKind::Spacing,
+        ViolationKind::MinWidth,
+        ViolationKind::ViaLanding,
+        ViolationKind::OutsideDie,
+        ViolationKind::ObstacleIntrusion,
+    ];
+
+    /// A short stable label (used in report summaries).
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::MissingRoute => "missing-route",
+            ViolationKind::EmptyRoute => "empty-route",
+            ViolationKind::OpenNet => "open-net",
+            ViolationKind::Dangling => "dangling",
+            ViolationKind::Short => "short",
+            ViolationKind::Spacing => "spacing",
+            ViolationKind::MinWidth => "min-width",
+            ViolationKind::ViaLanding => "via-landing",
+            ViolationKind::OutsideDie => "outside-die",
+            ViolationKind::ObstacleIntrusion => "obstacle",
+        }
+    }
+}
+
+impl Violation {
+    /// This violation's category.
+    pub fn kind(&self) -> ViolationKind {
+        match self {
+            Violation::MissingRoute { .. } => ViolationKind::MissingRoute,
+            Violation::EmptyRoute { .. } => ViolationKind::EmptyRoute,
+            Violation::OpenNet { .. } => ViolationKind::OpenNet,
+            Violation::Dangling { .. } => ViolationKind::Dangling,
+            Violation::Short { .. } => ViolationKind::Short,
+            Violation::Spacing { .. } => ViolationKind::Spacing,
+            Violation::MinWidth { .. } => ViolationKind::MinWidth,
+            Violation::ViaLanding { .. } => ViolationKind::ViaLanding,
+            Violation::OutsideDie { .. } => ViolationKind::OutsideDie,
+            Violation::ObstacleIntrusion { .. } => ViolationKind::ObstacleIntrusion,
+        }
+    }
+
+    /// The primary net this violation belongs to.
+    pub fn net(&self) -> NetId {
+        match *self {
+            Violation::MissingRoute { net }
+            | Violation::EmptyRoute { net }
+            | Violation::OpenNet { net, .. }
+            | Violation::Dangling { net, .. }
+            | Violation::MinWidth { net, .. }
+            | Violation::ViaLanding { net, .. }
+            | Violation::OutsideDie { net, .. }
+            | Violation::ObstacleIntrusion { net, .. } => net,
+            Violation::Short { a, .. } | Violation::Spacing { a, .. } => a,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MissingRoute { net } => write!(f, "{net}: no route emitted"),
+            Violation::EmptyRoute { net } => write!(f, "{net}: route has no geometry"),
+            Violation::OpenNet { net, components } => {
+                write!(f, "{net}: open ({components} disjoint components)")
+            }
+            Violation::Dangling { net, layer, at } => {
+                write!(f, "{net}: dangling geometry on {layer} at {at}")
+            }
+            Violation::Short { a, b, layer, at } => {
+                write!(f, "short between {a} and {b} on {layer} at {at}")
+            }
+            Violation::Spacing {
+                a,
+                b,
+                layer,
+                at,
+                gap,
+                required,
+            } => write!(
+                f,
+                "spacing between {a} and {b} on {layer} at {at}: gap {gap:.1} < {required}"
+            ),
+            Violation::MinWidth {
+                net,
+                layer,
+                at,
+                length,
+                required,
+            } => write!(
+                f,
+                "{net}: sliver on {layer} at {at}: length {length} < width {required}"
+            ),
+            Violation::ViaLanding { net, at, missing } => {
+                write!(f, "{net}: via at {at} has no landing on {missing}")
+            }
+            Violation::OutsideDie { net, layer, at } => match layer {
+                Some(l) => write!(f, "{net}: geometry on {l} at {at} outside die"),
+                None => write!(f, "{net}: via at {at} outside die"),
+            },
+            Violation::ObstacleIntrusion {
+                net,
+                obstacle,
+                layer,
+                at,
+            } => write!(
+                f,
+                "{net}: wire on {layer} at {at} crosses obstacle #{obstacle}"
+            ),
+        }
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Tier-1 CI gate: format, lint, build, test — fully offline.
+#
+# The workspace is hermetic (no external crates: seeded PRNG, bench
+# harness and verification oracle are all in-tree), so everything below
+# must pass with the network disabled.
+set -eu
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> ci: all green"

@@ -4,6 +4,7 @@
 //! ocr generate <ami33|xerox|ex3|random> [--seed N] [-o chip.ocr]
 //! ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
 //!                      [--svg out.svg] [--routes out.txt]
+//! ocr verify <chip.ocr> [--flow ...] [--routes in.txt] [--strict]
 //! ocr stats <chip.ocr>
 //! ```
 
@@ -11,11 +12,12 @@ use overcell_router::core::{
     FourLayerChannelFlow, OverCellFlow, ThreeLayerChannelFlow, TwoLayerChannelFlow,
 };
 use overcell_router::gen::{random::small_random, suite};
-use overcell_router::io::{parse_chip, write_chip, write_routes};
+use overcell_router::io::{parse_chip, parse_routes, write_chip, write_routes};
 use overcell_router::netlist::{
     validate_routed_design, ChipMetrics, Layout, NetClass, RowPlacement,
 };
 use overcell_router::render::render_svg;
+use overcell_router::verify::{verify_with, VerifyOptions};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -29,6 +31,13 @@ USAGE:
                        [--svg FILE] [--routes FILE]
       Route the chip with the selected flow (default: overcell), print
       metrics, optionally write an SVG and the routed geometry.
+  ocr verify <chip.ocr> [--flow overcell|channel2|channel3|channel4]
+                        [--routes FILE] [--strict]
+      Run the independent ocr-verify oracle. Routes the chip with the
+      selected flow (default: overcell), or, with --routes, audits
+      existing routed geometry against the chip file's layout as-is.
+      --strict checks full drawn-width spacing on all four layers.
+      Prints the report; exits non-zero when violations are found.
   ocr stats <chip.ocr>
       Print the chip's Table-1-style statistics.
   ocr help
@@ -57,6 +66,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(|s| s.as_str()) {
         Some("generate") => generate(args),
         Some("route") => route(args),
+        Some("verify") => verify(args),
         Some("stats") => stats(args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -115,25 +125,33 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn run_flow(
+    flow_name: &str,
+    layout: &Layout,
+    placement: &RowPlacement,
+) -> Result<overcell_router::core::FlowResult, String> {
+    match flow_name {
+        "overcell" => OverCellFlow::default()
+            .run(layout, placement)
+            .map_err(|e| e.to_string()),
+        "channel2" => TwoLayerChannelFlow::default()
+            .run(layout, placement)
+            .map_err(|e| e.to_string()),
+        "channel3" => ThreeLayerChannelFlow::default()
+            .run(layout, placement)
+            .map_err(|e| e.to_string()),
+        "channel4" => FourLayerChannelFlow::default()
+            .run(layout, placement)
+            .map_err(|e| e.to_string()),
+        other => Err(format!("unknown flow `{other}`")),
+    }
+}
+
 fn route(args: &[String]) -> Result<(), String> {
     let path = args.get(1).ok_or("route: missing chip file")?;
     let (layout, placement) = load(path)?;
     let flow_name = flag_value(args, "--flow").unwrap_or("overcell");
-    let result = match flow_name {
-        "overcell" => OverCellFlow::default()
-            .run(&layout, &placement)
-            .map_err(|e| e.to_string())?,
-        "channel2" => TwoLayerChannelFlow::default()
-            .run(&layout, &placement)
-            .map_err(|e| e.to_string())?,
-        "channel3" => ThreeLayerChannelFlow::default()
-            .run(&layout, &placement)
-            .map_err(|e| e.to_string())?,
-        "channel4" => FourLayerChannelFlow::default()
-            .run(&layout, &placement)
-            .map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown flow `{other}`")),
-    };
+    let result = run_flow(flow_name, &layout, &placement)?;
     let errors = validate_routed_design(&result.layout, &result.design);
     println!("flow: {flow_name}");
     println!("die:  {}", result.layout.die);
@@ -164,6 +182,43 @@ fn route(args: &[String]) -> Result<(), String> {
         return Err("routed design failed validation".into());
     }
     Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("verify: missing chip file")?;
+    let (layout, placement) = load(path)?;
+    let opts = if args.iter().any(|a| a == "--strict") {
+        VerifyOptions::strict()
+    } else {
+        VerifyOptions::default()
+    };
+    let (layout, design) = match flag_value(args, "--routes") {
+        Some(routes_path) => {
+            // Audit existing geometry against the chip file's layout and
+            // die exactly as given — the routes must use the same
+            // coordinates as the chip file.
+            let text =
+                std::fs::read_to_string(routes_path).map_err(|e| format!("{routes_path}: {e}"))?;
+            let design = parse_routes(&layout, &text).map_err(|e| format!("{routes_path}: {e}"))?;
+            (layout, design)
+        }
+        None => {
+            let flow_name = flag_value(args, "--flow").unwrap_or("overcell");
+            let result = run_flow(flow_name, &layout, &placement)?;
+            println!("flow: {flow_name}");
+            (result.layout, result.design)
+        }
+    };
+    let report = verify_with(&layout, &design, &opts);
+    println!("{report}");
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "verification found {} violation(s)",
+            report.violations.len()
+        ))
+    }
 }
 
 fn stats(args: &[String]) -> Result<(), String> {

@@ -35,6 +35,7 @@
 //! | [`gen`] | `ocr-gen` | synthetic benchmark layouts (ami33/Xerox/ex3 equivalents) |
 //! | [`io`] | `ocr-io` | `.ocr` text-format serialization + routed-geometry export |
 //! | [`render`] | `ocr-render` | SVG output |
+//! | [`verify`] | `ocr-verify` | independent DRC + connectivity verification oracle |
 //!
 //! # Quick start
 //!
@@ -64,3 +65,4 @@ pub use ocr_io as io;
 pub use ocr_maze as maze;
 pub use ocr_netlist as netlist;
 pub use ocr_render as render;
+pub use ocr_verify as verify;

@@ -8,6 +8,7 @@ use overcell_router::core::{
 use overcell_router::gen::random::small_random;
 use overcell_router::gen::suite;
 use overcell_router::netlist::validate_routed_design;
+use overcell_router::verify::verify;
 
 #[test]
 fn over_cell_flow_on_many_seeds() {
@@ -147,6 +148,34 @@ fn suite_chips_route_fully_with_all_flows() {
             "{}",
             chip.spec.name
         );
+    }
+}
+
+#[test]
+fn suite_chips_pass_the_independent_oracle_in_all_flows() {
+    // The ocr-verify oracle re-derives connectivity and design-rule
+    // legality from the emitted geometry alone; every flow on every
+    // suite chip must come back clean.
+    for chip in suite::all() {
+        let name = &chip.spec.name;
+        let over = OverCellFlow::default()
+            .run(&chip.layout, &chip.placement)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = verify(&over.layout, &over.design);
+        assert!(report.is_clean(), "{name} over-cell:\n{report}");
+        assert_eq!(report.open_nets(), 0, "{name} over-cell");
+
+        let two = TwoLayerChannelFlow::default()
+            .run(&chip.layout, &chip.placement)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = verify(&two.layout, &two.design);
+        assert!(report.is_clean(), "{name} two-layer:\n{report}");
+
+        let four = FourLayerChannelFlow::default()
+            .run(&chip.layout, &chip.placement)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = verify(&four.layout, &four.design);
+        assert!(report.is_clean(), "{name} four-layer:\n{report}");
     }
 }
 

@@ -1,39 +1,38 @@
-//! Property-based tests on the channel routers: for random channel
+//! Randomized tests on the channel routers: for random channel
 //! problems, the emitted geometry must connect every pin, never short,
-//! and use at least `density` tracks.
+//! and use at least `density` tracks. Driven by the in-tree
+//! deterministic PRNG so every failure reproduces exactly.
 
 use overcell_router::channel::{
     emit_channel, emit_three_layer, route_channel_robust, route_greedy, route_three_layer,
     ChannelFrame, ChannelProblem, GreedyOptions, LeftEdgeOptions,
 };
+use overcell_router::gen::rng::Rng;
 use overcell_router::geom::{Coord, Layer, Point, Rect};
 use overcell_router::netlist::{validate_routed_design, Layout, NetClass, NetId, RoutedDesign};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+const CASES: usize = 64;
 
 /// Random well-formed channel problem: `width` columns, nets with ≥ 2
 /// pins.
-fn arb_problem(width: usize) -> impl Strategy<Value = ChannelProblem> {
-    (
-        proptest::collection::vec(0u32..8, width),
-        proptest::collection::vec(0u32..8, width),
-    )
-        .prop_map(|(mut top, mut bottom)| {
-            let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
-            for &n in top.iter().chain(bottom.iter()) {
-                if n != 0 {
-                    *counts.entry(n).or_insert(0) += 1;
-                }
+fn random_problem(rng: &mut Rng, width: usize) -> ChannelProblem {
+    let mut top: Vec<u32> = (0..width).map(|_| rng.gen_range(0u32..8)).collect();
+    let mut bottom: Vec<u32> = (0..width).map(|_| rng.gen_range(0u32..8)).collect();
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &n in top.iter().chain(bottom.iter()) {
+        if n != 0 {
+            *counts.entry(n).or_insert(0) += 1;
+        }
+    }
+    for row in [&mut top, &mut bottom] {
+        for v in row.iter_mut() {
+            if *v != 0 && counts[v] < 2 {
+                *v = 0;
             }
-            for row in [&mut top, &mut bottom] {
-                for v in row.iter_mut() {
-                    if *v != 0 && counts[v] < 2 {
-                        *v = 0;
-                    }
-                }
-            }
-            ChannelProblem::from_ids(&top, &bottom)
-        })
+        }
+    }
+    ChannelProblem::from_ids(&top, &bottom)
 }
 
 /// Emits a plan into a frame and validates full electrical correctness
@@ -87,19 +86,23 @@ fn emit_and_validate(
     assert!(errors.is_empty(), "{errors:?}\nplan: {plan}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn robust_router_output_is_electrically_correct(problem in arb_problem(24)) {
+#[test]
+fn robust_router_output_is_electrically_correct() {
+    let mut rng = Rng::seed_from_u64(0xc401);
+    for _ in 0..CASES {
+        let problem = random_problem(&mut rng, 24);
         if problem.nets().is_empty() {
-            return Ok(());
+            continue;
         }
         match route_channel_robust(&problem, LeftEdgeOptions::default()) {
             Ok(plan) => {
-                prop_assert!(plan.tracks_used >= problem.density()
-                    || plan.tracks_used + 1 >= problem.density(),
-                    "tracks {} below density {}", plan.tracks_used, problem.density());
+                assert!(
+                    plan.tracks_used >= problem.density()
+                        || plan.tracks_used + 1 >= problem.density(),
+                    "tracks {} below density {}",
+                    plan.tracks_used,
+                    problem.density()
+                );
                 emit_and_validate(&problem, &plan, problem.width());
             }
             Err(e) => {
@@ -110,26 +113,34 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn greedy_router_output_is_electrically_correct(problem in arb_problem(20)) {
+#[test]
+fn greedy_router_output_is_electrically_correct() {
+    let mut rng = Rng::seed_from_u64(0xc402);
+    for _ in 0..CASES {
+        let problem = random_problem(&mut rng, 20);
         if problem.nets().is_empty() {
-            return Ok(());
+            continue;
         }
         if let Ok(res) = route_greedy(&problem, GreedyOptions::default()) {
-            prop_assert!(res.plan.tracks_used >= problem.density());
+            assert!(res.plan.tracks_used >= problem.density());
             emit_and_validate(&problem, &res.plan, res.width.max(problem.width()));
         }
     }
+}
 
-    #[test]
-    fn three_layer_output_is_electrically_correct(problem in arb_problem(20)) {
+#[test]
+fn three_layer_output_is_electrically_correct() {
+    let mut rng = Rng::seed_from_u64(0xc403);
+    for _ in 0..CASES {
+        let problem = random_problem(&mut rng, 20);
         if problem.nets().is_empty() {
-            return Ok(());
+            continue;
         }
         if let Ok(plan) = route_three_layer(&problem, LeftEdgeOptions::default()) {
             // Track count at least the two-lane lower bound.
-            prop_assert!(plan.tracks_used >= problem.density().div_ceil(2));
+            assert!(plan.tracks_used >= problem.density().div_ceil(2));
             // Emit and fully validate like the two-layer case.
             let pitch: Coord = 10;
             let width = problem.width();
@@ -151,10 +162,20 @@ proptest! {
             }
             for c in 0..width {
                 if let Some(n) = problem.top(c) {
-                    layout.add_pin(map[&n], None, Point::new(c as Coord * pitch, y_top), Layer::Metal2);
+                    layout.add_pin(
+                        map[&n],
+                        None,
+                        Point::new(c as Coord * pitch, y_top),
+                        Layer::Metal2,
+                    );
                 }
                 if let Some(n) = problem.bottom(c) {
-                    layout.add_pin(map[&n], None, Point::new(c as Coord * pitch, 0), Layer::Metal2);
+                    layout.add_pin(
+                        map[&n],
+                        None,
+                        Point::new(c as Coord * pitch, 0),
+                        Layer::Metal2,
+                    );
                 }
             }
             let mut design = RoutedDesign::new(die, layout.nets.len());
@@ -162,19 +183,27 @@ proptest! {
                 design.set_route(map[&n], r);
             }
             let errors = validate_routed_design(&layout, &design);
-            prop_assert!(errors.is_empty(), "{errors:?}");
+            assert!(errors.is_empty(), "{errors:?}");
         }
     }
+}
 
-    #[test]
-    fn density_never_exceeds_net_count(problem in arb_problem(16)) {
-        prop_assert!(problem.density() <= problem.nets().len());
+#[test]
+fn density_never_exceeds_net_count() {
+    let mut rng = Rng::seed_from_u64(0xc404);
+    for _ in 0..CASES {
+        let problem = random_problem(&mut rng, 16);
+        assert!(problem.density() <= problem.nets().len());
     }
+}
 
-    #[test]
-    fn zones_max_clique_equals_density(problem in arb_problem(16)) {
+#[test]
+fn zones_max_clique_equals_density() {
+    let mut rng = Rng::seed_from_u64(0xc405);
+    for _ in 0..CASES {
+        let problem = random_problem(&mut rng, 16);
         let zones = overcell_router::channel::density::zones(&problem);
         let max_clique = zones.iter().map(|z| z.nets.len()).max().unwrap_or(0);
-        prop_assert_eq!(max_clique, problem.density());
+        assert_eq!(max_clique, problem.density());
     }
 }

@@ -1,0 +1,140 @@
+//! Randomized tests on the geometry substrate, driven by the in-tree
+//! deterministic PRNG (fixed seeds, so failures reproduce exactly).
+
+use overcell_router::gen::rng::Rng;
+use overcell_router::geom::{manhattan, Dir, Interval, Point, Rect};
+
+const CASES: usize = 256;
+
+fn point(rng: &mut Rng) -> Point {
+    Point::new(rng.gen_range(-1000i64..1000), rng.gen_range(-1000i64..1000))
+}
+
+fn rect(rng: &mut Rng) -> Rect {
+    Rect::from_points(point(rng), point(rng))
+}
+
+fn interval(rng: &mut Rng) -> Interval {
+    Interval::new(rng.gen_range(-1000i64..1000), rng.gen_range(-1000i64..1000))
+}
+
+#[test]
+fn manhattan_triangle_inequality() {
+    let mut rng = Rng::seed_from_u64(0x9e01);
+    for _ in 0..CASES {
+        let (a, b, c) = (point(&mut rng), point(&mut rng), point(&mut rng));
+        assert!(manhattan(a, c) <= manhattan(a, b) + manhattan(b, c));
+    }
+}
+
+#[test]
+fn manhattan_symmetry_and_identity() {
+    let mut rng = Rng::seed_from_u64(0x9e02);
+    for _ in 0..CASES {
+        let (a, b) = (point(&mut rng), point(&mut rng));
+        assert_eq!(manhattan(a, b), manhattan(b, a));
+        assert_eq!(manhattan(a, a), 0);
+    }
+}
+
+#[test]
+fn rect_intersection_commutes_and_is_contained() {
+    let mut rng = Rng::seed_from_u64(0x9e03);
+    for _ in 0..CASES {
+        let (a, b) = (rect(&mut rng), rect(&mut rng));
+        assert_eq!(a.intersect(&b), b.intersect(&a));
+        if let Some(i) = a.intersect(&b) {
+            assert!(a.contains_rect(&i));
+            assert!(b.contains_rect(&i));
+        }
+    }
+}
+
+#[test]
+fn rect_hull_contains_both_and_is_minimal_area_monotone() {
+    let mut rng = Rng::seed_from_u64(0x9e04);
+    for _ in 0..CASES {
+        let (a, b) = (rect(&mut rng), rect(&mut rng));
+        let h = a.hull(&b);
+        assert!(h.contains_rect(&a) && h.contains_rect(&b));
+        assert!(h.area() >= a.area().max(b.area()));
+    }
+}
+
+#[test]
+fn rect_contains_point_iff_spans_contain() {
+    let mut rng = Rng::seed_from_u64(0x9e05);
+    for _ in 0..CASES {
+        let (r, p) = (rect(&mut rng), point(&mut rng));
+        let by_span = r.span(Dir::Horizontal).contains(p.x) && r.span(Dir::Vertical).contains(p.y);
+        assert_eq!(r.contains(p), by_span);
+    }
+}
+
+#[test]
+fn interval_subtract_is_disjoint_from_cut() {
+    let mut rng = Rng::seed_from_u64(0x9e06);
+    for _ in 0..CASES {
+        let (a, cut) = (interval(&mut rng), interval(&mut rng));
+        for piece in a.subtract(&cut) {
+            assert!(a.contains_interval(&piece));
+            assert!(!piece.overlaps_interior(&cut));
+        }
+    }
+}
+
+#[test]
+fn interval_subtract_preserves_uncut_points() {
+    let mut rng = Rng::seed_from_u64(0x9e07);
+    for _ in 0..CASES {
+        let (a, cut) = (interval(&mut rng), interval(&mut rng));
+        let x = rng.gen_range(-1000i64..1000);
+        // Any point of `a` strictly outside `cut` must survive in a piece.
+        if a.contains(x) && !(cut.lo() < x && x < cut.hi()) {
+            let pieces = a.subtract(&cut);
+            assert!(
+                pieces.iter().any(|p| p.contains(x)),
+                "point {x} of {a} lost when cutting {cut}: {pieces:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interval_hull_and_intersect_are_dual() {
+    let mut rng = Rng::seed_from_u64(0x9e08);
+    for _ in 0..CASES {
+        let (a, b) = (interval(&mut rng), interval(&mut rng));
+        let h = a.hull(&b);
+        assert!(h.contains_interval(&a) && h.contains_interval(&b));
+        if let Some(i) = a.intersect(&b) {
+            assert!(a.contains_interval(&i) && b.contains_interval(&i));
+            assert_eq!(h.len(), a.len() + b.len() - i.len());
+        } else {
+            assert!(h.len() > a.len() + b.len());
+        }
+    }
+}
+
+#[test]
+fn rect_expand_round_trips() {
+    let mut rng = Rng::seed_from_u64(0x9e09);
+    for _ in 0..CASES {
+        let r = rect(&mut rng);
+        let d = rng.gen_range(0i64..100);
+        let grown = r.expand(d);
+        assert!(grown.contains_rect(&r));
+        assert_eq!(grown.expand(-d), r);
+    }
+}
+
+#[test]
+fn point_track_coordinates_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x9e0a);
+    for _ in 0..CASES {
+        let p = point(&mut rng);
+        for dir in [Dir::Horizontal, Dir::Vertical] {
+            assert_eq!(Point::from_track(dir, p.across(dir), p.along(dir)), p);
+        }
+    }
+}

@@ -1,17 +1,20 @@
-//! Property-based tests on the Level B over-cell router.
+//! Randomized tests on the Level B over-cell router, driven by the
+//! in-tree deterministic PRNG (fixed seeds, reproducible failures).
 
 use overcell_router::core::mbfs::{search_min_corner_paths, SearchWindow};
 use overcell_router::core::steiner::rectilinear_mst_length;
 use overcell_router::core::tig::Tig;
 use overcell_router::core::{config::LevelBConfig, level_b::LevelBRouter};
+use overcell_router::gen::rng::Rng;
 use overcell_router::geom::{Layer, LayerSet, Point, Rect};
 use overcell_router::grid::{GridModel, TrackSet};
 use overcell_router::maze::{route_maze, MazeOptions};
 use overcell_router::netlist::{validate_routed_design, Layout, NetClass, Obstacle};
-use proptest::prelude::*;
 
-fn arb_grid_point() -> impl Strategy<Value = Point> {
-    (0i64..=20, 0i64..=20).prop_map(|(x, y)| Point::new(x * 10, y * 10))
+const CASES: usize = 48;
+
+fn grid_point(rng: &mut Rng) -> Point {
+    Point::new(rng.gen_range(0i64..=20) * 10, rng.gen_range(0i64..=20) * 10)
 }
 
 fn layout_with(nets: Vec<Vec<Point>>, obstacles: Vec<Rect>) -> Layout {
@@ -28,17 +31,21 @@ fn layout_with(nets: Vec<Vec<Point>>, obstacles: Vec<Rect>) -> Layout {
     layout
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every successfully routed design validates: connected, no shorts,
-    /// obstacles respected.
-    #[test]
-    fn routed_designs_validate(
-        raw in proptest::collection::vec(
-            proptest::collection::vec(arb_grid_point(), 2..5), 1..6),
-        ob_x in 0i64..15, ob_y in 0i64..15,
-    ) {
+/// Every successfully routed design validates: connected, no shorts,
+/// obstacles respected.
+#[test]
+fn routed_designs_validate() {
+    let mut rng = Rng::seed_from_u64(0x1b01);
+    for _ in 0..CASES {
+        let net_count = rng.gen_range(1usize..6);
+        let raw: Vec<Vec<Point>> = (0..net_count)
+            .map(|_| {
+                let pins = rng.gen_range(2usize..5);
+                (0..pins).map(|_| grid_point(&mut rng)).collect()
+            })
+            .collect();
+        let ob_x = rng.gen_range(0i64..15);
+        let ob_y = rng.gen_range(0i64..15);
         // Deduplicate pins across nets (terminal cells are exclusive).
         let mut seen = std::collections::HashSet::new();
         let mut nets: Vec<Vec<Point>> = Vec::new();
@@ -49,7 +56,7 @@ proptest! {
             }
         }
         if nets.is_empty() {
-            return Ok(());
+            continue;
         }
         // An obstacle placed off-grid-corner so it can't seal terminals
         // (strict-interior blocking; terminals sit on track crossings).
@@ -63,15 +70,21 @@ proptest! {
         let mut clean = res.design.clone();
         clean.failed.clear();
         let errors = validate_routed_design(&layout, &clean);
-        prop_assert!(errors.is_empty(), "{errors:?}");
+        assert!(errors.is_empty(), "{errors:?}");
     }
+}
 
-    /// On an empty grid the MBFS needs at most one corner between any
-    /// two terminals (zero when aligned) — min-corner optimality in the
-    /// trivial case.
-    #[test]
-    fn empty_grid_needs_at_most_one_corner(a in arb_grid_point(), b in arb_grid_point()) {
-        prop_assume!(a != b);
+/// On an empty grid the MBFS needs at most one corner between any
+/// two terminals (zero when aligned) — min-corner optimality in the
+/// trivial case.
+#[test]
+fn empty_grid_needs_at_most_one_corner() {
+    let mut rng = Rng::seed_from_u64(0x1b02);
+    for _ in 0..CASES {
+        let (a, b) = (grid_point(&mut rng), grid_point(&mut rng));
+        if a == b {
+            continue;
+        }
         let grid = GridModel::new(
             Rect::new(0, 0, 200, 200),
             TrackSet::from_pitch(overcell_router::geom::Interval::new(0, 200), 10),
@@ -83,66 +96,103 @@ proptest! {
         let bi = grid.snap(b).expect("grid");
         let out = search_min_corner_paths(&tig, 0, ai, bi, &w);
         let aligned = a.x == b.x || a.y == b.y;
-        prop_assert_eq!(out.corners, Some(usize::from(!aligned)));
+        assert_eq!(out.corners, Some(usize::from(!aligned)));
     }
+}
 
-    /// When the MBFS finds a path on an obstructed grid, its corner
-    /// count equals the minimum plane-change count found by the maze
-    /// router with a dominant via cost (the maze is complete, so it
-    /// certifies the minimum).
-    #[test]
-    fn mbfs_corner_count_is_minimal_when_it_succeeds(
-        a in arb_grid_point(), b in arb_grid_point(),
-        ox in 0i64..16, oy in 0i64..16, ow in 1i64..5, oh in 1i64..5,
-    ) {
-        prop_assume!(a != b);
+/// When the MBFS finds a path on an obstructed grid, its corner
+/// count equals the minimum plane-change count found by the maze
+/// router with a dominant via cost (the maze is complete, so it
+/// certifies the minimum).
+#[test]
+fn mbfs_corner_count_is_minimal_when_it_succeeds() {
+    let mut rng = Rng::seed_from_u64(0x1b03);
+    for _ in 0..CASES {
+        let (a, b) = (grid_point(&mut rng), grid_point(&mut rng));
+        if a == b {
+            continue;
+        }
+        let ox = rng.gen_range(0i64..16);
+        let oy = rng.gen_range(0i64..16);
+        let ow = rng.gen_range(1i64..5);
+        let oh = rng.gen_range(1i64..5);
         let mut grid = GridModel::new(
             Rect::new(0, 0, 200, 200),
             TrackSet::from_pitch(overcell_router::geom::Interval::new(0, 200), 10),
             TrackSet::from_pitch(overcell_router::geom::Interval::new(0, 200), 10),
         );
-        let ob = Rect::new(ox * 10 - 5, oy * 10 - 5, (ox + ow) * 10 + 5, (oy + oh) * 10 + 5);
-        for dir in [overcell_router::geom::Dir::Horizontal, overcell_router::geom::Dir::Vertical] {
+        let ob = Rect::new(
+            ox * 10 - 5,
+            oy * 10 - 5,
+            (ox + ow) * 10 + 5,
+            (oy + oh) * 10 + 5,
+        );
+        for dir in [
+            overcell_router::geom::Dir::Horizontal,
+            overcell_router::geom::Dir::Vertical,
+        ] {
             grid.block_rect(&ob, dir);
         }
-        let Some(ai) = grid.snap(a) else { return Ok(()); };
-        let Some(bi) = grid.snap(b) else { return Ok(()); };
+        let Some(ai) = grid.snap(a) else { continue };
+        let Some(bi) = grid.snap(b) else { continue };
         let tig = Tig::new(&grid);
         // Terminals inside the obstacle are unroutable; skip.
-        prop_assume!(tig.edge_usable(0, ai.0, ai.1) && tig.edge_usable(0, bi.0, bi.1));
+        if !(tig.edge_usable(0, ai.0, ai.1) && tig.edge_usable(0, bi.0, bi.1)) {
+            continue;
+        }
         let w = SearchWindow::full(&tig);
         let out = search_min_corner_paths(&tig, 0, ai, bi, &w);
         let mut maze_grid = grid.clone();
-        let maze = route_maze(&mut maze_grid, 0, a, b, MazeOptions { via_cost: 100_000, astar: false });
+        let maze = route_maze(
+            &mut maze_grid,
+            0,
+            a,
+            b,
+            MazeOptions {
+                via_cost: 100_000,
+                astar: false,
+            },
+        );
         match (out.corners, maze) {
             (Some(c), Ok(path)) => {
-                prop_assert_eq!(c, path.route.vias.len(),
-                    "MBFS corners {} vs certified minimum {}", c, path.route.vias.len());
+                assert_eq!(
+                    c,
+                    path.route.vias.len(),
+                    "MBFS corners {} vs certified minimum {}",
+                    c,
+                    path.route.vias.len()
+                );
             }
-            (Some(_), Err(_)) => prop_assert!(false, "MBFS found a path the maze missed"),
+            (Some(_), Err(_)) => panic!("MBFS found a path the maze missed"),
             // MBFS may fail where the maze succeeds (incompleteness) —
             // that is what the maze fallback is for.
             (None, _) => {}
         }
     }
+}
 
-    /// The routed Steiner tree never exceeds the terminal-only MST on an
-    /// empty grid.
-    #[test]
-    fn steiner_never_exceeds_terminal_mst(
-        raw in proptest::collection::vec(arb_grid_point(), 3..7)
-    ) {
-        let mut pins = raw;
+/// The routed Steiner tree never exceeds the terminal-only MST on an
+/// empty grid.
+#[test]
+fn steiner_never_exceeds_terminal_mst() {
+    let mut rng = Rng::seed_from_u64(0x1b04);
+    for _ in 0..CASES {
+        let count = rng.gen_range(3usize..7);
+        let mut pins: Vec<Point> = (0..count).map(|_| grid_point(&mut rng)).collect();
         pins.sort();
         pins.dedup();
-        prop_assume!(pins.len() >= 3);
+        if pins.len() < 3 {
+            continue;
+        }
         let layout = layout_with(vec![pins.clone()], vec![]);
         let ids: Vec<_> = layout.net_ids().collect();
         let mut router = LevelBRouter::new(&layout, &ids, LevelBConfig::default()).expect("router");
         let res = router.route_all().expect("route_all");
-        prop_assume!(res.design.failed.is_empty());
+        if !res.design.failed.is_empty() {
+            continue;
+        }
         let wl = res.design.route(ids[0]).expect("routed").wire_length();
         let mst = rectilinear_mst_length(&pins);
-        prop_assert!(wl <= mst, "steiner {wl} exceeds terminal MST {mst}");
+        assert!(wl <= mst, "steiner {wl} exceeds terminal MST {mst}");
     }
 }
