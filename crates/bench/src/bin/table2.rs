@@ -26,8 +26,10 @@ fn main() {
         "{:<8} {:>11} {:>11} {:>11}",
         "Example", "Area", "WireLen", "Vias"
     );
-    for chip in suite::all() {
-        let run = run_all_flows(&chip, false);
+    // Chips fan out across the ocr-exec pool (and each chip's flows fan
+    // out again inside run_all_flows); rows print in suite order.
+    let chips = suite::all();
+    for run in ocr_exec::parallel_map(&chips, |chip| run_all_flows(chip, false)) {
         println!(
             "{}",
             table2_row(&run.name, &run.over_cell.metrics, &run.two_layer.metrics)

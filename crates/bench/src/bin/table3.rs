@@ -36,12 +36,18 @@ fn main() {
         "red.vs.est",
         "red.vs.real"
     );
-    for chip in suite::all() {
-        let run = run_all_flows(&chip, true);
-        let est = run.analytic_four_layer_area;
+    // Chips fan out across the ocr-exec pool (and each chip's flows fan
+    // out again inside run_all_flows); rows print in suite order.
+    let chips = suite::all();
+    let rows = ocr_exec::parallel_map(&chips, |chip| {
+        let run = run_all_flows(chip, true);
         let three = ThreeLayerChannelFlow::default()
             .run(&chip.layout, &chip.placement)
             .expect("three-layer flow");
+        (run, three)
+    });
+    for (run, three) in rows {
+        let est = run.analytic_four_layer_area;
         let errors = validate_routed_design(&three.layout, &three.design);
         assert!(
             errors.is_empty(),

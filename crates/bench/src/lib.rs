@@ -17,10 +17,7 @@ pub mod harness;
 
 pub use ocr_gen::rng;
 
-use ocr_core::{
-    run_analytic_four_layer_estimate, FlowResult, FourLayerChannelFlow, OverCellFlow,
-    TwoLayerChannelFlow,
-};
+use ocr_core::{run_analytic_four_layer_estimate, FlowKind, FlowResult};
 use ocr_gen::GeneratedChip;
 use ocr_netlist::{validate_routed_design, RouteMetrics};
 
@@ -48,23 +45,28 @@ pub struct SuiteRun {
 /// Panics if any flow fails to route or produces an invalid design —
 /// benchmark tables must never be computed from broken geometry.
 pub fn run_all_flows(chip: &GeneratedChip, with_four_layer: bool) -> SuiteRun {
-    let over_cell = OverCellFlow::default()
-        .run(&chip.layout, &chip.placement)
-        .unwrap_or_else(|e| panic!("{}: over-cell flow failed: {e}", chip.spec.name));
-    assert_valid(&chip.spec.name, "over-cell", &over_cell);
-
-    let two_layer = TwoLayerChannelFlow::default()
-        .run(&chip.layout, &chip.placement)
-        .unwrap_or_else(|e| panic!("{}: two-layer flow failed: {e}", chip.spec.name));
-    assert_valid(&chip.spec.name, "two-layer", &two_layer);
-
-    let four_layer = with_four_layer.then(|| {
-        let f = FourLayerChannelFlow::default()
-            .run(&chip.layout, &chip.placement)
-            .unwrap_or_else(|e| panic!("{}: four-layer flow failed: {e}", chip.spec.name));
-        assert_valid(&chip.spec.name, "four-layer", &f);
-        f
+    // The flows are independent, so they fan out across the ocr-exec
+    // pool; results come back in kind order regardless of worker count.
+    let kinds: Vec<FlowKind> = if with_four_layer {
+        vec![FlowKind::OverCell, FlowKind::Channel2, FlowKind::Channel4]
+    } else {
+        vec![FlowKind::OverCell, FlowKind::Channel2]
+    };
+    let results = ocr_exec::parallel_map(&kinds, |&kind| {
+        kind.build().run(&chip.layout, &chip.placement)
     });
+    let mut results: Vec<FlowResult> = kinds
+        .iter()
+        .zip(results)
+        .map(|(kind, res)| {
+            let r = res.unwrap_or_else(|e| panic!("{}: {kind} flow failed: {e}", chip.spec.name));
+            assert_valid(&chip.spec.name, kind.name(), &r);
+            r
+        })
+        .collect();
+    let four_layer = with_four_layer.then(|| results.pop().expect("channel4 result"));
+    let two_layer = results.pop().expect("channel2 result");
+    let over_cell = results.pop().expect("overcell result");
 
     let analytic = run_analytic_four_layer_estimate(&two_layer, &chip.layout);
     SuiteRun {

@@ -314,43 +314,54 @@ pub fn route_chip_channels(
     }
 
     // ---- 5. Route each channel ------------------------------------------
+    // Channels are independent once the frames are cut, so they fan out
+    // across the ocr-exec pool. Results merge in channel-index order
+    // (parallel_map preserves input order), and on failure the error of
+    // the lowest-indexed failing channel is returned — exactly what a
+    // sequential loop would report — so parallel runs stay bit-identical
+    // to `OCR_THREADS=1` runs.
     let pitch_lower = layout.rules.channel_pitch_level_a();
     let pitch_three = layout.rules.channel_pitch_three_layer();
     let pitch_upper = layout.rules.over_cell_pitch();
+    let channel_indices: Vec<usize> = (0..n_channels).collect();
+    let per_channel: Vec<Result<(RoutedChannel, usize, Coord), ChannelError>> =
+        ocr_exec::parallel_map(&channel_indices, |&ch| {
+            let problem = ChannelProblem::new(top_rows[ch].clone(), bot_rows[ch].clone());
+            if problem.nets().is_empty() {
+                return Ok((RoutedChannel::Empty, 0, pitch));
+            }
+            match opts.router {
+                ChannelRouterKind::TwoLayer(lea) => {
+                    let plan = route_channel_robust(&problem, lea)?;
+                    let tracks = plan.tracks_used;
+                    let height = ChannelFrame::required_height(tracks, pitch_lower);
+                    Ok((RoutedChannel::Two(plan), tracks, height))
+                }
+                ChannelRouterKind::ThreeLayer(lea) => {
+                    let plan = route_three_layer(&problem, lea)?;
+                    let tracks = plan.tracks_used;
+                    let height = ChannelFrame::required_height(tracks, pitch_three);
+                    Ok((RoutedChannel::Three(plan), tracks, height))
+                }
+                ChannelRouterKind::FourLayer(ml) => {
+                    let plan = route_four_layer(&problem, ml)?;
+                    let tracks = plan.max_tracks();
+                    let height =
+                        ChannelFrame::required_height(plan.lower.tracks_used, pitch_lower).max(
+                            ChannelFrame::required_height(plan.upper.tracks_used, pitch_upper),
+                        );
+                    Ok((RoutedChannel::Four(plan), tracks, height))
+                }
+            }
+        });
     let mut routed: Vec<RoutedChannel> = Vec::with_capacity(n_channels);
     let mut channel_tracks = Vec::with_capacity(n_channels);
     let mut channel_heights = Vec::with_capacity(n_channels);
-    for ch in 0..n_channels {
-        let problem = ChannelProblem::new(top_rows[ch].clone(), bot_rows[ch].clone());
-        if problem.nets().is_empty() {
-            routed.push(RoutedChannel::Empty);
-            channel_tracks.push(0);
-            channel_heights.push(pitch);
-            continue;
-        }
-        match opts.router {
-            ChannelRouterKind::TwoLayer(lea) => {
-                let plan = route_channel_robust(&problem, lea)?;
-                channel_tracks.push(plan.tracks_used);
-                channel_heights.push(ChannelFrame::required_height(plan.tracks_used, pitch_lower));
-                routed.push(RoutedChannel::Two(plan));
-            }
-            ChannelRouterKind::ThreeLayer(lea) => {
-                let plan = route_three_layer(&problem, lea)?;
-                channel_tracks.push(plan.tracks_used);
-                channel_heights.push(ChannelFrame::required_height(plan.tracks_used, pitch_three));
-                routed.push(RoutedChannel::Three(plan));
-            }
-            ChannelRouterKind::FourLayer(ml) => {
-                let plan = route_four_layer(&problem, ml)?;
-                channel_tracks.push(plan.max_tracks());
-                let h = ChannelFrame::required_height(plan.lower.tracks_used, pitch_lower).max(
-                    ChannelFrame::required_height(plan.upper.tracks_used, pitch_upper),
-                );
-                channel_heights.push(h);
-                routed.push(RoutedChannel::Four(plan));
-            }
-        }
+    for result in per_channel {
+        let (plan, tracks, height) = result?;
+        routed.push(plan);
+        channel_tracks.push(tracks);
+        channel_heights.push(height);
     }
 
     // ---- 6. Vertical expansion -------------------------------------------

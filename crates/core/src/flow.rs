@@ -1,26 +1,43 @@
 //! Complete routing flows: the paper's proposed two-level over-cell
 //! methodology and the channel-only baselines it is compared against.
 //!
-//! * [`OverCellFlow`] — the proposed router: net partitioning, Level A
-//!   channel routing on metal1/metal2, then Level B over-cell routing on
-//!   metal3/metal4 over the fixed topology.
-//! * [`TwoLayerChannelFlow`] — the Table 2 baseline: every net routed
-//!   through channels with two layers.
-//! * [`FourLayerChannelFlow`] — the Table 3 real comparator: every net
-//!   through channels with the four-layer layer-pair decomposition.
+//! Every flow implements the [`Flow`] trait and is named by a
+//! [`FlowKind`], so drivers dispatch generically — *any flow × any
+//! chip* — instead of matching on concrete types:
+//!
+//! ```
+//! # use ocr_core::flow::FlowKind;
+//! let flow = FlowKind::from_name("channel2").expect("known flow").build();
+//! ```
+//!
+//! * [`OverCellFlow`] (`"overcell"`) — the proposed router: net
+//!   partitioning, Level A channel routing on metal1/metal2, then Level
+//!   B over-cell routing on metal3/metal4 over the fixed topology.
+//! * [`TwoLayerChannelFlow`] (`"channel2"`) — the Table 2 baseline:
+//!   every net routed through channels with two layers.
+//! * [`ThreeLayerChannelFlow`] (`"channel3"`) — the HVH comparator.
+//! * [`FourLayerChannelFlow`] (`"channel4"`) — the Table 3 real
+//!   comparator: every net through channels with the four-layer
+//!   layer-pair decomposition.
 //! * [`run_analytic_four_layer_estimate`] — the paper's own Table 3
 //!   comparator: the two-layer result re-laid-out under the "optimistic
 //!   assumption" of half the tracks at the coarser four-layer pitch.
+//!
+//! Options shared by all flows (the independent oracle and its
+//! strictness) live in [`FlowOptions`] rather than per-flow fields.
 
 use crate::config::LevelBConfig;
 use crate::error::RouteError;
 use crate::level_b::LevelBRouter;
 use crate::partition::{partition_nets, PartitionStrategy};
 use crate::stats::RoutingStats;
-use ocr_channel::{ChannelFrame, ChannelRouterKind, ChipChannelOptions, MultilayerOptions};
+use ocr_channel::{
+    ChannelFrame, ChannelRouterKind, ChipChannelOptions, ChipChannelResult, MultilayerOptions,
+};
 use ocr_geom::Coord;
 use ocr_netlist::{Layout, NetId, RouteMetrics, RoutedDesign, RowPlacement};
-use ocr_verify::VerifyReport;
+use ocr_verify::{VerifyOptions, VerifyReport};
+use std::fmt;
 
 /// The output of any complete flow.
 #[derive(Clone, Debug)]
@@ -48,9 +65,184 @@ pub struct FlowResult {
     pub verify: Option<VerifyReport>,
 }
 
-/// Runs the independent oracle when `enabled`, for [`FlowResult::verify`].
-fn maybe_verify(enabled: bool, layout: &Layout, design: &RoutedDesign) -> Option<VerifyReport> {
-    enabled.then(|| ocr_verify::verify(layout, design))
+/// Options shared by every flow: whether to run the independent
+/// `ocr-verify` oracle on the result, and how strictly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowOptions {
+    /// Run the `ocr-verify` oracle on the routed result (see
+    /// [`FlowResult::verify`]).
+    pub verify: bool,
+    /// Use full drawn-width spacing rules on all four layers
+    /// ([`VerifyOptions::strict`]) instead of the Level A default.
+    /// Only meaningful together with `verify`.
+    pub strict: bool,
+}
+
+impl FlowOptions {
+    /// Verification on, default (Level A drawn-layer) rules.
+    pub fn verified() -> Self {
+        FlowOptions {
+            verify: true,
+            strict: false,
+        }
+    }
+
+    /// Verification on, strict drawn-width rules on all four layers.
+    pub fn verified_strict() -> Self {
+        FlowOptions {
+            verify: true,
+            strict: true,
+        }
+    }
+}
+
+/// A complete routing flow: given a layout and a row placement, produce
+/// a routed design with metrics (and optionally an oracle report).
+///
+/// All four concrete flows implement this, so drivers hold a
+/// `Box<dyn Flow>` built from a [`FlowKind`] instead of matching on
+/// concrete types.
+pub trait Flow: Send + Sync {
+    /// The shared options this flow runs with.
+    fn options(&self) -> FlowOptions;
+
+    /// Mutable access to the shared options (for drivers configuring a
+    /// boxed flow).
+    fn options_mut(&mut self) -> &mut FlowOptions;
+
+    /// Runs the flow on a layout and row placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flow's routing errors (channel failures, Level B
+    /// setup errors).
+    fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError>;
+}
+
+/// The four flow implementations by name, for generic dispatch from
+/// CLIs, tests and benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowKind {
+    /// The proposed over-cell flow ([`OverCellFlow`], `"overcell"`).
+    OverCell,
+    /// Two-layer all-channel baseline ([`TwoLayerChannelFlow`],
+    /// `"channel2"`).
+    Channel2,
+    /// Three-layer HVH comparator ([`ThreeLayerChannelFlow`],
+    /// `"channel3"`).
+    Channel3,
+    /// Four-layer HV+HV comparator ([`FourLayerChannelFlow`],
+    /// `"channel4"`).
+    Channel4,
+}
+
+impl FlowKind {
+    /// Every flow, in the canonical (paper) order.
+    pub const ALL: [FlowKind; 4] = [
+        FlowKind::OverCell,
+        FlowKind::Channel2,
+        FlowKind::Channel3,
+        FlowKind::Channel4,
+    ];
+
+    /// Parses a flow name as used by the `ocr` CLI (`"overcell"`,
+    /// `"channel2"`, `"channel3"`, `"channel4"`).
+    pub fn from_name(name: &str) -> Option<FlowKind> {
+        match name {
+            "overcell" => Some(FlowKind::OverCell),
+            "channel2" => Some(FlowKind::Channel2),
+            "channel3" => Some(FlowKind::Channel3),
+            "channel4" => Some(FlowKind::Channel4),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this flow.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowKind::OverCell => "overcell",
+            FlowKind::Channel2 => "channel2",
+            FlowKind::Channel3 => "channel3",
+            FlowKind::Channel4 => "channel4",
+        }
+    }
+
+    /// Builds the flow with default configuration and options.
+    pub fn build(self) -> Box<dyn Flow> {
+        self.build_with(FlowOptions::default())
+    }
+
+    /// Builds the flow with default configuration and the given shared
+    /// options.
+    pub fn build_with(self, options: FlowOptions) -> Box<dyn Flow> {
+        match self {
+            FlowKind::OverCell => Box::new(OverCellFlow {
+                options,
+                ..OverCellFlow::default()
+            }),
+            FlowKind::Channel2 => Box::new(TwoLayerChannelFlow {
+                options,
+                ..TwoLayerChannelFlow::default()
+            }),
+            FlowKind::Channel3 => Box::new(ThreeLayerChannelFlow {
+                options,
+                ..ThreeLayerChannelFlow::default()
+            }),
+            FlowKind::Channel4 => Box::new(FourLayerChannelFlow {
+                options,
+                ..FourLayerChannelFlow::default()
+            }),
+        }
+    }
+}
+
+impl fmt::Display for FlowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs the independent oracle when `options.verify` is set, for
+/// [`FlowResult::verify`].
+fn maybe_verify(
+    options: FlowOptions,
+    layout: &Layout,
+    design: &RoutedDesign,
+) -> Option<VerifyReport> {
+    options.verify.then(|| {
+        let vo = if options.strict {
+            VerifyOptions::strict()
+        } else {
+            VerifyOptions::default()
+        };
+        ocr_verify::verify_with(layout, design, &vo)
+    })
+}
+
+/// Assembles the [`FlowResult`] every flow returns from the (possibly
+/// merged) chip-channel result — the one place metrics and the optional
+/// oracle report are computed.
+fn assemble_result(
+    a: ChipChannelResult,
+    level_a_nets: Vec<NetId>,
+    level_b_nets: Vec<NetId>,
+    stats: Option<RoutingStats>,
+    options: FlowOptions,
+) -> FlowResult {
+    let metrics = RouteMetrics::of(&a.design, &a.expanded);
+    let verify = maybe_verify(options, &a.expanded, &a.design);
+    FlowResult {
+        design: a.design,
+        layout: a.expanded,
+        placement: a.placement,
+        metrics,
+        stats,
+        channel_tracks: a.channel_tracks,
+        channel_heights: a.channel_heights,
+        level_a_nets,
+        level_b_nets,
+        verify,
+    }
 }
 
 /// The proposed two-level flow.
@@ -62,9 +254,8 @@ pub struct OverCellFlow {
     pub level_a: ChipChannelOptions,
     /// Level B router configuration.
     pub level_b: LevelBConfig,
-    /// Run the `ocr-verify` oracle on the result (see
-    /// [`FlowResult::verify`]).
-    pub verify: bool,
+    /// Shared flow options (oracle verification).
+    pub options: FlowOptions,
 }
 
 impl Default for OverCellFlow {
@@ -73,7 +264,7 @@ impl Default for OverCellFlow {
             partition: PartitionStrategy::ByClass,
             level_a: ChipChannelOptions::default(),
             level_b: LevelBConfig::default(),
-            verify: false,
+            options: FlowOptions::default(),
         }
     }
 }
@@ -104,26 +295,32 @@ impl OverCellFlow {
             other => partition_nets(layout, other),
         };
         // Level A: channels on metal1/metal2; fixes the topology.
-        let a = ocr_channel::route_chip_channels(layout, placement, &set_a, self.level_a)?;
+        let mut a = ocr_channel::route_chip_channels(layout, placement, &set_a, self.level_a)?;
         // Level B: over the entire (expanded) layout area.
         let mut router = LevelBRouter::new(&a.expanded, &set_b, self.level_b.clone())?;
         let b = router.route_all()?;
-        let mut design = a.design;
-        design.merge(b.design);
-        let metrics = RouteMetrics::of(&design, &a.expanded);
-        let verify = maybe_verify(self.verify, &a.expanded, &design);
-        Ok(FlowResult {
-            design,
-            layout: a.expanded,
-            placement: a.placement,
-            metrics,
-            stats: Some(b.stats),
-            channel_tracks: a.channel_tracks,
-            channel_heights: a.channel_heights,
-            level_a_nets: set_a,
-            level_b_nets: set_b,
-            verify,
-        })
+        a.design.merge(b.design);
+        Ok(assemble_result(
+            a,
+            set_a,
+            set_b,
+            Some(b.stats),
+            self.options,
+        ))
+    }
+}
+
+impl Flow for OverCellFlow {
+    fn options(&self) -> FlowOptions {
+        self.options
+    }
+
+    fn options_mut(&mut self) -> &mut FlowOptions {
+        &mut self.options
+    }
+
+    fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
+        OverCellFlow::run(self, layout, placement)
     }
 }
 
@@ -131,10 +328,9 @@ impl OverCellFlow {
 #[derive(Clone, Debug, Default)]
 pub struct TwoLayerChannelFlow {
     /// Chip-channel options (router kind forced to two-layer).
-    pub options: ChipChannelOptions,
-    /// Run the `ocr-verify` oracle on the result (see
-    /// [`FlowResult::verify`]).
-    pub verify: bool,
+    pub channel: ChipChannelOptions,
+    /// Shared flow options (oracle verification).
+    pub options: FlowOptions,
 }
 
 impl TwoLayerChannelFlow {
@@ -145,25 +341,26 @@ impl TwoLayerChannelFlow {
     /// Propagates channel routing errors.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA);
-        let mut opts = self.options;
+        let mut opts = self.channel;
         if let ChannelRouterKind::FourLayer(_) = opts.router {
             opts.router = ChannelRouterKind::TwoLayer(Default::default());
         }
         let a = ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?;
-        let metrics = RouteMetrics::of(&a.design, &a.expanded);
-        let verify = maybe_verify(self.verify, &a.expanded, &a.design);
-        Ok(FlowResult {
-            design: a.design,
-            layout: a.expanded,
-            placement: a.placement,
-            metrics,
-            stats: None,
-            channel_tracks: a.channel_tracks,
-            channel_heights: a.channel_heights,
-            level_a_nets: set_a,
-            level_b_nets: Vec::new(),
-            verify,
-        })
+        Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+    }
+}
+
+impl Flow for TwoLayerChannelFlow {
+    fn options(&self) -> FlowOptions {
+        self.options
+    }
+
+    fn options_mut(&mut self) -> &mut FlowOptions {
+        &mut self.options
+    }
+
+    fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
+        TwoLayerChannelFlow::run(self, layout, placement)
     }
 }
 
@@ -176,9 +373,8 @@ pub struct ThreeLayerChannelFlow {
     pub lea: ocr_channel::LeftEdgeOptions,
     /// Column pitch override.
     pub pitch: Option<Coord>,
-    /// Run the `ocr-verify` oracle on the result (see
-    /// [`FlowResult::verify`]).
-    pub verify: bool,
+    /// Shared flow options (oracle verification).
+    pub options: FlowOptions,
 }
 
 impl ThreeLayerChannelFlow {
@@ -194,20 +390,21 @@ impl ThreeLayerChannelFlow {
             pitch: self.pitch,
         };
         let a = ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?;
-        let metrics = RouteMetrics::of(&a.design, &a.expanded);
-        let verify = maybe_verify(self.verify, &a.expanded, &a.design);
-        Ok(FlowResult {
-            design: a.design,
-            layout: a.expanded,
-            placement: a.placement,
-            metrics,
-            stats: None,
-            channel_tracks: a.channel_tracks,
-            channel_heights: a.channel_heights,
-            level_a_nets: set_a,
-            level_b_nets: Vec::new(),
-            verify,
-        })
+        Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+    }
+}
+
+impl Flow for ThreeLayerChannelFlow {
+    fn options(&self) -> FlowOptions {
+        self.options
+    }
+
+    fn options_mut(&mut self) -> &mut FlowOptions {
+        &mut self.options
+    }
+
+    fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
+        ThreeLayerChannelFlow::run(self, layout, placement)
     }
 }
 
@@ -218,9 +415,8 @@ pub struct FourLayerChannelFlow {
     pub multilayer: MultilayerOptions,
     /// Column pitch override.
     pub pitch: Option<Coord>,
-    /// Run the `ocr-verify` oracle on the result (see
-    /// [`FlowResult::verify`]).
-    pub verify: bool,
+    /// Shared flow options (oracle verification).
+    pub options: FlowOptions,
 }
 
 impl FourLayerChannelFlow {
@@ -236,20 +432,21 @@ impl FourLayerChannelFlow {
             pitch: self.pitch,
         };
         let a = ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?;
-        let metrics = RouteMetrics::of(&a.design, &a.expanded);
-        let verify = maybe_verify(self.verify, &a.expanded, &a.design);
-        Ok(FlowResult {
-            design: a.design,
-            layout: a.expanded,
-            placement: a.placement,
-            metrics,
-            stats: None,
-            channel_tracks: a.channel_tracks,
-            channel_heights: a.channel_heights,
-            level_a_nets: set_a,
-            level_b_nets: Vec::new(),
-            verify,
-        })
+        Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+    }
+}
+
+impl Flow for FourLayerChannelFlow {
+    fn options(&self) -> FlowOptions {
+        self.options
+    }
+
+    fn options_mut(&mut self) -> &mut FlowOptions {
+        &mut self.options
+    }
+
+    fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
+        FourLayerChannelFlow::run(self, layout, placement)
     }
 }
 
@@ -347,8 +544,8 @@ mod tests {
     fn two_layer_baseline_routes_everything() {
         let (l, p) = chip();
         let flow = TwoLayerChannelFlow {
-            options: opts10(),
-            verify: false,
+            channel: opts10(),
+            ..TwoLayerChannelFlow::default()
         };
         let res = flow.run(&l, &p).expect("flow");
         assert_eq!(res.metrics.routed_nets, 3);
@@ -379,8 +576,8 @@ mod tests {
         .run(&l, &p)
         .expect("over-cell");
         let two = TwoLayerChannelFlow {
-            options: opts10(),
-            verify: false,
+            channel: opts10(),
+            ..TwoLayerChannelFlow::default()
         }
         .run(&l, &p)
         .expect("two-layer");
@@ -396,8 +593,8 @@ mod tests {
     fn analytic_estimate_is_bounded() {
         let (l, p) = chip();
         let two = TwoLayerChannelFlow {
-            options: opts10(),
-            verify: false,
+            channel: opts10(),
+            ..TwoLayerChannelFlow::default()
         }
         .run(&l, &p)
         .expect("two-layer");
@@ -426,7 +623,7 @@ mod tests {
         let (l, p) = chip();
         let res = OverCellFlow {
             level_a: opts10(),
-            verify: true,
+            options: FlowOptions::verified(),
             ..OverCellFlow::default()
         }
         .run(&l, &p)
@@ -435,12 +632,33 @@ mod tests {
         assert!(report.is_clean(), "{report}");
 
         let silent = TwoLayerChannelFlow {
-            options: opts10(),
-            verify: false,
+            channel: opts10(),
+            ..TwoLayerChannelFlow::default()
         }
         .run(&l, &p)
         .expect("flow");
         assert!(silent.verify.is_none());
+    }
+
+    #[test]
+    fn flow_kind_builds_and_runs_every_flow() {
+        let (mut l, p) = chip();
+        // Boxed flows run at the rules-derived pitch; make it match the
+        // fixture's 20-unit pin grid on every layer.
+        l.rules = ocr_netlist::DesignRules::uniform(ocr_netlist::LayerRules {
+            wire_width: 8,
+            wire_spacing: 12,
+            via_size: 8,
+        });
+        for kind in FlowKind::ALL {
+            assert_eq!(FlowKind::from_name(kind.name()), Some(kind));
+            let flow = kind.build_with(FlowOptions::verified());
+            assert_eq!(flow.options(), FlowOptions::verified());
+            let res = flow.run(&l, &p).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(res.metrics.routed_nets, 3, "{kind}");
+            assert!(res.verify.is_some(), "{kind}");
+        }
+        assert!(FlowKind::from_name("bogus").is_none());
     }
 
     #[test]
@@ -450,7 +668,7 @@ mod tests {
             partition: PartitionStrategy::AllB,
             level_a: opts10(),
             level_b: LevelBConfig::default(),
-            verify: false,
+            options: FlowOptions::default(),
         }
         .run(&l, &p)
         .expect("flow");

@@ -62,8 +62,8 @@ pub use config::LevelBConfig;
 pub use cost::CostWeights;
 pub use error::RouteError;
 pub use flow::{
-    run_analytic_four_layer_estimate, FlowResult, FourLayerChannelFlow, OverCellFlow,
-    ThreeLayerChannelFlow, TwoLayerChannelFlow,
+    run_analytic_four_layer_estimate, Flow, FlowKind, FlowOptions, FlowResult,
+    FourLayerChannelFlow, OverCellFlow, ThreeLayerChannelFlow, TwoLayerChannelFlow,
 };
 pub use level_b::{LevelBResult, LevelBRouter};
 pub use order::NetOrdering;

@@ -1,0 +1,419 @@
+#![warn(missing_docs)]
+
+//! # ocr-exec
+//!
+//! A hermetic, std-only **scoped work-stealing thread pool** for the
+//! over-cell router. The workspace builds fully offline, so this crate
+//! cannot depend on `rayon` or `crossbeam` — the same discipline as the
+//! in-tree PRNG in `ocr_gen::rng` and the bench harness in
+//! `ocr_bench::harness`. Everything here is built from
+//! [`std::thread::scope`] and atomics.
+//!
+//! ## Model
+//!
+//! * [`parallel_map`] — apply a function to every element of a slice
+//!   across the pool, returning results **in input order**. This is the
+//!   workhorse behind per-channel Level A routing, the `ocr-verify`
+//!   fan-out and the suite/bench drivers.
+//! * [`scope`] — structured fork–join: spawn heterogeneous tasks that
+//!   all complete before the call returns.
+//! * Worker count comes from the `OCR_THREADS` environment variable
+//!   (default: [`std::thread::available_parallelism`]); tests and
+//!   benchmarks override it locally with [`with_threads`].
+//!
+//! ## Scheduling
+//!
+//! Each `parallel_map`/`scope` call partitions its items into one
+//! contiguous index range per worker. A worker pops from the **front**
+//! of its own range; when the range is empty it **steals single items
+//! from the back** of a victim's range. Ranges are packed into one
+//! `AtomicU64` each (`lo` in the high half, `hi` in the low half), so
+//! both pop and steal are a single compare-and-swap — no locks on the
+//! scheduling path. This keeps skewed workloads (one huge net among
+//! hundreds of small ones, one congested channel among many empty ones)
+//! balanced without sacrificing the deterministic output order.
+//!
+//! ## Determinism
+//!
+//! Scheduling order is nondeterministic; **results are not**. Outputs
+//! are merged by item index, so a parallel run is bit-identical to a
+//! sequential (`OCR_THREADS=1`) run of the same closure over the same
+//! items. The routers and the verifier rely on this contract and it is
+//! enforced by integration tests (`tests/determinism.rs`).
+//!
+//! ## Panics
+//!
+//! A panic in any task is caught on its worker and re-raised on the
+//! calling thread (lowest panicking item index wins) after all workers
+//! have stopped — a panicking parallel region never deadlocks and never
+//! silently drops work.
+//!
+//! ```
+//! let squares = ocr_exec::parallel_map(&[1i64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// Per-thread worker-count override (propagated into pool workers so
+    /// nested parallel regions inherit it).
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The process-wide default worker count: `OCR_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("OCR_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The worker count parallel regions started from this thread will use:
+/// the innermost [`with_threads`] override, else `OCR_THREADS`, else
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn current_threads() -> usize {
+    OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+        .max(1)
+}
+
+/// Runs `f` with the worker count forced to `n` on this thread (and on
+/// any pool workers its parallel regions spawn). Restores the previous
+/// setting on exit, including on panic. `n == 1` makes every parallel
+/// region inside `f` run inline on the calling thread — this is how the
+/// determinism tests produce their sequential reference runs without
+/// touching the process environment.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// One worker's claimable index range `[lo, hi)`, packed as
+/// `lo << 32 | hi` so pop and steal are single CAS operations.
+struct Ranges {
+    slots: Vec<AtomicU64>,
+}
+
+const fn pack(lo: u32, hi: u32) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+const fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+impl Ranges {
+    /// Splits `0..n` into `workers` near-equal contiguous ranges.
+    fn split(n: usize, workers: usize) -> Ranges {
+        assert!(n <= u32::MAX as usize, "parallel region too large");
+        let per = n / workers;
+        let extra = n % workers;
+        let mut slots = Vec::with_capacity(workers);
+        let mut lo = 0usize;
+        for w in 0..workers {
+            let len = per + usize::from(w < extra);
+            slots.push(AtomicU64::new(pack(lo as u32, (lo + len) as u32)));
+            lo += len;
+        }
+        Ranges { slots }
+    }
+
+    /// Claims the front item of worker `w`'s own range.
+    fn pop_front(&self, w: usize) -> Option<usize> {
+        let slot = &self.slots[w];
+        let mut cur = slot.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            match slot.compare_exchange_weak(
+                cur,
+                pack(lo + 1, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(lo as usize),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Steals one item from the back of some other worker's range.
+    fn steal(&self, thief: usize) -> Option<usize> {
+        let n = self.slots.len();
+        for k in 1..n {
+            let victim = (thief + k) % n;
+            let slot = &self.slots[victim];
+            let mut cur = slot.load(Ordering::Acquire);
+            loop {
+                let (lo, hi) = unpack(cur);
+                if lo >= hi {
+                    break;
+                }
+                match slot.compare_exchange_weak(
+                    cur,
+                    pack(lo, hi - 1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return Some((hi - 1) as usize),
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Runs `run(i)` for every `i in 0..n` across the pool. Panics from
+/// tasks are re-raised on the caller (lowest item index wins).
+fn run_indexed(n: usize, workers: usize, run: &(impl Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let workers = workers.min(n);
+    if workers <= 1 {
+        for i in 0..n {
+            run(i);
+        }
+        return;
+    }
+    let ranges = Ranges::split(n, workers);
+    // First panic by item index, so which panic surfaces does not depend
+    // on thread scheduling.
+    let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+    let inherit = OVERRIDE.with(|c| c.get());
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let ranges = &ranges;
+            let panicked = &panicked;
+            s.spawn(move || {
+                OVERRIDE.with(|c| c.set(inherit));
+                while let Some(i) = ranges.pop_front(w).or_else(|| ranges.steal(w)) {
+                    if panicked.lock().map(|g| g.is_some()).unwrap_or(true) {
+                        break;
+                    }
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
+                        let mut guard = panicked.lock().unwrap_or_else(|e| e.into_inner());
+                        match &*guard {
+                            Some((j, _)) if *j <= i => {}
+                            _ => *guard = Some((i, payload)),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some((_, payload)) = panicked.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(payload);
+    }
+}
+
+/// Applies `f` to every element of `items` across the pool and returns
+/// the results **in input order**. With one worker (or one item) it runs
+/// inline on the calling thread — zero scheduling overhead and exactly
+/// the sequential semantics.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let workers = current_threads();
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    run_indexed(n, workers, &|i| {
+        let r = f(&items[i]);
+        *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("run_indexed visits every item")
+        })
+        .collect()
+}
+
+/// A task scheduled on a [`Scope`].
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// A structured fork–join scope: tasks spawned onto it all run (across
+/// the pool) before [`scope`] returns. See [`scope`].
+pub struct Scope<'env> {
+    tasks: Mutex<Vec<Task<'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Schedules a task on the scope. Tasks may borrow from the
+    /// enclosing environment; they start once the builder closure passed
+    /// to [`scope`] returns.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
+        self.tasks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::new(f));
+    }
+}
+
+/// Structured fork–join: `build` schedules tasks with [`Scope::spawn`];
+/// every task completes (with panics propagated) before `scope` returns.
+/// Tasks run in spawn order when sequential, and are claimed in spawn
+/// order by the pool when parallel.
+pub fn scope<'env>(build: impl FnOnce(&Scope<'env>)) {
+    let s = Scope {
+        tasks: Mutex::new(Vec::new()),
+    };
+    build(&s);
+    let tasks = s.tasks.into_inner().unwrap_or_else(|e| e.into_inner());
+    let slots: Vec<Mutex<Option<Task<'env>>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    run_indexed(slots.len(), current_threads(), &|i| {
+        let task = slots[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("each task runs once");
+        task();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_order_sequentially_and_in_parallel() {
+        let items: Vec<u64> = (0..500).collect();
+        let seq = with_threads(1, || parallel_map(&items, |&x| x * 3 + 1));
+        let par = with_threads(4, || parallel_map(&items, |&x| x * 3 + 1));
+        assert_eq!(seq, par);
+        assert_eq!(par[7], 22);
+    }
+
+    #[test]
+    fn map_runs_every_item_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            parallel_map(&(0..97).collect::<Vec<usize>>(), |&i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn skewed_items_still_complete() {
+        // One item carries almost all the work; stealing must not lose
+        // or duplicate anything.
+        let items: Vec<usize> = (0..64).collect();
+        let out = with_threads(4, || {
+            parallel_map(&items, |&i| {
+                if i == 0 {
+                    (0..50_000u64).sum::<u64>()
+                } else {
+                    i as u64
+                }
+            })
+        });
+        assert_eq!(out[0], 1_249_975_000);
+        assert_eq!(out[63], 63);
+    }
+
+    #[test]
+    fn panic_propagates_with_lowest_index() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                parallel_map(&(0..64).collect::<Vec<usize>>(), |&i| {
+                    if i % 2 == 1 {
+                        panic!("boom {i}");
+                    }
+                    i
+                })
+            })
+        });
+        let payload = result.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "boom 1");
+    }
+
+    #[test]
+    fn scope_tasks_all_run_and_can_borrow() {
+        let outputs: Vec<Mutex<i32>> = (0..16).map(|_| Mutex::new(0)).collect();
+        with_threads(3, || {
+            scope(|s| {
+                for (i, slot) in outputs.iter().enumerate() {
+                    s.spawn(move || *slot.lock().unwrap() = i as i32 + 1);
+                }
+            })
+        });
+        for (i, slot) in outputs.iter().enumerate() {
+            assert_eq!(*slot.lock().unwrap(), i as i32 + 1);
+        }
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let before = current_threads();
+        let _ = std::panic::catch_unwind(|| with_threads(7, || panic!("x")));
+        assert_eq!(current_threads(), before);
+    }
+
+    #[test]
+    fn workers_inherit_the_override() {
+        // A nested parallel region inside a pool worker must see the
+        // same override as the caller.
+        let seen: Vec<Mutex<usize>> = (0..8).map(|_| Mutex::new(0)).collect();
+        with_threads(2, || {
+            parallel_map(&(0..8).collect::<Vec<usize>>(), |&i| {
+                *seen[i].lock().unwrap() = current_threads();
+            })
+        });
+        assert!(seen.iter().all(|m| *m.lock().unwrap() == 2));
+    }
+
+    #[test]
+    fn range_packing_roundtrips() {
+        let r = Ranges::split(10, 3);
+        assert_eq!(unpack(r.slots[0].load(Ordering::Relaxed)), (0, 4));
+        assert_eq!(unpack(r.slots[1].load(Ordering::Relaxed)), (4, 7));
+        assert_eq!(unpack(r.slots[2].load(Ordering::Relaxed)), (7, 10));
+        assert_eq!(r.pop_front(0), Some(0));
+        assert_eq!(r.steal(0), Some(6));
+        assert_eq!(r.pop_front(1), Some(4));
+        assert_eq!(r.pop_front(1), Some(5));
+        assert_eq!(r.pop_front(1), None);
+        assert_eq!(r.steal(1), Some(9));
+    }
+
+    #[test]
+    fn empty_and_single_item_maps() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[5], |&x| x + 1), vec![6]);
+    }
+}

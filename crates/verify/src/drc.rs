@@ -1,12 +1,15 @@
 //! Design-rule checks: shorts, spacing, min-width slivers, via landing,
 //! die containment, and obstacle intrusion.
 
-use crate::index::{
-    build_drawn, for_each_near_pair, gap2, spacing2, spacing_required, ViaPadModel,
-};
+use crate::index::{build_drawn, gap2, spacing2, spacing_required, Drawn, PairSweep, ViaPadModel};
 use crate::violation::Violation;
 use ocr_geom::{Layer, LayerSet, Point, Rect};
 use ocr_netlist::{Layout, NetId, NetRoute, RouteSeg, RoutedDesign};
+
+/// Sweep positions per spatial bin of the spacing check. Small enough to
+/// give the pool balanced stealable units on real designs, large enough
+/// that bin bookkeeping is negligible.
+const SPACING_BIN: usize = 512;
 
 /// `true` when the segment's centerline passes through `p`.
 fn seg_contains(seg: &RouteSeg, p: Point) -> bool {
@@ -45,41 +48,21 @@ pub fn check_spacing(
         .map(|l| spacing2(&layout.rules, l))
         .max()
         .unwrap_or(0);
-    let mut found: Vec<Violation> = Vec::new();
-    for_each_near_pair(&items, max_s2, |i, j| {
-        let (a, b) = (&items[i], &items[j]);
-        if a.net == b.net {
-            return;
-        }
-        let (dx, dy) = gap2(a, b);
-        let s2 = spacing2(&layout.rules, a.layer);
-        let at = Point::new(
-            (a.center().x + b.center().x) / 2,
-            (a.center().y + b.center().y) / 2,
-        );
-        let (lo, hi) = if a.net.0 <= b.net.0 {
-            (a.net, b.net)
-        } else {
-            (b.net, a.net)
-        };
-        if dx == 0 && dy == 0 {
-            found.push(Violation::Short {
-                a: lo,
-                b: hi,
-                layer: a.layer,
-                at,
-            });
-        } else if drawn_layers.contains(a.layer) && dx * dx + dy * dy < s2 * s2 {
-            found.push(Violation::Spacing {
-                a: lo,
-                b: hi,
-                layer: a.layer,
-                at,
-                gap: ((dx * dx + dy * dy) as f64).sqrt() / 2.0,
-                required: spacing_required(&layout.rules, a.layer),
-            });
-        }
+    // Spatially-binned pair sweep: bins fan out across the ocr-exec
+    // pool and merge in bin order, which is itself the ascending sweep
+    // order — the collected sequence is identical to a sequential
+    // sweep's regardless of worker count.
+    let sweep = PairSweep::new(&items, SPACING_BIN);
+    let per_bin: Vec<Vec<Violation>> = ocr_exec::parallel_map(sweep.bins(), |&bin| {
+        let mut found = Vec::new();
+        sweep.for_each_pair_in_bin(&items, max_s2, bin, |i, j| {
+            if let Some(v) = pair_violation(layout, drawn_layers, &items[i], &items[j]) {
+                found.push(v);
+            }
+        });
+        found
     });
+    let mut found: Vec<Violation> = per_bin.into_iter().flatten().collect();
     // The sweep visits each offending pair once per overlap region; a
     // pair of long parallel wires still yields one pair, but dedupe
     // same-(nets, layer, kind) repeats to keep reports readable.
@@ -93,6 +76,49 @@ pub fn check_spacing(
         key(u) == key(v)
     });
     out.extend(found);
+}
+
+/// The exact short/spacing test for one candidate pair of drawn
+/// rectangles (same layer, distinct nets ordered by id in the report).
+fn pair_violation(
+    layout: &Layout,
+    drawn_layers: LayerSet,
+    a: &Drawn,
+    b: &Drawn,
+) -> Option<Violation> {
+    if a.net == b.net {
+        return None;
+    }
+    let (dx, dy) = gap2(a, b);
+    let s2 = spacing2(&layout.rules, a.layer);
+    let at = Point::new(
+        (a.center().x + b.center().x) / 2,
+        (a.center().y + b.center().y) / 2,
+    );
+    let (lo, hi) = if a.net.0 <= b.net.0 {
+        (a.net, b.net)
+    } else {
+        (b.net, a.net)
+    };
+    if dx == 0 && dy == 0 {
+        Some(Violation::Short {
+            a: lo,
+            b: hi,
+            layer: a.layer,
+            at,
+        })
+    } else if drawn_layers.contains(a.layer) && dx * dx + dy * dy < s2 * s2 {
+        Some(Violation::Spacing {
+            a: lo,
+            b: hi,
+            layer: a.layer,
+            at,
+            gap: ((dx * dx + dy * dy) as f64).sqrt() / 2.0,
+            required: spacing_required(&layout.rules, a.layer),
+        })
+    } else {
+        None
+    }
 }
 
 /// `true` when either endpoint of segment `si` touches no other
@@ -113,6 +139,26 @@ fn has_free_end(seg: &RouteSeg, si: usize, route: &NetRoute, pins: &[(Point, Lay
 /// Per-segment and per-via local checks: min-width slivers, via landing
 /// pads, die containment, and obstacle intrusion.
 pub fn check_geometry(layout: &Layout, design: &RoutedDesign, out: &mut Vec<Violation>) {
+    // Every check here is local to one net's geometry, so nets fan out
+    // across the ocr-exec pool; per-net violation lists merge in net-id
+    // order, matching the sequential iteration exactly.
+    let routes: Vec<(NetId, &NetRoute)> = design.iter_routes().collect();
+    let per_net: Vec<Vec<Violation>> = ocr_exec::parallel_map(&routes, |&(net, route)| {
+        let mut found = Vec::new();
+        check_net_geometry(layout, design, net, route, &mut found);
+        found
+    });
+    out.extend(per_net.into_iter().flatten());
+}
+
+/// Local checks for one net's geometry (see [`check_geometry`]).
+fn check_net_geometry(
+    layout: &Layout,
+    design: &RoutedDesign,
+    net: NetId,
+    route: &NetRoute,
+    out: &mut Vec<Violation>,
+) {
     let die = design.die;
     // Pins per net, for via-landing checks.
     let pin_spots = |net: NetId| {
@@ -121,72 +167,70 @@ pub fn check_geometry(layout: &Layout, design: &RoutedDesign, out: &mut Vec<Viol
             .iter()
             .map(|&p| (layout.pin(p).position, layout.pin(p).layer))
     };
-    for (net, route) in design.iter_routes() {
-        let net_pins: Vec<(Point, Layer)> = layout.nets[net.index()]
-            .pins
-            .iter()
-            .map(|&p| (layout.pin(p).position, layout.pin(p).layer))
-            .collect();
-        for (si, seg) in route.segs.iter().enumerate() {
-            let rules = layout.rules.layer(seg.layer());
-            // A sub-width segment is a sliver only when one of its ends
-            // protrudes freely; short jogs joined into the net's metal
-            // at both ends are part of a wider drawn polygon.
-            if !seg.is_empty()
-                && seg.len() < rules.wire_width
-                && has_free_end(seg, si, route, &net_pins)
-            {
-                out.push(Violation::MinWidth {
+    let net_pins: Vec<(Point, Layer)> = layout.nets[net.index()]
+        .pins
+        .iter()
+        .map(|&p| (layout.pin(p).position, layout.pin(p).layer))
+        .collect();
+    for (si, seg) in route.segs.iter().enumerate() {
+        let rules = layout.rules.layer(seg.layer());
+        // A sub-width segment is a sliver only when one of its ends
+        // protrudes freely; short jogs joined into the net's metal
+        // at both ends are part of a wider drawn polygon.
+        if !seg.is_empty()
+            && seg.len() < rules.wire_width
+            && has_free_end(seg, si, route, &net_pins)
+        {
+            out.push(Violation::MinWidth {
+                net,
+                layer: seg.layer(),
+                at: seg.a(),
+                length: seg.len(),
+                required: rules.wire_width,
+            });
+        }
+        if !die.contains_rect(&seg.bbox()) {
+            out.push(Violation::OutsideDie {
+                net,
+                layer: Some(seg.layer()),
+                at: seg.a(),
+            });
+        }
+        for (k, ob) in layout.obstacles.iter().enumerate() {
+            if ob.blocks(seg.layer()) && seg_crosses_interior(seg, &ob.rect) {
+                out.push(Violation::ObstacleIntrusion {
                     net,
+                    obstacle: k,
                     layer: seg.layer(),
                     at: seg.a(),
-                    length: seg.len(),
-                    required: rules.wire_width,
                 });
-            }
-            if !die.contains_rect(&seg.bbox()) {
-                out.push(Violation::OutsideDie {
-                    net,
-                    layer: Some(seg.layer()),
-                    at: seg.a(),
-                });
-            }
-            for (k, ob) in layout.obstacles.iter().enumerate() {
-                if ob.blocks(seg.layer()) && seg_crosses_interior(seg, &ob.rect) {
-                    out.push(Violation::ObstacleIntrusion {
-                        net,
-                        obstacle: k,
-                        layer: seg.layer(),
-                        at: seg.a(),
-                    });
-                }
             }
         }
-        for via in &route.vias {
-            if !die.contains(via.at) {
-                out.push(Violation::OutsideDie {
-                    net,
-                    layer: None,
-                    at: via.at,
-                });
-            }
-            for end in [via.lower, via.upper] {
-                let landed = route
-                    .segs
+    }
+    for via in &route.vias {
+        if !die.contains(via.at) {
+            out.push(Violation::OutsideDie {
+                net,
+                layer: None,
+                at: via.at,
+            });
+        }
+        for end in [via.lower, via.upper] {
+            let landed = route
+                .segs
+                .iter()
+                .any(|s| s.layer() == end && seg_contains(s, via.at))
+                || pin_spots(net).any(|(pos, l)| l == end && pos == via.at)
+                || route
+                    .vias
                     .iter()
-                    .any(|s| s.layer() == end && seg_contains(s, via.at))
-                    || pin_spots(net).any(|(pos, l)| l == end && pos == via.at)
-                    || route
-                        .vias
-                        .iter()
-                        .any(|v| !std::ptr::eq(v, via) && v.at == via.at && v.spans(end));
-                if !landed {
-                    out.push(Violation::ViaLanding {
-                        net,
-                        at: via.at,
-                        missing: end,
-                    });
-                }
+                    .any(|v| !std::ptr::eq(v, via) && v.at == via.at && v.spans(end));
+            if !landed {
+                out.push(Violation::ViaLanding {
+                    net,
+                    at: via.at,
+                    missing: end,
+                });
             }
         }
     }

@@ -138,67 +138,83 @@ pub fn verify_with(layout: &Layout, design: &RoutedDesign, opts: &VerifyOptions)
 }
 
 fn check_connectivity(layout: &Layout, design: &RoutedDesign, report: &mut VerifyReport) {
-    for net in layout.net_ids() {
-        let pins: Vec<(Point, Layer)> = layout.nets[net.index()]
-            .pins
-            .iter()
-            .map(|&p| (layout.pin(p).position, layout.pin(p).layer))
-            .collect();
-        if pins.len() < 2 {
-            continue;
-        }
-        let declared_failed = design.failed.contains(&net);
-        let route = design.route(net);
-        match route {
-            None => {
-                report.nets.push(NetSummary {
-                    net,
-                    routed: false,
-                    declared_failed,
-                    connected: false,
-                    components: pins.len(),
-                });
-                if !declared_failed {
-                    report.violations.push(Violation::MissingRoute { net });
-                }
-            }
-            Some(r) if r.is_empty() => {
-                report.nets.push(NetSummary {
-                    net,
-                    routed: false,
-                    declared_failed,
-                    connected: false,
-                    components: pins.len(),
-                });
-                if !declared_failed {
-                    report.violations.push(Violation::EmptyRoute { net });
-                }
-            }
-            Some(r) => {
-                let c = analyze_net(&pins, r);
-                report.nets.push(NetSummary {
-                    net,
-                    routed: true,
-                    declared_failed,
-                    connected: c.pins_connected,
-                    components: c.components,
-                });
-                if !declared_failed {
-                    if !c.pins_connected {
-                        report.violations.push(Violation::OpenNet {
-                            net,
-                            components: c.components,
-                        });
-                    }
-                    for (layer, at) in c.dangling {
-                        report
-                            .violations
-                            .push(Violation::Dangling { net, layer, at });
-                    }
-                }
-            }
-        }
+    // The union–find extraction is independent per net, so nets fan out
+    // across the ocr-exec pool; summaries and violations merge in net-id
+    // order, keeping the report bit-identical to a sequential pass.
+    let nets: Vec<_> = layout.net_ids().collect();
+    let per_net: Vec<Option<(NetSummary, Vec<Violation>)>> =
+        ocr_exec::parallel_map(&nets, |&net| check_net_connectivity(layout, design, net));
+    for (summary, violations) in per_net.into_iter().flatten() {
+        report.nets.push(summary);
+        report.violations.extend(violations);
     }
+}
+
+/// Connectivity verdict for one net; `None` for nets with fewer than two
+/// terminals (nothing to connect).
+fn check_net_connectivity(
+    layout: &Layout,
+    design: &RoutedDesign,
+    net: ocr_netlist::NetId,
+) -> Option<(NetSummary, Vec<Violation>)> {
+    let pins: Vec<(Point, Layer)> = layout.nets[net.index()]
+        .pins
+        .iter()
+        .map(|&p| (layout.pin(p).position, layout.pin(p).layer))
+        .collect();
+    if pins.len() < 2 {
+        return None;
+    }
+    let declared_failed = design.failed.contains(&net);
+    let mut violations = Vec::new();
+    let summary = match design.route(net) {
+        None => {
+            if !declared_failed {
+                violations.push(Violation::MissingRoute { net });
+            }
+            NetSummary {
+                net,
+                routed: false,
+                declared_failed,
+                connected: false,
+                components: pins.len(),
+            }
+        }
+        Some(r) if r.is_empty() => {
+            if !declared_failed {
+                violations.push(Violation::EmptyRoute { net });
+            }
+            NetSummary {
+                net,
+                routed: false,
+                declared_failed,
+                connected: false,
+                components: pins.len(),
+            }
+        }
+        Some(r) => {
+            let c = analyze_net(&pins, r);
+            if !declared_failed {
+                if !c.pins_connected {
+                    violations.push(Violation::OpenNet {
+                        net,
+                        components: c.components,
+                    });
+                }
+                for (layer, at) in c.dangling {
+                    violations.push(Violation::Dangling { net, layer, at });
+                }
+            }
+            NetSummary {
+                net,
+                routed: true,
+                declared_failed,
+                connected: c.pins_connected,
+                components: c.components,
+            }
+        }
+    };
+    Some((summary, violations))
 }
 
 /// Convenience: verify and return `Err(report)` when violations exist.

@@ -18,7 +18,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test"
+echo "==> cargo test (OCR_THREADS=1, sequential reference)"
+OCR_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test (default ocr-exec pool)"
 cargo test --workspace -q
 
 echo "==> ci: all green"

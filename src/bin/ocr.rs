@@ -4,14 +4,14 @@
 //! ocr generate <ami33|xerox|ex3|random> [--seed N] [-o chip.ocr]
 //! ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
 //!                      [--svg out.svg] [--routes out.txt]
+//! ocr route --suite
 //! ocr verify <chip.ocr> [--flow ...] [--routes in.txt] [--strict]
+//! ocr verify --suite [--strict]
 //! ocr stats <chip.ocr>
 //! ```
 
-use overcell_router::core::{
-    FourLayerChannelFlow, OverCellFlow, ThreeLayerChannelFlow, TwoLayerChannelFlow,
-};
-use overcell_router::gen::{random::small_random, suite};
+use overcell_router::core::{FlowKind, FlowOptions, FlowResult};
+use overcell_router::gen::{random::small_random, suite, GeneratedChip};
 use overcell_router::io::{parse_chip, parse_routes, write_chip, write_routes};
 use overcell_router::netlist::{
     validate_routed_design, ChipMetrics, Layout, NetClass, RowPlacement,
@@ -31,6 +31,10 @@ USAGE:
                        [--svg FILE] [--routes FILE]
       Route the chip with the selected flow (default: overcell), print
       metrics, optionally write an SVG and the routed geometry.
+  ocr route --suite
+      Route every suite chip with every flow (in parallel across the
+      ocr-exec pool; set OCR_THREADS to bound it) and print one metrics
+      line per combination.
   ocr verify <chip.ocr> [--flow overcell|channel2|channel3|channel4]
                         [--routes FILE] [--strict]
       Run the independent ocr-verify oracle. Routes the chip with the
@@ -38,6 +42,9 @@ USAGE:
       existing routed geometry against the chip file's layout as-is.
       --strict checks full drawn-width spacing on all four layers.
       Prints the report; exits non-zero when violations are found.
+  ocr verify --suite [--strict]
+      Verify every flow on every suite chip; exits non-zero when any
+      combination is unclean.
   ocr stats <chip.ocr>
       Print the chip's Table-1-style statistics.
   ocr help
@@ -55,11 +62,65 @@ fn main() -> ExitCode {
     }
 }
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
+/// Parsed flags of one subcommand: `--name value` pairs, bare switches,
+/// and non-flag positionals, in order of appearance.
+#[derive(Debug)]
+struct Flags<'a> {
+    values: Vec<(&'a str, &'a str)>,
+    switches: Vec<&'a str>,
+    positionals: Vec<&'a str>,
+}
+
+impl<'a> Flags<'a> {
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+}
+
+/// Parses everything after the subcommand name. Unknown flags and value
+/// flags with a missing (or flag-like) value are usage errors — a typo
+/// must never be silently ignored.
+fn parse_flags<'a>(
+    command: &str,
+    args: &'a [String],
+    value_flags: &[&'a str],
+    switch_flags: &[&'a str],
+) -> Result<Flags<'a>, String> {
+    let mut flags = Flags {
+        values: Vec::new(),
+        switches: Vec::new(),
+        positionals: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(&name) = value_flags.iter().find(|&&n| n == arg) {
+            match args.get(i + 1).map(|s| s.as_str()) {
+                Some(value) if !value.starts_with('-') || value == "-" => {
+                    flags.values.push((name, value));
+                    i += 2;
+                }
+                _ => return Err(format!("{command}: flag `{name}` requires a value")),
+            }
+        } else if let Some(&name) = switch_flags.iter().find(|&&n| n == arg) {
+            flags.switches.push(name);
+            i += 1;
+        } else if arg.starts_with('-') {
+            return Err(format!("{command}: unknown flag `{arg}`"));
+        } else {
+            flags.positionals.push(arg);
+            i += 1;
+        }
+    }
+    Ok(flags)
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -97,12 +158,17 @@ fn load(path: &str) -> Result<(Layout, RowPlacement), String> {
 }
 
 fn generate(args: &[String]) -> Result<(), String> {
-    let which = args.get(1).ok_or("generate: missing benchmark name")?;
-    let seed: u64 = flag_value(args, "--seed")
+    let flags = parse_flags("generate", &args[1..], &["--seed", "-o"], &[])?;
+    let which = *flags
+        .positionals
+        .first()
+        .ok_or("generate: missing benchmark name")?;
+    let seed: u64 = flags
+        .value("--seed")
         .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
         .transpose()?
         .unwrap_or(1);
-    let chip = match which.as_str() {
+    let chip = match which {
         "ami33" => suite::ami33_like(),
         "xerox" => suite::xerox_like(),
         "ex3" => suite::ex3_like(),
@@ -110,7 +176,7 @@ fn generate(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown benchmark `{other}`")),
     };
     let text = write_chip(&chip.layout, &chip.placement);
-    match flag_value(args, "-o") {
+    match flags.value("-o") {
         Some(path) => {
             std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
             eprintln!(
@@ -125,35 +191,62 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run_flow(
-    flow_name: &str,
-    layout: &Layout,
-    placement: &RowPlacement,
-) -> Result<overcell_router::core::FlowResult, String> {
-    match flow_name {
-        "overcell" => OverCellFlow::default()
-            .run(layout, placement)
-            .map_err(|e| e.to_string()),
-        "channel2" => TwoLayerChannelFlow::default()
-            .run(layout, placement)
-            .map_err(|e| e.to_string()),
-        "channel3" => ThreeLayerChannelFlow::default()
-            .run(layout, placement)
-            .map_err(|e| e.to_string()),
-        "channel4" => FourLayerChannelFlow::default()
-            .run(layout, placement)
-            .map_err(|e| e.to_string()),
-        other => Err(format!("unknown flow `{other}`")),
+fn parse_flow(flags: &Flags) -> Result<FlowKind, String> {
+    match flags.value("--flow") {
+        None => Ok(FlowKind::OverCell),
+        Some(name) => FlowKind::from_name(name).ok_or_else(|| format!("unknown flow `{name}`")),
     }
 }
 
+fn run_flow(
+    kind: FlowKind,
+    options: FlowOptions,
+    layout: &Layout,
+    placement: &RowPlacement,
+) -> Result<FlowResult, String> {
+    kind.build_with(options)
+        .run(layout, placement)
+        .map_err(|e| e.to_string())
+}
+
+/// Every (suite chip, flow) combination routed across the ocr-exec
+/// pool; results come back in the same deterministic order regardless of
+/// worker count.
+fn suite_fanout(options: FlowOptions) -> Vec<(String, FlowKind, Result<FlowResult, String>)> {
+    let chips: Vec<GeneratedChip> = suite::all();
+    let combos: Vec<(usize, FlowKind)> = (0..chips.len())
+        .flat_map(|c| FlowKind::ALL.into_iter().map(move |k| (c, k)))
+        .collect();
+    let results = ocr_exec::parallel_map(&combos, |&(c, kind)| {
+        let chip = &chips[c];
+        run_flow(kind, options, &chip.layout, &chip.placement)
+    });
+    combos
+        .into_iter()
+        .zip(results)
+        .map(|((c, kind), res)| (chips[c].spec.name.clone(), kind, res))
+        .collect()
+}
+
 fn route(args: &[String]) -> Result<(), String> {
-    let path = args.get(1).ok_or("route: missing chip file")?;
+    let flags = parse_flags(
+        "route",
+        &args[1..],
+        &["--flow", "--svg", "--routes"],
+        &["--suite"],
+    )?;
+    if flags.has("--suite") {
+        return route_suite(&flags);
+    }
+    let path = *flags
+        .positionals
+        .first()
+        .ok_or("route: missing chip file")?;
     let (layout, placement) = load(path)?;
-    let flow_name = flag_value(args, "--flow").unwrap_or("overcell");
-    let result = run_flow(flow_name, &layout, &placement)?;
+    let kind = parse_flow(&flags)?;
+    let result = run_flow(kind, FlowOptions::default(), &layout, &placement)?;
     let errors = validate_routed_design(&result.layout, &result.design);
-    println!("flow: {flow_name}");
+    println!("flow: {kind}");
     println!("die:  {}", result.layout.die);
     println!("metrics: {}", result.metrics);
     println!(
@@ -168,12 +261,12 @@ fn route(args: &[String]) -> Result<(), String> {
     } else {
         println!("validation: {} errors (first: {})", errors.len(), errors[0]);
     }
-    if let Some(svg_path) = flag_value(args, "--svg") {
+    if let Some(svg_path) = flags.value("--svg") {
         let svg = render_svg(&result.layout, &result.design);
         std::fs::write(svg_path, svg).map_err(|e| format!("{svg_path}: {e}"))?;
         eprintln!("wrote {svg_path}");
     }
-    if let Some(routes_path) = flag_value(args, "--routes") {
+    if let Some(routes_path) = flags.value("--routes") {
         let text = write_routes(&result.layout, &result.design);
         std::fs::write(routes_path, text).map_err(|e| format!("{routes_path}: {e}"))?;
         eprintln!("wrote {routes_path}");
@@ -184,15 +277,54 @@ fn route(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn route_suite(flags: &Flags) -> Result<(), String> {
+    if !flags.positionals.is_empty() || flags.value("--flow").is_some() {
+        return Err("route: --suite routes every flow on every suite chip; \
+                    it takes no chip file or --flow"
+            .into());
+    }
+    let mut failures = 0usize;
+    for (chip, kind, res) in suite_fanout(FlowOptions::default()) {
+        match res {
+            Ok(result) => {
+                let errors = validate_routed_design(&result.layout, &result.design);
+                let status = if errors.is_empty() {
+                    "clean".to_string()
+                } else {
+                    failures += 1;
+                    format!("{} validation errors", errors.len())
+                };
+                println!("{chip:>8} {kind:>9}: {}  [{status}]", result.metrics);
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{chip:>8} {kind:>9}: FAILED: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} suite combination(s) failed"));
+    }
+    Ok(())
+}
+
 fn verify(args: &[String]) -> Result<(), String> {
-    let path = args.get(1).ok_or("verify: missing chip file")?;
+    let flags = parse_flags(
+        "verify",
+        &args[1..],
+        &["--flow", "--routes"],
+        &["--strict", "--suite"],
+    )?;
+    let strict = flags.has("--strict");
+    if flags.has("--suite") {
+        return verify_suite(&flags, strict);
+    }
+    let path = *flags
+        .positionals
+        .first()
+        .ok_or("verify: missing chip file")?;
     let (layout, placement) = load(path)?;
-    let opts = if args.iter().any(|a| a == "--strict") {
-        VerifyOptions::strict()
-    } else {
-        VerifyOptions::default()
-    };
-    let (layout, design) = match flag_value(args, "--routes") {
+    let report = match flags.value("--routes") {
         Some(routes_path) => {
             // Audit existing geometry against the chip file's layout and
             // die exactly as given — the routes must use the same
@@ -200,16 +332,26 @@ fn verify(args: &[String]) -> Result<(), String> {
             let text =
                 std::fs::read_to_string(routes_path).map_err(|e| format!("{routes_path}: {e}"))?;
             let design = parse_routes(&layout, &text).map_err(|e| format!("{routes_path}: {e}"))?;
-            (layout, design)
+            let opts = if strict {
+                VerifyOptions::strict()
+            } else {
+                VerifyOptions::default()
+            };
+            verify_with(&layout, &design, &opts)
         }
         None => {
-            let flow_name = flag_value(args, "--flow").unwrap_or("overcell");
-            let result = run_flow(flow_name, &layout, &placement)?;
-            println!("flow: {flow_name}");
-            (result.layout, result.design)
+            let kind = parse_flow(&flags)?;
+            let options = FlowOptions {
+                verify: true,
+                strict,
+            };
+            let result = run_flow(kind, options, &layout, &placement)?;
+            println!("flow: {kind}");
+            result
+                .verify
+                .expect("flow ran with options.verify set, report attached")
         }
     };
-    let report = verify_with(&layout, &design, &opts);
     println!("{report}");
     if report.is_clean() {
         Ok(())
@@ -221,8 +363,57 @@ fn verify(args: &[String]) -> Result<(), String> {
     }
 }
 
+fn verify_suite(flags: &Flags, strict: bool) -> Result<(), String> {
+    if !flags.positionals.is_empty()
+        || flags.value("--flow").is_some()
+        || flags.value("--routes").is_some()
+    {
+        return Err("verify: --suite verifies every flow on every suite chip; \
+                    it takes no chip file, --flow or --routes"
+            .into());
+    }
+    let options = FlowOptions {
+        verify: true,
+        strict,
+    };
+    let mut unclean = 0usize;
+    for (chip, kind, res) in suite_fanout(options) {
+        match res {
+            Ok(result) => {
+                let report = result
+                    .verify
+                    .expect("flow ran with options.verify set, report attached");
+                if report.is_clean() {
+                    println!(
+                        "{chip:>8} {kind:>9}: clean ({} nets verified)",
+                        report.nets.len()
+                    );
+                } else {
+                    unclean += 1;
+                    println!(
+                        "{chip:>8} {kind:>9}: {} violation(s)",
+                        report.violations.len()
+                    );
+                }
+            }
+            Err(e) => {
+                unclean += 1;
+                println!("{chip:>8} {kind:>9}: FAILED: {e}");
+            }
+        }
+    }
+    if unclean > 0 {
+        return Err(format!("{unclean} suite combination(s) unclean"));
+    }
+    Ok(())
+}
+
 fn stats(args: &[String]) -> Result<(), String> {
-    let path = args.get(1).ok_or("stats: missing chip file")?;
+    let flags = parse_flags("stats", &args[1..], &[], &[])?;
+    let path = *flags
+        .positionals
+        .first()
+        .ok_or("stats: missing chip file")?;
     let (layout, placement) = load(path)?;
     let level_a: Vec<_> = layout
         .net_ids()
@@ -230,9 +421,50 @@ fn stats(args: &[String]) -> Result<(), String> {
             layout.net(n).class.is_level_a_default() || layout.net(n).class == NetClass::Power
         })
         .collect();
-    let m = ChipMetrics::of(path.as_str(), &layout, &level_a);
+    let m = ChipMetrics::of(path, &layout, &level_a);
     println!("{m}");
     println!("placement: {placement}");
     println!("die: {} (area {})", layout.die, layout.die.area());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flags;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flags_are_usage_errors() {
+        let args = argv(&["chip.ocr", "--bogus"]);
+        let err = parse_flags("route", &args, &["--flow"], &[]).unwrap_err();
+        assert!(err.contains("unknown flag `--bogus`"), "{err}");
+    }
+
+    #[test]
+    fn value_flags_require_a_value() {
+        for args in [argv(&["chip.ocr", "--flow"]), argv(&["--flow", "--svg"])] {
+            let err = parse_flags("route", &args, &["--flow", "--svg"], &[]).unwrap_err();
+            assert!(err.contains("`--flow` requires a value"), "{err}");
+        }
+    }
+
+    #[test]
+    fn flags_values_switches_and_positionals_parse() {
+        let args = argv(&["chip.ocr", "--flow", "channel2", "--strict"]);
+        let flags = parse_flags("verify", &args, &["--flow"], &["--strict"]).expect("parses");
+        assert_eq!(flags.positionals, vec!["chip.ocr"]);
+        assert_eq!(flags.value("--flow"), Some("channel2"));
+        assert!(flags.has("--strict"));
+        assert!(!flags.has("--suite"));
+    }
+
+    #[test]
+    fn dash_is_a_legal_value() {
+        let args = argv(&["-o", "-"]);
+        let flags = parse_flags("generate", &args, &["-o"], &[]).expect("parses");
+        assert_eq!(flags.value("-o"), Some("-"));
+    }
 }

@@ -26,6 +26,7 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
+//! | [`exec`] | `ocr-exec` | scoped work-stealing thread pool behind every parallel stage |
 //! | [`geom`] | `ocr-geom` | points, rectangles, intervals, layers |
 //! | [`netlist`] | `ocr-netlist` | layout, nets, design rules, metrics, validation |
 //! | [`grid`] | `ocr-grid` | routing grid with non-uniform tracks and occupancy |
@@ -58,6 +59,7 @@
 
 pub use ocr_channel as channel;
 pub use ocr_core as core;
+pub use ocr_exec as exec;
 pub use ocr_gen as gen;
 pub use ocr_geom as geom;
 pub use ocr_grid as grid;

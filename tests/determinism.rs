@@ -1,0 +1,85 @@
+//! Determinism contract of the parallel execution engine: every flow's
+//! output is a pure function of its input — independent of the
+//! `ocr-exec` worker count and stable across repeated runs.
+//!
+//! These tests pin the guarantee DESIGN.md documents: a parallel run
+//! (`OCR_THREADS=4`) is **bit-identical** to a sequential run
+//! (`OCR_THREADS=1`) of the same flow on the same chip, both in routed
+//! geometry and in the independent oracle's report. The worker count is
+//! forced with `ocr_exec::with_threads` rather than the environment
+//! variable so both runs happen inside one test process.
+
+use overcell_router::core::{FlowKind, FlowOptions, FlowResult};
+use overcell_router::exec::with_threads;
+use overcell_router::gen::random::small_random;
+use overcell_router::gen::suite;
+use overcell_router::io::write_routes;
+use overcell_router::verify::VerifyReport;
+
+/// Routed geometry + oracle report of one (flow, chip) run, in
+/// byte-comparable form.
+fn run_text(
+    kind: FlowKind,
+    layout: &overcell_router::netlist::Layout,
+    placement: &overcell_router::netlist::RowPlacement,
+) -> (String, VerifyReport) {
+    let result: FlowResult = kind
+        .build_with(FlowOptions::verified())
+        .run(layout, placement)
+        .unwrap_or_else(|e| panic!("{kind}: {e}"));
+    let text = write_routes(&result.layout, &result.design);
+    let report = result.verify.expect("verify requested");
+    (text, report)
+}
+
+#[test]
+fn same_seed_routes_byte_identically_twice() {
+    for seed in [3u64, 19] {
+        let a = small_random(6, 2, 3, 10, seed);
+        let b = small_random(6, 2, 3, 10, seed);
+        for kind in FlowKind::ALL {
+            let (ta, _) = run_text(kind, &a.layout, &a.placement);
+            let (tb, _) = run_text(kind, &b.layout, &b.placement);
+            assert_eq!(ta, tb, "{kind} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn sequential_and_parallel_runs_are_bit_identical_on_the_suite() {
+    for chip in suite::all() {
+        for kind in FlowKind::ALL {
+            let (seq_text, seq_report) =
+                with_threads(1, || run_text(kind, &chip.layout, &chip.placement));
+            let (par_text, par_report) =
+                with_threads(4, || run_text(kind, &chip.layout, &chip.placement));
+            assert_eq!(
+                seq_text, par_text,
+                "{}/{kind}: routed geometry diverged between 1 and 4 threads",
+                chip.spec.name
+            );
+            assert_eq!(
+                seq_report, par_report,
+                "{}/{kind}: oracle report diverged between 1 and 4 threads",
+                chip.spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn strict_verification_is_thread_count_independent() {
+    let chip = small_random(8, 3, 4, 20, 42);
+    for kind in FlowKind::ALL {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                kind.build_with(FlowOptions::verified_strict())
+                    .run(&chip.layout, &chip.placement)
+                    .unwrap_or_else(|e| panic!("{kind}: {e}"))
+                    .verify
+                    .expect("verify requested")
+            })
+        };
+        assert_eq!(run(1), run(4), "{kind}");
+    }
+}

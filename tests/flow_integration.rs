@@ -2,60 +2,28 @@
 //! validated for electrical correctness, plus cross-flow invariants.
 
 use overcell_router::core::{
-    run_analytic_four_layer_estimate, FourLayerChannelFlow, OverCellFlow, PartitionStrategy,
+    run_analytic_four_layer_estimate, FlowKind, FlowOptions, OverCellFlow, PartitionStrategy,
     ThreeLayerChannelFlow, TwoLayerChannelFlow,
 };
 use overcell_router::gen::random::small_random;
 use overcell_router::gen::suite;
 use overcell_router::netlist::validate_routed_design;
-use overcell_router::verify::verify;
 
 #[test]
-fn over_cell_flow_on_many_seeds() {
-    for seed in 0..6 {
-        let chip = small_random(6, 2, 3, 12, seed);
-        let res = OverCellFlow::default()
-            .run(&chip.layout, &chip.placement)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        assert!(res.design.failed.is_empty(), "seed {seed}: failures");
-        let errors = validate_routed_design(&res.layout, &res.design);
-        assert!(errors.is_empty(), "seed {seed}: {errors:?}");
-    }
-}
-
-#[test]
-fn two_layer_flow_on_many_seeds() {
-    for seed in 0..6 {
-        let chip = small_random(6, 2, 3, 12, seed);
-        let res = TwoLayerChannelFlow::default()
-            .run(&chip.layout, &chip.placement)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let errors = validate_routed_design(&res.layout, &res.design);
-        assert!(errors.is_empty(), "seed {seed}: {errors:?}");
-    }
-}
-
-#[test]
-fn four_layer_flow_on_many_seeds() {
-    for seed in 0..6 {
-        let chip = small_random(6, 2, 3, 12, seed);
-        let res = FourLayerChannelFlow::default()
-            .run(&chip.layout, &chip.placement)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let errors = validate_routed_design(&res.layout, &res.design);
-        assert!(errors.is_empty(), "seed {seed}: {errors:?}");
-    }
-}
-
-#[test]
-fn three_layer_flow_on_many_seeds() {
-    for seed in 0..6 {
-        let chip = small_random(6, 2, 3, 12, seed);
-        let res = ThreeLayerChannelFlow::default()
-            .run(&chip.layout, &chip.placement)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let errors = validate_routed_design(&res.layout, &res.design);
-        assert!(errors.is_empty(), "seed {seed}: {errors:?}");
+fn every_flow_on_many_seeds() {
+    for kind in FlowKind::ALL {
+        for seed in 0..6 {
+            let chip = small_random(6, 2, 3, 12, seed);
+            let res = kind
+                .build()
+                .run(&chip.layout, &chip.placement)
+                .unwrap_or_else(|e| panic!("{kind} seed {seed}: {e}"));
+            if kind == FlowKind::OverCell {
+                assert!(res.design.failed.is_empty(), "seed {seed}: failures");
+            }
+            let errors = validate_routed_design(&res.layout, &res.design);
+            assert!(errors.is_empty(), "{kind} seed {seed}: {errors:?}");
+        }
     }
 }
 
@@ -155,27 +123,19 @@ fn suite_chips_route_fully_with_all_flows() {
 fn suite_chips_pass_the_independent_oracle_in_all_flows() {
     // The ocr-verify oracle re-derives connectivity and design-rule
     // legality from the emitted geometry alone; every flow on every
-    // suite chip must come back clean.
+    // suite chip must come back clean. The oracle is attached via the
+    // shared FlowOptions, the same path the `ocr verify --flow` CLI uses.
     for chip in suite::all() {
         let name = &chip.spec.name;
-        let over = OverCellFlow::default()
-            .run(&chip.layout, &chip.placement)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let report = verify(&over.layout, &over.design);
-        assert!(report.is_clean(), "{name} over-cell:\n{report}");
-        assert_eq!(report.open_nets(), 0, "{name} over-cell");
-
-        let two = TwoLayerChannelFlow::default()
-            .run(&chip.layout, &chip.placement)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let report = verify(&two.layout, &two.design);
-        assert!(report.is_clean(), "{name} two-layer:\n{report}");
-
-        let four = FourLayerChannelFlow::default()
-            .run(&chip.layout, &chip.placement)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let report = verify(&four.layout, &four.design);
-        assert!(report.is_clean(), "{name} four-layer:\n{report}");
+        for kind in [FlowKind::OverCell, FlowKind::Channel2, FlowKind::Channel4] {
+            let res = kind
+                .build_with(FlowOptions::verified())
+                .run(&chip.layout, &chip.placement)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let report = res.verify.expect("verify requested");
+            assert!(report.is_clean(), "{name} {kind}:\n{report}");
+            assert_eq!(report.open_nets(), 0, "{name} {kind}");
+        }
     }
 }
 
