@@ -14,7 +14,7 @@
 //! Bit-identity *is* asserted — the binary exits non-zero on any
 //! divergence.
 
-use ocr_core::{FlowKind, FlowResult};
+use ocr_core::{FlowKind, FlowOptions, FlowResult};
 use ocr_gen::suite;
 use ocr_io::write_routes;
 use std::process::ExitCode;
@@ -88,6 +88,19 @@ fn main() -> ExitCode {
         });
         print_row(name, "verify", v1, vn, same_report);
         divergent += usize::from(!same_report);
+
+        // Where the time goes: one instrumented run of the paper's flow
+        // on the pool, reported through the ocr-obs telemetry layer.
+        let instrumented = ocr_exec::with_threads(threads, || {
+            FlowKind::OverCell
+                .build_with(FlowOptions::instrumented())
+                .run(&chip.layout, &chip.placement)
+                .expect("overcell flow")
+        });
+        let telemetry = instrumented.telemetry.expect("instrumented run");
+        println!("\n{name}: overcell phase breakdown at {threads} thread(s)");
+        print!("{}", telemetry.render_table());
+        println!();
     }
 
     if divergent > 0 {

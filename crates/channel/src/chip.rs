@@ -326,6 +326,9 @@ pub fn route_chip_channels(
     let channel_indices: Vec<usize> = (0..n_channels).collect();
     let per_channel: Vec<Result<(RoutedChannel, usize, Coord), ChannelError>> =
         ocr_exec::parallel_map(&channel_indices, |&ch| {
+            // One span per channel; aggregates under a single name so
+            // the `--stats` table shows channel count and total time.
+            let _span = ocr_obs::span("level_a.channel");
             let problem = ChannelProblem::new(top_rows[ch].clone(), bot_rows[ch].clone());
             if problem.nets().is_empty() {
                 return Ok((RoutedChannel::Empty, 0, pitch));

@@ -63,6 +63,10 @@ pub struct FlowResult {
     /// Independent oracle report (present when the flow's `verify` flag
     /// was set).
     pub verify: Option<VerifyReport>,
+    /// Telemetry snapshot of this run (present when the flow's
+    /// `telemetry` flag was set): per-phase spans, live counters, and
+    /// worker-pool activity, aggregated across `ocr-exec` workers.
+    pub telemetry: Option<ocr_obs::Telemetry>,
 }
 
 /// Options shared by every flow: whether to run the independent
@@ -76,6 +80,10 @@ pub struct FlowOptions {
     /// ([`VerifyOptions::strict`]) instead of the Level A default.
     /// Only meaningful together with `verify`.
     pub strict: bool,
+    /// Collect `ocr-obs` telemetry for the run (see
+    /// [`FlowResult::telemetry`]). Telemetry is observational only: the
+    /// routed design is byte-identical with it on or off.
+    pub telemetry: bool,
 }
 
 impl FlowOptions {
@@ -83,7 +91,7 @@ impl FlowOptions {
     pub fn verified() -> Self {
         FlowOptions {
             verify: true,
-            strict: false,
+            ..FlowOptions::default()
         }
     }
 
@@ -92,6 +100,15 @@ impl FlowOptions {
         FlowOptions {
             verify: true,
             strict: true,
+            ..FlowOptions::default()
+        }
+    }
+
+    /// Telemetry collection on.
+    pub fn instrumented() -> Self {
+        FlowOptions {
+            telemetry: true,
+            ..FlowOptions::default()
         }
     }
 }
@@ -210,6 +227,7 @@ fn maybe_verify(
     design: &RoutedDesign,
 ) -> Option<VerifyReport> {
     options.verify.then(|| {
+        let _span = ocr_obs::span("flow.verify");
         let vo = if options.strict {
             VerifyOptions::strict()
         } else {
@@ -217,6 +235,24 @@ fn maybe_verify(
         };
         ocr_verify::verify_with(layout, design, &vo)
     })
+}
+
+/// Wraps a flow body with telemetry collection when `options.telemetry`
+/// is set: a fresh collector is installed for the duration of the run
+/// (pool workers inherit it through `ocr-exec`), and its snapshot is
+/// attached to the result. With the flag off this is a plain call —
+/// instrumented code paths see no collector and record nothing.
+fn run_with_telemetry(
+    options: FlowOptions,
+    f: impl FnOnce() -> Result<FlowResult, RouteError>,
+) -> Result<FlowResult, RouteError> {
+    if !options.telemetry {
+        return f();
+    }
+    let collector = ocr_obs::Collector::new();
+    let mut result = ocr_obs::with_collector(&collector, f)?;
+    result.telemetry = Some(collector.snapshot());
+    Ok(result)
 }
 
 /// Assembles the [`FlowResult`] every flow returns from the (possibly
@@ -242,6 +278,7 @@ fn assemble_result(
         level_a_nets,
         level_b_nets,
         verify,
+        telemetry: None,
     }
 }
 
@@ -278,27 +315,44 @@ impl OverCellFlow {
     /// Individual Level B net failures are recorded in the design, not
     /// returned.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
-        let (set_a, set_b) = match &self.partition {
-            PartitionStrategy::AreaBudget {
-                max_tracks_per_channel,
-            } => {
-                // Priority: criticality order (most critical first).
-                let all: Vec<_> = layout.net_ids().collect();
-                let priority = crate::order::NetOrdering::Criticality.order(layout, &all);
-                crate::partition::partition_nets_area_budget(
-                    layout,
-                    placement,
-                    *max_tracks_per_channel,
-                    &priority,
-                )
+        run_with_telemetry(self.options, || self.run_inner(layout, placement))
+    }
+
+    fn run_inner(
+        &self,
+        layout: &Layout,
+        placement: &RowPlacement,
+    ) -> Result<FlowResult, RouteError> {
+        let (set_a, set_b) = {
+            let _span = ocr_obs::span("flow.partition");
+            match &self.partition {
+                PartitionStrategy::AreaBudget {
+                    max_tracks_per_channel,
+                } => {
+                    // Priority: criticality order (most critical first).
+                    let all: Vec<_> = layout.net_ids().collect();
+                    let priority = crate::order::NetOrdering::Criticality.order(layout, &all);
+                    crate::partition::partition_nets_area_budget(
+                        layout,
+                        placement,
+                        *max_tracks_per_channel,
+                        &priority,
+                    )
+                }
+                other => partition_nets(layout, other),
             }
-            other => partition_nets(layout, other),
         };
         // Level A: channels on metal1/metal2; fixes the topology.
-        let mut a = ocr_channel::route_chip_channels(layout, placement, &set_a, self.level_a)?;
+        let mut a = {
+            let _span = ocr_obs::span("flow.level_a");
+            ocr_channel::route_chip_channels(layout, placement, &set_a, self.level_a)?
+        };
         // Level B: over the entire (expanded) layout area.
-        let mut router = LevelBRouter::new(&a.expanded, &set_b, self.level_b.clone())?;
-        let b = router.route_all()?;
+        let b = {
+            let _span = ocr_obs::span("flow.level_b");
+            let mut router = LevelBRouter::new(&a.expanded, &set_b, self.level_b.clone())?;
+            router.route_all()?
+        };
         a.design.merge(b.design);
         Ok(assemble_result(
             a,
@@ -340,13 +394,18 @@ impl TwoLayerChannelFlow {
     ///
     /// Propagates channel routing errors.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
-        let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA);
-        let mut opts = self.channel;
-        if let ChannelRouterKind::FourLayer(_) = opts.router {
-            opts.router = ChannelRouterKind::TwoLayer(Default::default());
-        }
-        let a = ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?;
-        Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+        run_with_telemetry(self.options, || {
+            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA);
+            let mut opts = self.channel;
+            if let ChannelRouterKind::FourLayer(_) = opts.router {
+                opts.router = ChannelRouterKind::TwoLayer(Default::default());
+            }
+            let a = {
+                let _span = ocr_obs::span("flow.channels");
+                ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?
+            };
+            Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+        })
     }
 }
 
@@ -384,13 +443,18 @@ impl ThreeLayerChannelFlow {
     ///
     /// Propagates channel routing errors.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
-        let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA);
-        let opts = ChipChannelOptions {
-            router: ChannelRouterKind::ThreeLayer(self.lea),
-            pitch: self.pitch,
-        };
-        let a = ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?;
-        Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+        run_with_telemetry(self.options, || {
+            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA);
+            let opts = ChipChannelOptions {
+                router: ChannelRouterKind::ThreeLayer(self.lea),
+                pitch: self.pitch,
+            };
+            let a = {
+                let _span = ocr_obs::span("flow.channels");
+                ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?
+            };
+            Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+        })
     }
 }
 
@@ -426,13 +490,18 @@ impl FourLayerChannelFlow {
     ///
     /// Propagates channel routing errors.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
-        let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA);
-        let opts = ChipChannelOptions {
-            router: ChannelRouterKind::FourLayer(self.multilayer),
-            pitch: self.pitch,
-        };
-        let a = ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?;
-        Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+        run_with_telemetry(self.options, || {
+            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA);
+            let opts = ChipChannelOptions {
+                router: ChannelRouterKind::FourLayer(self.multilayer),
+                pitch: self.pitch,
+            };
+            let a = {
+                let _span = ocr_obs::span("flow.channels");
+                ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?
+            };
+            Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+        })
     }
 }
 

@@ -77,12 +77,14 @@ impl<'a> LevelBRouter<'a> {
         }
         let mut grid = builder.build(nets);
         let mut unrouted_cells = Vec::new();
+        let mut doomed_terminals = 0usize;
         for &net in nets {
             for &pid in &layout.net(net).pins {
                 let at = layout.pin(pid).position;
                 let Some(cell) = grid.snap(at) else {
                     return Err(RouteError::TerminalOffGrid { net, at });
                 };
+                let mut blocked_planes = 0usize;
                 for dir in Dir::BOTH {
                     match grid.state(dir, cell.0, cell.1) {
                         CellState::Used(n) if n != net.0 => {
@@ -94,11 +96,20 @@ impl<'a> LevelBRouter<'a> {
                         CellState::Blocked => {
                             // Terminal under an obstacle: leave blocked —
                             // the net will fail with `Unroutable`.
+                            blocked_planes += 1;
                         }
                         _ => grid.set_state(dir, cell.0, cell.1, CellState::Used(net.0)),
                     }
                 }
-                unrouted_cells.push((net, cell));
+                // A terminal sealed on both planes can never be routed;
+                // keeping it in the unrouted list would make the `dup`
+                // cost term steer live nets away from a lost cause.
+                if blocked_planes == Dir::BOTH.len() {
+                    doomed_terminals += 1;
+                    ocr_obs::count("level_b.doomed_terminals", 1);
+                } else {
+                    unrouted_cells.push((net, cell));
+                }
             }
         }
         let terminal_cells = unrouted_cells.iter().map(|&(_, c)| c).collect();
@@ -111,7 +122,10 @@ impl<'a> LevelBRouter<'a> {
             last_blockers: Vec::new(),
             terminal_cells,
             rip_exclusions: std::collections::HashMap::new(),
-            stats: RoutingStats::default(),
+            stats: RoutingStats {
+                doomed_terminals,
+                ..RoutingStats::default()
+            },
         })
     }
 
@@ -130,7 +144,22 @@ impl<'a> LevelBRouter<'a> {
     /// [`LevelBConfig::rip_up_budget`]). Individual net failures are
     /// recorded in the design's `failed` list, not returned as errors.
     pub fn route_all(&mut self) -> Result<LevelBResult, RouteError> {
-        let order = self.config.ordering.clone().order(self.layout, &self.nets);
+        // Declare the rip-up counters up front so telemetry exports
+        // always carry them, even for runs that never rip.
+        for name in [
+            "level_b.rips",
+            "level_b.retries",
+            "level_b.exclusions_cleared",
+            "level_b.doomed_terminals",
+            "level_b.window_expansions",
+            "level_b.maze_fallbacks",
+        ] {
+            ocr_obs::count(name, 0);
+        }
+        let order = {
+            let _span = ocr_obs::span("level_b.order");
+            self.config.ordering.clone().order(self.layout, &self.nets)
+        };
         let mut design = RoutedDesign::new(self.layout.die, self.layout.nets.len());
         let mut queue: std::collections::VecDeque<NetId> = order.into_iter().collect();
         let mut rips_left = self.config.rip_up_budget;
@@ -138,6 +167,14 @@ impl<'a> LevelBRouter<'a> {
         while let Some(net) = queue.pop_front() {
             match self.route_net(net) {
                 Ok(route) => {
+                    // The net is in: any victims ripped on its behalf
+                    // stop constraining future probes for this net id
+                    // (stale exclusions would over-restrict rip-up if
+                    // the net is itself ripped and re-routed later).
+                    if self.rip_exclusions.remove(&net.0).is_some() {
+                        self.stats.exclusions_cleared += 1;
+                        ocr_obs::count("level_b.exclusions_cleared", 1);
+                    }
                     design.set_route(net, route);
                 }
                 Err(RouteError::Unroutable { .. }) | Err(RouteError::DegenerateNet(_)) => {
@@ -148,12 +185,15 @@ impl<'a> LevelBRouter<'a> {
                         .collect();
                     let tries = retries.entry(net.0).or_insert(0);
                     if rips_left > 0 && *tries < 4 && !rippable.is_empty() {
+                        let _span = ocr_obs::span("level_b.rip");
                         *tries += 1;
+                        ocr_obs::count("level_b.retries", 1);
                         rips_left -= 1;
                         for b in rippable {
                             let route = design.routes[b.index()].take().expect("routed");
                             self.clear_occupancy(b, &route);
                             self.stats.rips += 1;
+                            ocr_obs::count("level_b.rips", 1);
                             self.rip_exclusions.entry(net.0).or_default().push(b.0);
                             queue.push_back(b);
                         }
@@ -185,15 +225,23 @@ impl<'a> LevelBRouter<'a> {
             let (Some(a), Some(b)) = (self.grid.snap(seg.a()), self.grid.snap(seg.b())) else {
                 continue;
             };
+            // Segment endpoints carry the routing direction, not a
+            // coordinate order: a branch routed toward the Steiner
+            // attachment runs high-to-low as often as not. Normalize
+            // before freeing — an empty `hi..=lo` range here silently
+            // leaves every cell of the span `Used`, and the ripped net
+            // haunts the grid as phantom blockage.
             match seg.dir() {
                 Dir::Horizontal => {
-                    for i in a.0..=b.0 {
+                    let (lo, hi) = (a.0.min(b.0), a.0.max(b.0));
+                    for i in lo..=hi {
                         self.grid
                             .set_state(Dir::Horizontal, i, a.1, CellState::Free);
                     }
                 }
                 Dir::Vertical => {
-                    for j in a.1..=b.1 {
+                    let (lo, hi) = (a.1.min(b.1), a.1.max(b.1));
+                    for j in lo..=hi {
                         self.grid.set_state(Dir::Vertical, a.0, j, CellState::Free);
                     }
                 }
@@ -218,15 +266,31 @@ impl<'a> LevelBRouter<'a> {
                         .set_state(d, cell.0, cell.1, CellState::Used(net.0));
                 }
             }
-            if !self.unrouted_cells.contains(&(net, cell)) {
+            // Doomed terminals (blocked on both planes) never entered
+            // the unrouted list; keep them out on restore too.
+            let doomed = Dir::BOTH
+                .into_iter()
+                .all(|d| matches!(self.grid.state(d, cell.0, cell.1), CellState::Blocked));
+            if !doomed && !self.unrouted_cells.contains(&(net, cell)) {
                 self.unrouted_cells.push((net, cell));
             }
         }
     }
 
+    /// Victims previously ripped for `net` that its next soft-path
+    /// probes must avoid. Cleared when the net routes successfully, so
+    /// this is empty for every routed net.
+    pub fn rip_exclusions(&self, net: NetId) -> Vec<NetId> {
+        self.rip_exclusions
+            .get(&net.0)
+            .map(|v| v.iter().copied().map(NetId).collect())
+            .unwrap_or_default()
+    }
+
     /// Routes one net (two-terminal directly, multi-terminal through the
     /// Steiner decomposition) and commits its wiring to the grid.
     pub fn route_net(&mut self, net: NetId) -> Result<NetRoute, RouteError> {
+        let _span = ocr_obs::span("level_b.route_net");
         // This net's terminals are now being routed: drop them from the
         // unrouted list so `dup` only penalizes *other* nets' terminals.
         self.unrouted_cells.retain(|&(n, _)| n != net);
@@ -257,6 +321,7 @@ impl<'a> LevelBRouter<'a> {
                 Ok(points) => {
                     acc.absorb_path(&points);
                     self.stats.connections += 1;
+                    ocr_obs::count("level_b.connections", 1);
                 }
                 Err(e) => {
                     // Roll back this net's partial wiring so a failed
@@ -407,6 +472,8 @@ impl<'a> LevelBRouter<'a> {
         };
         self.stats.maze_fallbacks += 1;
         self.stats.maze_expanded += path.expanded;
+        ocr_obs::count("level_b.maze_fallbacks", 1);
+        ocr_obs::count("level_b.maze_expanded", path.expanded as u64);
         self.stats.corners += path.route.corner_count();
         self.stats.wire_length += path.route.wire_length();
         let points = maze_points(&self.grid, &path);
@@ -450,6 +517,7 @@ impl<'a> LevelBRouter<'a> {
             };
             let outcome = search_min_corner_paths(&tig, net.0, a, b, &window);
             self.stats.expanded_vertices += outcome.expanded;
+            ocr_obs::count("level_b.expanded_vertices", outcome.expanded as u64);
             if outcome.corners.is_some() {
                 let ev = CostEvaluator::new(
                     &self.grid,
@@ -465,6 +533,7 @@ impl<'a> LevelBRouter<'a> {
             }
             margin = margin.saturating_mul(2).max(1);
             self.stats.window_expansions += 1;
+            ocr_obs::count("level_b.window_expansions", 1);
         }
         Err(RouteError::Unroutable { net })
     }

@@ -32,6 +32,13 @@ pub struct RoutingStats {
     pub maze_expanded: usize,
     /// Routed nets ripped up to rescue blocked connections.
     pub rips: usize,
+    /// Terminals sealed by obstacles on both planes at grid build time —
+    /// unroutable from the start, so they are excluded from the `dup`
+    /// cost term's unrouted-terminal list.
+    pub doomed_terminals: usize,
+    /// Rip-exclusion lists dropped because their net finally routed
+    /// (stale exclusions would over-restrict later rip-up probes).
+    pub exclusions_cleared: usize,
 }
 
 impl RoutingStats {
@@ -48,6 +55,8 @@ impl RoutingStats {
         self.maze_fallbacks += other.maze_fallbacks;
         self.maze_expanded += other.maze_expanded;
         self.rips += other.rips;
+        self.doomed_terminals += other.doomed_terminals;
+        self.exclusions_cleared += other.exclusions_cleared;
     }
 
     /// Average expanded vertices per two-terminal connection.

@@ -41,6 +41,15 @@
 //! items. The routers and the verifier rely on this contract and it is
 //! enforced by integration tests (`tests/determinism.rs`).
 //!
+//! ## Telemetry
+//!
+//! When an `ocr-obs` collector is installed on the calling thread, the
+//! pool re-installs it on every worker, so spans and counters recorded
+//! inside tasks aggregate into the caller's sink. Each worker also
+//! reports its own task count and busy time (`exec.w{n}.tasks`,
+//! `exec.w{n}.busy_ns`) plus pool-wide totals (`exec.tasks`,
+//! `exec.busy_ns`). With no collector installed nothing is measured.
+//!
 //! ## Panics
 //!
 //! A panic in any task is caught on its worker and re-raised on the
@@ -205,24 +214,46 @@ fn run_indexed(n: usize, workers: usize, run: &(impl Fn(usize) + Sync)) {
     // on thread scheduling.
     let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
     let inherit = OVERRIDE.with(|c| c.get());
+    // Workers inherit the caller's telemetry collector (like the thread
+    // override) so spans and counters recorded inside tasks aggregate
+    // into the same sink as sequential runs. Telemetry is observational
+    // only — it never changes which items run or how results merge.
+    let obs = ocr_obs::current();
     std::thread::scope(|s| {
         for w in 0..workers {
             let ranges = &ranges;
             let panicked = &panicked;
+            let obs = obs.clone();
             s.spawn(move || {
                 OVERRIDE.with(|c| c.set(inherit));
-                while let Some(i) = ranges.pop_front(w).or_else(|| ranges.steal(w)) {
-                    if panicked.lock().map(|g| g.is_some()).unwrap_or(true) {
-                        break;
-                    }
-                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
-                        let mut guard = panicked.lock().unwrap_or_else(|e| e.into_inner());
-                        match &*guard {
-                            Some((j, _)) if *j <= i => {}
-                            _ => *guard = Some((i, payload)),
+                let active = obs.is_some();
+                ocr_obs::with_current(obs, || {
+                    let mut tasks = 0u64;
+                    let mut busy_ns = 0u64;
+                    while let Some(i) = ranges.pop_front(w).or_else(|| ranges.steal(w)) {
+                        if panicked.lock().map(|g| g.is_some()).unwrap_or(true) {
+                            break;
+                        }
+                        let t0 = active.then(std::time::Instant::now);
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
+                            let mut guard = panicked.lock().unwrap_or_else(|e| e.into_inner());
+                            match &*guard {
+                                Some((j, _)) if *j <= i => {}
+                                _ => *guard = Some((i, payload)),
+                            }
+                        }
+                        if let Some(t0) = t0 {
+                            tasks += 1;
+                            busy_ns += t0.elapsed().as_nanos() as u64;
                         }
                     }
-                }
+                    if tasks > 0 {
+                        ocr_obs::count("exec.tasks", tasks);
+                        ocr_obs::count("exec.busy_ns", busy_ns);
+                        ocr_obs::count(format!("exec.w{w}.tasks"), tasks);
+                        ocr_obs::count(format!("exec.w{w}.busy_ns"), busy_ns);
+                    }
+                });
             });
         }
     });
@@ -408,6 +439,32 @@ mod tests {
         assert_eq!(r.pop_front(1), Some(5));
         assert_eq!(r.pop_front(1), None);
         assert_eq!(r.steal(1), Some(9));
+    }
+
+    #[test]
+    fn workers_propagate_and_record_telemetry() {
+        let c = ocr_obs::Collector::new();
+        ocr_obs::with_collector(&c, || {
+            with_threads(3, || {
+                parallel_map(&(0..40).collect::<Vec<usize>>(), |&i| {
+                    ocr_obs::count("task.seen", 1);
+                    i
+                })
+            })
+        });
+        let t = c.snapshot();
+        assert_eq!(t.counter("task.seen"), Some(40));
+        assert_eq!(t.counter("exec.tasks"), Some(40));
+        assert!(t.counter("exec.busy_ns").is_some());
+        assert!(t.counter("exec.w0.tasks").is_some());
+    }
+
+    #[test]
+    fn no_collector_means_no_exec_counters() {
+        with_threads(3, || {
+            parallel_map(&(0..8).collect::<Vec<usize>>(), |&i| i);
+        });
+        assert!(ocr_obs::current().is_none());
     }
 
     #[test]

@@ -53,13 +53,18 @@ pub fn check_spacing(
     // order — the collected sequence is identical to a sequential
     // sweep's regardless of worker count.
     let sweep = PairSweep::new(&items, SPACING_BIN);
+    ocr_obs::count("verify.sweep.items", items.len() as u64);
+    ocr_obs::count("verify.sweep.bins", sweep.bins().len() as u64);
     let per_bin: Vec<Vec<Violation>> = ocr_exec::parallel_map(sweep.bins(), |&bin| {
         let mut found = Vec::new();
+        let mut pairs = 0u64;
         sweep.for_each_pair_in_bin(&items, max_s2, bin, |i, j| {
+            pairs += 1;
             if let Some(v) = pair_violation(layout, drawn_layers, &items[i], &items[j]) {
                 found.push(v);
             }
         });
+        ocr_obs::count("verify.sweep.pairs", pairs);
         found
     });
     let mut found: Vec<Violation> = per_bin.into_iter().flatten().collect();

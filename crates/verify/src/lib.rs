@@ -120,12 +120,15 @@ pub fn verify_with(layout: &Layout, design: &RoutedDesign, opts: &VerifyOptions)
     let mut report = VerifyReport::default();
 
     if opts.connectivity {
+        let _span = ocr_obs::span("verify.connectivity");
         check_connectivity(layout, design, &mut report);
     }
     if opts.drc {
+        let _span = ocr_obs::span("verify.geometry");
         drc::check_geometry(layout, design, &mut report.violations);
     }
     if opts.spacing {
+        let _span = ocr_obs::span("verify.spacing");
         drc::check_spacing(
             layout,
             design,

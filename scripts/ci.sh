@@ -24,4 +24,17 @@ OCR_THREADS=1 cargo test --workspace -q
 echo "==> cargo test (default ocr-exec pool)"
 cargo test --workspace -q
 
+echo "==> telemetry smoke (ocr route --suite --stats-json + obs-check)"
+# The suite routed with telemetry on must yield a valid ocr-stats-v1
+# document — per-phase timings and rip/retry counters for every chip's
+# overcell run — at one worker and on the default pool alike.
+STATS_DIR="$(mktemp -d)"
+trap 'rm -rf "$STATS_DIR"' EXIT
+OCR_THREADS=1 ./target/release/ocr route --suite \
+    --stats-json "$STATS_DIR/stats-seq.json" >/dev/null
+./target/release/obs-check "$STATS_DIR/stats-seq.json" --min-chips 3
+./target/release/ocr route --suite \
+    --stats-json "$STATS_DIR/stats-par.json" >/dev/null
+./target/release/obs-check "$STATS_DIR/stats-par.json" --min-chips 3
+
 echo "==> ci: all green"

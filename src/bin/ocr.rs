@@ -4,7 +4,8 @@
 //! ocr generate <ami33|xerox|ex3|random> [--seed N] [-o chip.ocr]
 //! ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
 //!                      [--svg out.svg] [--routes out.txt]
-//! ocr route --suite
+//!                      [--stats] [--stats-json out.json] [--trace-out out.trace]
+//! ocr route --suite [--stats] [--stats-json out.json] [--trace-out out.trace]
 //! ocr verify <chip.ocr> [--flow ...] [--routes in.txt] [--strict]
 //! ocr verify --suite [--strict]
 //! ocr stats <chip.ocr>
@@ -29,12 +30,20 @@ USAGE:
       default).
   ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
                        [--svg FILE] [--routes FILE]
+                       [--stats] [--stats-json FILE] [--trace-out FILE]
       Route the chip with the selected flow (default: overcell), print
       metrics, optionally write an SVG and the routed geometry.
-  ocr route --suite
+      Any of --stats/--stats-json/--trace-out turns on ocr-obs
+      telemetry (observational only — the routed design is identical
+      with it on or off): --stats prints a per-phase timing table,
+      --stats-json writes machine-readable `ocr-stats-v1` JSON, and
+      --trace-out writes a Chrome trace (load via chrome://tracing or
+      https://ui.perfetto.dev).
+  ocr route --suite [--stats] [--stats-json FILE] [--trace-out FILE]
       Route every suite chip with every flow (in parallel across the
       ocr-exec pool; set OCR_THREADS to bound it) and print one metrics
-      line per combination.
+      line per combination. The telemetry flags cover every (chip,
+      flow) combination in one document.
   ocr verify <chip.ocr> [--flow overcell|channel2|channel3|channel4]
                         [--routes FILE] [--strict]
       Run the independent ocr-verify oracle. Routes the chip with the
@@ -228,15 +237,60 @@ fn suite_fanout(options: FlowOptions) -> Vec<(String, FlowKind, Result<FlowResul
         .collect()
 }
 
+/// Telemetry outputs requested on the `route` command line.
+struct TelemetryOut<'a> {
+    table: bool,
+    stats_json: Option<&'a str>,
+    trace_out: Option<&'a str>,
+}
+
+impl<'a> TelemetryOut<'a> {
+    fn from_flags(flags: &Flags<'a>) -> Self {
+        TelemetryOut {
+            table: flags.has("--stats"),
+            stats_json: flags.value("--stats-json"),
+            trace_out: flags.value("--trace-out"),
+        }
+    }
+
+    /// `true` when any output wants the flow run with telemetry on.
+    fn wanted(&self) -> bool {
+        self.table || self.stats_json.is_some() || self.trace_out.is_some()
+    }
+
+    /// Writes the requested machine-readable documents for the labeled
+    /// runs (the `--stats` table is printed by the caller, per run).
+    fn write(&self, runs: &[(String, FlowKind, ocr_obs::Telemetry)]) -> Result<(), String> {
+        let flow_names: Vec<&'static str> = runs.iter().map(|&(_, kind, _)| kind.name()).collect();
+        let labeled: Vec<ocr_obs::LabeledRun<'_>> = runs
+            .iter()
+            .zip(&flow_names)
+            .map(|((chip, _, telemetry), &flow)| (chip.as_str(), flow, telemetry))
+            .collect();
+        if let Some(path) = self.stats_json {
+            let text = ocr_obs::stats_json(&labeled);
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = self.trace_out {
+            let text = ocr_obs::chrome_trace(&labeled);
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        Ok(())
+    }
+}
+
 fn route(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         "route",
         &args[1..],
-        &["--flow", "--svg", "--routes"],
-        &["--suite"],
+        &["--flow", "--svg", "--routes", "--stats-json", "--trace-out"],
+        &["--suite", "--stats"],
     )?;
+    let telemetry = TelemetryOut::from_flags(&flags);
     if flags.has("--suite") {
-        return route_suite(&flags);
+        return route_suite(&flags, &telemetry);
     }
     let path = *flags
         .positionals
@@ -244,7 +298,11 @@ fn route(args: &[String]) -> Result<(), String> {
         .ok_or("route: missing chip file")?;
     let (layout, placement) = load(path)?;
     let kind = parse_flow(&flags)?;
-    let result = run_flow(kind, FlowOptions::default(), &layout, &placement)?;
+    let options = FlowOptions {
+        telemetry: telemetry.wanted(),
+        ..FlowOptions::default()
+    };
+    let result = run_flow(kind, options, &layout, &placement)?;
     let errors = validate_routed_design(&result.layout, &result.design);
     println!("flow: {kind}");
     println!("die:  {}", result.layout.die);
@@ -271,20 +329,39 @@ fn route(args: &[String]) -> Result<(), String> {
         std::fs::write(routes_path, text).map_err(|e| format!("{routes_path}: {e}"))?;
         eprintln!("wrote {routes_path}");
     }
+    if telemetry.wanted() {
+        let chip = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path)
+            .to_string();
+        let snapshot = result
+            .telemetry
+            .expect("flow ran with options.telemetry set, snapshot attached");
+        if telemetry.table {
+            println!("{}", snapshot.render_table());
+        }
+        telemetry.write(&[(chip, kind, snapshot)])?;
+    }
     if !errors.is_empty() {
         return Err("routed design failed validation".into());
     }
     Ok(())
 }
 
-fn route_suite(flags: &Flags) -> Result<(), String> {
+fn route_suite(flags: &Flags, telemetry: &TelemetryOut) -> Result<(), String> {
     if !flags.positionals.is_empty() || flags.value("--flow").is_some() {
         return Err("route: --suite routes every flow on every suite chip; \
                     it takes no chip file or --flow"
             .into());
     }
+    let options = FlowOptions {
+        telemetry: telemetry.wanted(),
+        ..FlowOptions::default()
+    };
     let mut failures = 0usize;
-    for (chip, kind, res) in suite_fanout(FlowOptions::default()) {
+    let mut runs: Vec<(String, FlowKind, ocr_obs::Telemetry)> = Vec::new();
+    for (chip, kind, res) in suite_fanout(options) {
         match res {
             Ok(result) => {
                 let errors = validate_routed_design(&result.layout, &result.design);
@@ -295,6 +372,12 @@ fn route_suite(flags: &Flags) -> Result<(), String> {
                     format!("{} validation errors", errors.len())
                 };
                 println!("{chip:>8} {kind:>9}: {}  [{status}]", result.metrics);
+                if let Some(snapshot) = result.telemetry {
+                    if telemetry.table {
+                        println!("{}", snapshot.render_table());
+                    }
+                    runs.push((chip, kind, snapshot));
+                }
             }
             Err(e) => {
                 failures += 1;
@@ -302,6 +385,7 @@ fn route_suite(flags: &Flags) -> Result<(), String> {
             }
         }
     }
+    telemetry.write(&runs)?;
     if failures > 0 {
         return Err(format!("{failures} suite combination(s) failed"));
     }
@@ -344,6 +428,7 @@ fn verify(args: &[String]) -> Result<(), String> {
             let options = FlowOptions {
                 verify: true,
                 strict,
+                ..FlowOptions::default()
             };
             let result = run_flow(kind, options, &layout, &placement)?;
             println!("flow: {kind}");
@@ -375,6 +460,7 @@ fn verify_suite(flags: &Flags, strict: bool) -> Result<(), String> {
     let options = FlowOptions {
         verify: true,
         strict,
+        ..FlowOptions::default()
     };
     let mut unclean = 0usize;
     for (chip, kind, res) in suite_fanout(options) {

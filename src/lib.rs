@@ -27,6 +27,7 @@
 //! | module | crate | contents |
 //! |--------|-------|----------|
 //! | [`exec`] | `ocr-exec` | scoped work-stealing thread pool behind every parallel stage |
+//! | [`obs`] | `ocr-obs` | telemetry: spans, counters, stats tables, Chrome traces |
 //! | [`geom`] | `ocr-geom` | points, rectangles, intervals, layers |
 //! | [`netlist`] | `ocr-netlist` | layout, nets, design rules, metrics, validation |
 //! | [`grid`] | `ocr-grid` | routing grid with non-uniform tracks and occupancy |
@@ -66,5 +67,6 @@ pub use ocr_grid as grid;
 pub use ocr_io as io;
 pub use ocr_maze as maze;
 pub use ocr_netlist as netlist;
+pub use ocr_obs as obs;
 pub use ocr_render as render;
 pub use ocr_verify as verify;
