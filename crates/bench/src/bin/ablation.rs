@@ -22,7 +22,7 @@ use ocr_netlist::RouteMetrics;
 
 fn level_b_ablation(name: &str, config: LevelBConfig) {
     let chip = suite::ami33_like();
-    let (_, set_b) = partition_nets(&chip.layout, &PartitionStrategy::ByClass);
+    let (_, set_b) = partition_nets(&chip.layout, &PartitionStrategy::ByClass).expect("partition");
     let mut router = LevelBRouter::new(&chip.layout, &set_b, config).expect("router");
     let res = router.route_all().expect("route_all");
     let m = RouteMetrics::of(&res.design, &chip.layout);

@@ -41,6 +41,14 @@ pub struct LevelBConfig {
     /// "the solution space for level B routing guarantees 100% routing
     /// completion".
     pub maze_fallback: bool,
+    /// Salvage mode: setup errors (off-grid or conflicting terminals)
+    /// and per-net panics degrade the affected net — recorded with a
+    /// typed reason in [`crate::degrade::Degradation`] and declared
+    /// failed in the design — instead of aborting the whole run. The
+    /// grid is scrubbed of any partial wiring, so every salvaged route
+    /// remains oracle-clean. Off by default; flows turn it on through
+    /// [`crate::flow::FlowOptions::salvage`].
+    pub salvage: bool,
 }
 
 impl Default for LevelBConfig {
@@ -54,6 +62,7 @@ impl Default for LevelBConfig {
             sensitive_nets: Vec::new(),
             rip_up_budget: 16,
             maze_fallback: true,
+            salvage: false,
         }
     }
 }

@@ -1,0 +1,155 @@
+//! Degradation reporting for salvage-mode flows.
+//!
+//! With [`crate::flow::FlowOptions::salvage`] (or
+//! [`crate::config::LevelBConfig::salvage`]) set, Level B failures that
+//! would normally abort the flow or silently land in the design's
+//! `failed` list instead produce a structured [`Degradation`] report:
+//! one [`NetDegradation`] with a typed [`DegradeReason`] per net that
+//! could not be routed, plus the count of routes that *were* salvaged.
+//!
+//! The salvage invariant the chaos suite enforces: the report is
+//! **exhaustive** — a net appears in [`Degradation::nets`] if and only
+//! if it appears in the design's `failed` list — and the salvaged
+//! subset remains oracle-clean (failed nets are declared honestly, so
+//! `ocr-verify` raises no connectivity violations for them; the wiring
+//! that *was* committed must still pass the full DRC).
+
+use ocr_netlist::NetId;
+use std::fmt;
+
+/// Why a net was degraded around instead of routed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// Every window expansion, the maze fallback, and the rip-up budget
+    /// were exhausted without finding a path.
+    Unroutable,
+    /// A terminal was sealed on both planes by obstacles at grid build
+    /// time — the net could never complete, however much was ripped.
+    DoomedTerminal,
+    /// The net has fewer than two distinct terminal positions.
+    Degenerate,
+    /// A terminal lies outside the routing grid.
+    TerminalOffGrid,
+    /// The net's terminal shares a grid cell with another net's.
+    TerminalConflict,
+    /// Routing this net panicked (an injected fault or a real bug); its
+    /// partial wiring was scrubbed from the grid and the run continued.
+    Poisoned {
+        /// The panic payload's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::Unroutable => f.write_str("unroutable"),
+            DegradeReason::DoomedTerminal => f.write_str("doomed-terminal"),
+            DegradeReason::Degenerate => f.write_str("degenerate"),
+            DegradeReason::TerminalOffGrid => f.write_str("terminal-off-grid"),
+            DegradeReason::TerminalConflict => f.write_str("terminal-conflict"),
+            DegradeReason::Poisoned { message } => write!(f, "poisoned: {message}"),
+        }
+    }
+}
+
+/// One net the salvage run degraded around.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetDegradation {
+    /// The degraded net.
+    pub net: NetId,
+    /// Why it could not be routed.
+    pub reason: DegradeReason,
+}
+
+/// The degradation report of one salvage-mode run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Every net that could not be routed, with its reason. Mirrors the
+    /// design's `failed` list exactly (the exhaustiveness invariant).
+    pub nets: Vec<NetDegradation>,
+    /// Nets that routed successfully in the same run — what the salvage
+    /// actually saved.
+    pub salvaged_routes: usize,
+}
+
+impl Degradation {
+    /// `true` when nothing was degraded (the run was complete).
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Records a degraded net.
+    pub fn push(&mut self, net: NetId, reason: DegradeReason) {
+        if !self.covers(net) {
+            self.nets.push(NetDegradation { net, reason });
+        }
+    }
+
+    /// `true` if `net` has a recorded degradation.
+    pub fn covers(&self, net: NetId) -> bool {
+        self.nets.iter().any(|d| d.net == net)
+    }
+
+    /// The recorded reason for `net`, if any.
+    pub fn reason(&self, net: NetId) -> Option<&DegradeReason> {
+        self.nets.iter().find(|d| d.net == net).map(|d| &d.reason)
+    }
+
+    /// How many degraded nets were poisoned (panicking) rather than
+    /// merely unroutable.
+    pub fn poisoned(&self) -> usize {
+        self.nets
+            .iter()
+            .filter(|d| matches!(d.reason, DegradeReason::Poisoned { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "salvaged {} routes, degraded {} nets",
+            self.salvaged_routes,
+            self.nets.len()
+        )?;
+        for d in &self.nets {
+            write!(f, "\n  {}: {}", d.net, d.reason)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_is_idempotent_per_net() {
+        let mut d = Degradation::default();
+        d.push(NetId(3), DegradeReason::Unroutable);
+        d.push(NetId(3), DegradeReason::Degenerate);
+        assert_eq!(d.nets.len(), 1);
+        assert_eq!(d.reason(NetId(3)), Some(&DegradeReason::Unroutable));
+        assert!(d.covers(NetId(3)));
+        assert!(!d.covers(NetId(4)));
+    }
+
+    #[test]
+    fn poisoned_counts_only_panics() {
+        let mut d = Degradation::default();
+        d.push(NetId(0), DegradeReason::Unroutable);
+        d.push(
+            NetId(1),
+            DegradeReason::Poisoned {
+                message: "boom".into(),
+            },
+        );
+        assert_eq!(d.poisoned(), 1);
+        assert!(!d.is_empty());
+        let text = d.to_string();
+        assert!(text.contains("degraded 2 nets"));
+        assert!(text.contains("poisoned: boom"));
+    }
+}

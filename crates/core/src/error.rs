@@ -32,6 +32,11 @@ pub enum RouteError {
     },
     /// Level A channel routing failed.
     LevelA(ocr_channel::ChannelError),
+    /// [`crate::partition::PartitionStrategy::AreaBudget`] was given to
+    /// the placement-less partitioner; use
+    /// [`crate::partition::partition_nets_area_budget`] (the flows do
+    /// this automatically).
+    PartitionNeedsPlacement,
 }
 
 impl fmt::Display for RouteError {
@@ -46,6 +51,9 @@ impl fmt::Display for RouteError {
                 write!(f, "{} and {} share terminal cell {at}", nets.0, nets.1)
             }
             RouteError::LevelA(e) => write!(f, "level A routing failed: {e}"),
+            RouteError::PartitionNeedsPlacement => f.write_str(
+                "AreaBudget partitioning needs a placement: use partition_nets_area_budget",
+            ),
         }
     }
 }

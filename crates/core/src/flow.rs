@@ -27,6 +27,7 @@
 //! strictness) live in [`FlowOptions`] rather than per-flow fields.
 
 use crate::config::LevelBConfig;
+use crate::degrade::Degradation;
 use crate::error::RouteError;
 use crate::level_b::LevelBRouter;
 use crate::partition::{partition_nets, PartitionStrategy};
@@ -67,6 +68,11 @@ pub struct FlowResult {
     /// `telemetry` flag was set): per-phase spans, live counters, and
     /// worker-pool activity, aggregated across `ocr-exec` workers.
     pub telemetry: Option<ocr_obs::Telemetry>,
+    /// Degradation report (present when the flow's `salvage` flag was
+    /// set): every net the run degraded around with its typed reason,
+    /// plus the count of routes salvaged. Empty-but-present means the
+    /// salvage run completed with nothing degraded.
+    pub degradation: Option<Degradation>,
 }
 
 /// Options shared by every flow: whether to run the independent
@@ -84,6 +90,12 @@ pub struct FlowOptions {
     /// [`FlowResult::telemetry`]). Telemetry is observational only: the
     /// routed design is byte-identical with it on or off.
     pub telemetry: bool,
+    /// Degrade gracefully instead of aborting: Level B setup errors and
+    /// per-net panics fail only the affected net, reported with a typed
+    /// reason in [`FlowResult::degradation`] (see
+    /// [`LevelBConfig::salvage`]). Level A channel errors remain hard
+    /// errors — a broken topology cannot be partially salvaged.
+    pub salvage: bool,
 }
 
 impl FlowOptions {
@@ -108,6 +120,14 @@ impl FlowOptions {
     pub fn instrumented() -> Self {
         FlowOptions {
             telemetry: true,
+            ..FlowOptions::default()
+        }
+    }
+
+    /// Graceful degradation on (see [`FlowOptions::salvage`]).
+    pub fn salvaged() -> Self {
+        FlowOptions {
+            salvage: true,
             ..FlowOptions::default()
         }
     }
@@ -246,6 +266,9 @@ fn run_with_telemetry(
     options: FlowOptions,
     f: impl FnOnce() -> Result<FlowResult, RouteError>,
 ) -> Result<FlowResult, RouteError> {
+    // Chaos hook: an armed plan may panic a whole flow run here; the
+    // chaos harness isolates it through `parallel_map_isolated`.
+    ocr_fault::point("flow.run");
     if !options.telemetry {
         return f();
     }
@@ -264,7 +287,11 @@ fn assemble_result(
     level_b_nets: Vec<NetId>,
     stats: Option<RoutingStats>,
     options: FlowOptions,
+    degradation: Option<Degradation>,
 ) -> FlowResult {
+    if let Some(d) = &degradation {
+        ocr_obs::count("nets.salvaged", d.salvaged_routes as u64);
+    }
     let metrics = RouteMetrics::of(&a.design, &a.expanded);
     let verify = maybe_verify(options, &a.expanded, &a.design);
     FlowResult {
@@ -279,6 +306,7 @@ fn assemble_result(
         level_b_nets,
         verify,
         telemetry: None,
+        degradation,
     }
 }
 
@@ -339,7 +367,7 @@ impl OverCellFlow {
                         &priority,
                     )
                 }
-                other => partition_nets(layout, other),
+                other => partition_nets(layout, other)?,
             }
         };
         // Level A: channels on metal1/metal2; fixes the topology.
@@ -348,11 +376,15 @@ impl OverCellFlow {
             ocr_channel::route_chip_channels(layout, placement, &set_a, self.level_a)?
         };
         // Level B: over the entire (expanded) layout area.
+        let mut level_b = self.level_b.clone();
+        level_b.salvage = level_b.salvage || self.options.salvage;
+        let salvage = level_b.salvage;
         let b = {
             let _span = ocr_obs::span("flow.level_b");
-            let mut router = LevelBRouter::new(&a.expanded, &set_b, self.level_b.clone())?;
+            let mut router = LevelBRouter::new(&a.expanded, &set_b, level_b)?;
             router.route_all()?
         };
+        let degradation = salvage.then_some(b.degraded);
         a.design.merge(b.design);
         Ok(assemble_result(
             a,
@@ -360,6 +392,7 @@ impl OverCellFlow {
             set_b,
             Some(b.stats),
             self.options,
+            degradation,
         ))
     }
 }
@@ -395,7 +428,7 @@ impl TwoLayerChannelFlow {
     /// Propagates channel routing errors.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         run_with_telemetry(self.options, || {
-            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA);
+            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA)?;
             let mut opts = self.channel;
             if let ChannelRouterKind::FourLayer(_) = opts.router {
                 opts.router = ChannelRouterKind::TwoLayer(Default::default());
@@ -404,7 +437,16 @@ impl TwoLayerChannelFlow {
                 let _span = ocr_obs::span("flow.channels");
                 ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?
             };
-            Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+            // Channel-only flows have no Level B stage to degrade, so a
+            // salvage run reports an empty (complete) degradation.
+            Ok(assemble_result(
+                a,
+                set_a,
+                Vec::new(),
+                None,
+                self.options,
+                self.options.salvage.then(Degradation::default),
+            ))
         })
     }
 }
@@ -444,7 +486,7 @@ impl ThreeLayerChannelFlow {
     /// Propagates channel routing errors.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         run_with_telemetry(self.options, || {
-            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA);
+            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA)?;
             let opts = ChipChannelOptions {
                 router: ChannelRouterKind::ThreeLayer(self.lea),
                 pitch: self.pitch,
@@ -453,7 +495,16 @@ impl ThreeLayerChannelFlow {
                 let _span = ocr_obs::span("flow.channels");
                 ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?
             };
-            Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+            // Channel-only flows have no Level B stage to degrade, so a
+            // salvage run reports an empty (complete) degradation.
+            Ok(assemble_result(
+                a,
+                set_a,
+                Vec::new(),
+                None,
+                self.options,
+                self.options.salvage.then(Degradation::default),
+            ))
         })
     }
 }
@@ -491,7 +542,7 @@ impl FourLayerChannelFlow {
     /// Propagates channel routing errors.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         run_with_telemetry(self.options, || {
-            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA);
+            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA)?;
             let opts = ChipChannelOptions {
                 router: ChannelRouterKind::FourLayer(self.multilayer),
                 pitch: self.pitch,
@@ -500,7 +551,16 @@ impl FourLayerChannelFlow {
                 let _span = ocr_obs::span("flow.channels");
                 ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?
             };
-            Ok(assemble_result(a, set_a, Vec::new(), None, self.options))
+            // Channel-only flows have no Level B stage to degrade, so a
+            // salvage run reports an empty (complete) degradation.
+            Ok(assemble_result(
+                a,
+                set_a,
+                Vec::new(),
+                None,
+                self.options,
+                self.options.salvage.then(Degradation::default),
+            ))
         })
     }
 }

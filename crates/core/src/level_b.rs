@@ -11,6 +11,7 @@
 
 use crate::config::LevelBConfig;
 use crate::cost::CostEvaluator;
+use crate::degrade::{Degradation, DegradeReason, NetDegradation};
 use crate::error::RouteError;
 use crate::mbfs::{search_min_corner_paths, SearchWindow};
 use crate::pst::{select_best_path, CandidatePath};
@@ -20,6 +21,7 @@ use crate::tig::Tig;
 use ocr_geom::{Dir, Layer, Point};
 use ocr_grid::{CellState, GridBuilder, GridModel};
 use ocr_netlist::{Layout, NetId, NetRoute, RouteSeg, RoutedDesign, Via};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Result of routing a Level B net set.
 #[derive(Clone, Debug)]
@@ -29,6 +31,10 @@ pub struct LevelBResult {
     pub design: RoutedDesign,
     /// Collected counters.
     pub stats: RoutingStats,
+    /// Per-net degradation reasons. Empty unless
+    /// [`LevelBConfig::salvage`] recorded failures; in salvage mode it
+    /// mirrors the design's `failed` list exactly.
+    pub degraded: Degradation,
 }
 
 /// The Level B router. Owns the routing grid for the duration of the
@@ -53,6 +59,14 @@ pub struct LevelBRouter<'a> {
     /// over a single contested lane and forces exploration of
     /// alternative regions.
     rip_exclusions: std::collections::HashMap<u32, Vec<u32>>,
+    /// Nets with a terminal sealed on both planes — they can never
+    /// complete, so salvage mode reports `DoomedTerminal` instead of the
+    /// generic `Unroutable` when they fail.
+    doomed_nets: std::collections::HashSet<u32>,
+    /// Nets rejected at grid build time under salvage (off-grid or
+    /// conflicting terminals); `route_all` declares them failed with
+    /// their reasons instead of routing them.
+    pre_degraded: Vec<NetDegradation>,
     stats: RoutingStats,
 }
 
@@ -65,7 +79,9 @@ impl<'a> LevelBRouter<'a> {
     ///
     /// [`RouteError::TerminalConflict`] if two nets' terminals share a
     /// grid cell; [`RouteError::TerminalOffGrid`] if a terminal lies
-    /// outside the die.
+    /// outside the die. With [`LevelBConfig::salvage`] set neither is
+    /// returned: the offending net is recorded (with a typed reason)
+    /// instead, reserves nothing, and `route_all` declares it failed.
     pub fn new(
         layout: &'a Layout,
         nets: &[NetId],
@@ -78,21 +94,48 @@ impl<'a> LevelBRouter<'a> {
         let mut grid = builder.build(nets);
         let mut unrouted_cells = Vec::new();
         let mut doomed_terminals = 0usize;
-        for &net in nets {
+        let mut doomed_nets = std::collections::HashSet::new();
+        let mut pre_degraded: Vec<NetDegradation> = Vec::new();
+        'nets: for &net in nets {
+            // Validate every terminal of the net before reserving any,
+            // so a rejected net leaves no reservations behind (salvage
+            // mode skips it and keeps going with the rest).
             for &pid in &layout.net(net).pins {
                 let at = layout.pin(pid).position;
                 let Some(cell) = grid.snap(at) else {
+                    if config.salvage {
+                        pre_degraded.push(NetDegradation {
+                            net,
+                            reason: DegradeReason::TerminalOffGrid,
+                        });
+                        continue 'nets;
+                    }
                     return Err(RouteError::TerminalOffGrid { net, at });
                 };
-                let mut blocked_planes = 0usize;
                 for dir in Dir::BOTH {
-                    match grid.state(dir, cell.0, cell.1) {
-                        CellState::Used(n) if n != net.0 => {
+                    if let CellState::Used(n) = grid.state(dir, cell.0, cell.1) {
+                        if n != net.0 {
+                            if config.salvage {
+                                pre_degraded.push(NetDegradation {
+                                    net,
+                                    reason: DegradeReason::TerminalConflict,
+                                });
+                                continue 'nets;
+                            }
                             return Err(RouteError::TerminalConflict {
                                 nets: (NetId(n), net),
                                 at,
                             });
                         }
+                    }
+                }
+            }
+            for &pid in &layout.net(net).pins {
+                let at = layout.pin(pid).position;
+                let cell = grid.snap(at).expect("terminal validated above");
+                let mut blocked_planes = 0usize;
+                for dir in Dir::BOTH {
+                    match grid.state(dir, cell.0, cell.1) {
                         CellState::Blocked => {
                             // Terminal under an obstacle: leave blocked —
                             // the net will fail with `Unroutable`.
@@ -106,6 +149,7 @@ impl<'a> LevelBRouter<'a> {
                 // cost term steer live nets away from a lost cause.
                 if blocked_planes == Dir::BOTH.len() {
                     doomed_terminals += 1;
+                    doomed_nets.insert(net.0);
                     ocr_obs::count("level_b.doomed_terminals", 1);
                 } else {
                     unrouted_cells.push((net, cell));
@@ -122,6 +166,8 @@ impl<'a> LevelBRouter<'a> {
             last_blockers: Vec::new(),
             terminal_cells,
             rip_exclusions: std::collections::HashMap::new(),
+            doomed_nets,
+            pre_degraded,
             stats: RoutingStats {
                 doomed_terminals,
                 ..RoutingStats::default()
@@ -143,6 +189,13 @@ impl<'a> LevelBRouter<'a> {
     /// rip-up-and-reroute for hard-blocked nets (see
     /// [`LevelBConfig::rip_up_budget`]). Individual net failures are
     /// recorded in the design's `failed` list, not returned as errors.
+    ///
+    /// With [`LevelBConfig::salvage`] set, *nothing* is returned as an
+    /// error: nets rejected at grid build time are declared failed with
+    /// their typed reasons, and a net whose routing panics is scrubbed
+    /// from the grid and declared failed as `Poisoned` — the run keeps
+    /// going and the result's [`LevelBResult::degraded`] report mirrors
+    /// the failed list exactly.
     pub fn route_all(&mut self) -> Result<LevelBResult, RouteError> {
         // Declare the rip-up counters up front so telemetry exports
         // always carry them, even for runs that never rip.
@@ -161,11 +214,40 @@ impl<'a> LevelBRouter<'a> {
             self.config.ordering.clone().order(self.layout, &self.nets)
         };
         let mut design = RoutedDesign::new(self.layout.die, self.layout.nets.len());
-        let mut queue: std::collections::VecDeque<NetId> = order.into_iter().collect();
+        let mut degraded = Degradation::default();
+        for d in std::mem::take(&mut self.pre_degraded) {
+            design.set_failed(d.net);
+            degraded.nets.push(d);
+        }
+        let mut queue: std::collections::VecDeque<NetId> =
+            order.into_iter().filter(|&n| !degraded.covers(n)).collect();
         let mut rips_left = self.config.rip_up_budget;
         let mut retries: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         while let Some(net) = queue.pop_front() {
-            match self.route_net(net) {
+            let outcome = if self.config.salvage {
+                // Isolate per-net panics (injected faults or real bugs):
+                // scrub the net's partial wiring off the grid, declare
+                // it failed, and keep routing everything else.
+                match catch_unwind(AssertUnwindSafe(|| self.route_net(net))) {
+                    Ok(outcome) => outcome,
+                    Err(payload) => {
+                        self.scrub_net(net);
+                        self.stats.nets_poisoned += 1;
+                        ocr_obs::count("level_b.poisoned_nets", 1);
+                        degraded.push(
+                            net,
+                            DegradeReason::Poisoned {
+                                message: ocr_fault::payload_message(payload.as_ref()),
+                            },
+                        );
+                        design.set_failed(net);
+                        continue;
+                    }
+                }
+            } else {
+                self.route_net(net)
+            };
+            match outcome {
                 Ok(route) => {
                     // The net is in: any victims ripped on its behalf
                     // stop constraining future probes for this net id
@@ -177,7 +259,7 @@ impl<'a> LevelBRouter<'a> {
                     }
                     design.set_route(net, route);
                 }
-                Err(RouteError::Unroutable { .. }) | Err(RouteError::DegenerateNet(_)) => {
+                Err(err @ (RouteError::Unroutable { .. } | RouteError::DegenerateNet(_))) => {
                     let blockers = std::mem::take(&mut self.last_blockers);
                     let rippable: Vec<NetId> = blockers
                         .into_iter()
@@ -199,10 +281,33 @@ impl<'a> LevelBRouter<'a> {
                         }
                         queue.push_front(net);
                     } else {
+                        if self.config.salvage {
+                            let reason = match err {
+                                RouteError::DegenerateNet(_) => DegradeReason::Degenerate,
+                                _ if self.doomed_nets.contains(&net.0) => {
+                                    DegradeReason::DoomedTerminal
+                                }
+                                _ => DegradeReason::Unroutable,
+                            };
+                            degraded.push(net, reason);
+                        }
                         design.set_failed(net);
                     }
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if !self.config.salvage {
+                        return Err(e);
+                    }
+                    // route_net already rolled back the net's partial
+                    // wiring; record the reason and keep going.
+                    let reason = match &e {
+                        RouteError::TerminalOffGrid { .. } => DegradeReason::TerminalOffGrid,
+                        RouteError::TerminalConflict { .. } => DegradeReason::TerminalConflict,
+                        _ => DegradeReason::Unroutable,
+                    };
+                    degraded.push(net, reason);
+                    design.set_failed(net);
+                }
             }
         }
         self.stats.nets_routed = self
@@ -211,9 +316,11 @@ impl<'a> LevelBRouter<'a> {
             .filter(|&&n| design.route(n).is_some())
             .count();
         self.stats.nets_failed = design.failed.len();
+        degraded.salvaged_routes = self.stats.nets_routed;
         Ok(LevelBResult {
             design,
             stats: self.stats,
+            degraded,
         })
     }
 
@@ -256,6 +363,12 @@ impl<'a> LevelBRouter<'a> {
                 }
             }
         }
+        self.restore_terminals(net);
+    }
+
+    /// Re-reserves a net's terminal cells and re-enters them in the
+    /// unrouted-terminal list after its wiring was removed from the grid.
+    fn restore_terminals(&mut self, net: NetId) {
         for &pid in &self.layout.net(net).pins {
             let Some(cell) = self.grid.snap(self.layout.pin(pid).position) else {
                 continue;
@@ -277,6 +390,24 @@ impl<'a> LevelBRouter<'a> {
         }
     }
 
+    /// Removes *every* cell owned by `net` from the grid with a full
+    /// sweep, then restores its terminal reservations. The rollback of
+    /// last resort: a panic mid-`route_net` leaves partially committed
+    /// wiring with no route object to walk, so `clear_occupancy` cannot
+    /// reach it.
+    fn scrub_net(&mut self, net: NetId) {
+        for j in 0..self.grid.nh() {
+            for i in 0..self.grid.nv() {
+                for d in Dir::BOTH {
+                    if matches!(self.grid.state(d, i, j), CellState::Used(n) if n == net.0) {
+                        self.grid.set_state(d, i, j, CellState::Free);
+                    }
+                }
+            }
+        }
+        self.restore_terminals(net);
+    }
+
     /// Victims previously ripped for `net` that its next soft-path
     /// probes must avoid. Cleared when the net routes successfully, so
     /// this is empty for every routed net.
@@ -291,6 +422,9 @@ impl<'a> LevelBRouter<'a> {
     /// Steiner decomposition) and commits its wiring to the grid.
     pub fn route_net(&mut self, net: NetId) -> Result<NetRoute, RouteError> {
         let _span = ocr_obs::span("level_b.route_net");
+        // Chaos hook: an armed plan may panic or stall here to exercise
+        // salvage isolation. Disarmed, this is a no-op.
+        ocr_fault::point("level_b.route_net");
         // This net's terminals are now being routed: drop them from the
         // unrouted list so `dup` only penalizes *other* nets' terminals.
         self.unrouted_cells.retain(|&(n, _)| n != net);
@@ -400,6 +534,12 @@ impl<'a> LevelBRouter<'a> {
         attach: Point,
         route: &mut NetRoute,
     ) -> Result<Vec<Point>, RouteError> {
+        // Chaos hook: force a hard-blocked outcome (with honest blocker
+        // probing, so rip-up storms ensue) when a plan fires here.
+        if ocr_fault::point("level_b.force_unroutable") {
+            self.probe_blockers(net, q, attach);
+            return Err(RouteError::Unroutable { net });
+        }
         match self.find_path(net, q, attach) {
             Ok(path) => {
                 self.commit_path(net, &path, route);
@@ -432,41 +572,7 @@ impl<'a> LevelBRouter<'a> {
         let path = match ocr_maze::route_maze(&mut self.grid, net.0, q, attach, opts) {
             Ok(p) => p,
             Err(_) => {
-                // Hard-blocked: ask the soft search which routed nets
-                // stand in the cheapest way (for rip-up-and-reroute).
-                if self.config.rip_up_budget > 0 {
-                    // Terminal cells survive rip-up, so exclude them —
-                    // every named blocker is then genuinely removable.
-                    // Victims already ripped for this net are excluded
-                    // too, so repeated probes explore different lanes.
-                    let terminals = &self.terminal_cells;
-                    let grid = &self.grid;
-                    let empty: Vec<u32> = Vec::new();
-                    let excluded = self.rip_exclusions.get(&net.0).unwrap_or(&empty);
-                    if let Ok(soft) = ocr_maze::find_soft_path_filtered(
-                        grid,
-                        net.0,
-                        q,
-                        attach,
-                        opts,
-                        1_000_000,
-                        |i, j| {
-                            if terminals.contains(&(i, j)) {
-                                return false;
-                            }
-                            for d in Dir::BOTH {
-                                if let CellState::Used(n) = grid.state(d, i, j) {
-                                    if excluded.contains(&n) {
-                                        return false;
-                                    }
-                                }
-                            }
-                            true
-                        },
-                    ) {
-                        self.last_blockers = soft.blockers.into_iter().map(NetId).collect();
-                    }
-                }
+                self.probe_blockers(net, q, attach);
                 return Err(RouteError::Unroutable { net });
             }
         };
@@ -480,6 +586,44 @@ impl<'a> LevelBRouter<'a> {
         route.extend(path.route);
         self.connect_attachment(net, attach, &points, route);
         Ok(points)
+    }
+
+    /// Hard-blocked: asks the soft search which routed nets stand in the
+    /// cheapest way (for rip-up-and-reroute), recording them in
+    /// `last_blockers`.
+    fn probe_blockers(&mut self, net: NetId, q: Point, attach: Point) {
+        if self.config.rip_up_budget == 0 {
+            return;
+        }
+        let opts = ocr_maze::MazeOptions {
+            via_cost: self.layout.rules.over_cell_pitch(),
+            astar: true,
+        };
+        // Terminal cells survive rip-up, so exclude them — every named
+        // blocker is then genuinely removable. Victims already ripped
+        // for this net are excluded too, so repeated probes explore
+        // different lanes.
+        let terminals = &self.terminal_cells;
+        let grid = &self.grid;
+        let empty: Vec<u32> = Vec::new();
+        let excluded = self.rip_exclusions.get(&net.0).unwrap_or(&empty);
+        if let Ok(soft) =
+            ocr_maze::find_soft_path_filtered(grid, net.0, q, attach, opts, 1_000_000, |i, j| {
+                if terminals.contains(&(i, j)) {
+                    return false;
+                }
+                for d in Dir::BOTH {
+                    if let CellState::Used(n) = grid.state(d, i, j) {
+                        if excluded.contains(&n) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            })
+        {
+            self.last_blockers = soft.blockers.into_iter().map(NetId).collect();
+        }
     }
 
     /// Finds the best path for one two-terminal connection, expanding
@@ -509,6 +653,14 @@ impl<'a> LevelBRouter<'a> {
             .map(|n| n.0)
             .collect();
         for attempt in 0..=self.config.max_window_expansions {
+            // Chaos hook: burn a window-expansion attempt as if the
+            // search had failed at this margin.
+            if ocr_fault::point("level_b.expand") {
+                margin = margin.saturating_mul(2).max(1);
+                self.stats.window_expansions += 1;
+                ocr_obs::count("level_b.window_expansions", 1);
+                continue;
+            }
             let tig = Tig::new(&self.grid);
             let window = if attempt == self.config.max_window_expansions {
                 SearchWindow::full(&tig)
@@ -1033,6 +1185,111 @@ mod tests {
         .expect("router");
         assert!(coarse.grid().nv() < fine.grid().nv());
         assert!(coarse.grid().nh() < fine.grid().nh());
+    }
+
+    #[test]
+    fn salvage_degrades_setup_rejects_instead_of_erroring() {
+        // Net 0 and 1 share a terminal (conflict); net 2 is fine.
+        let (l, nets) = layout_with_nets(&[
+            &[Point::new(20, 20), Point::new(100, 100)],
+            &[Point::new(20, 20), Point::new(200, 200)],
+            &[Point::new(40, 300), Point::new(300, 300)],
+        ]);
+        let cfg = LevelBConfig {
+            salvage: true,
+            ..LevelBConfig::default()
+        };
+        let mut r = LevelBRouter::new(&l, &nets, cfg).expect("salvage never errors on setup");
+        let res = r.route_all().expect("salvage never errors on route");
+        // Exactly one net degraded: the later of the conflicting pair.
+        assert_eq!(res.degraded.nets.len(), 1);
+        assert_eq!(
+            res.degraded.reason(nets[1]),
+            Some(&DegradeReason::TerminalConflict)
+        );
+        assert_eq!(res.degraded.salvaged_routes, 2);
+        // Exhaustiveness: the report mirrors the failed list exactly.
+        let mut failed = res.design.failed.clone();
+        failed.sort();
+        let mut reported: Vec<NetId> = res.degraded.nets.iter().map(|d| d.net).collect();
+        reported.sort();
+        assert_eq!(failed, reported);
+        // The salvaged subset still validates (failed nets declared).
+        let errors = validate_routed_design(&l, &res.design);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn salvage_isolates_a_poisoned_net_and_scrubs_the_grid() {
+        let (l, nets) = layout_with_nets(&[
+            &[Point::new(20, 100), Point::new(380, 100)],
+            &[Point::new(20, 200), Point::new(380, 200)],
+        ]);
+        let cfg = LevelBConfig {
+            salvage: true,
+            ordering: crate::order::NetOrdering::User(nets.clone()),
+            ..LevelBConfig::default()
+        };
+        // Panic the first routed net only; the second must still route.
+        let plan = ocr_fault::plan(7)
+            .panic_at("level_b.route_net", 1.0, 1)
+            .build();
+        let mut r = LevelBRouter::new(&l, &nets, cfg).expect("router");
+        let res = ocr_fault::with_plan(&plan, || r.route_all()).expect("salvage isolates");
+        assert_eq!(res.stats.nets_poisoned, 1);
+        assert_eq!(res.degraded.poisoned(), 1);
+        assert!(matches!(
+            res.degraded.reason(nets[0]),
+            Some(DegradeReason::Poisoned { message }) if message.contains("level_b.route_net")
+        ));
+        assert!(res.design.route(nets[1]).is_some(), "survivor routed");
+        assert_eq!(res.design.failed, vec![nets[0]]);
+        // The scrub left only the poisoned net's terminal reservations
+        // (2 terminals × 2 planes).
+        let g = r.grid();
+        let mut used_by_0 = 0;
+        for j in 0..g.nh() {
+            for i in 0..g.nv() {
+                for d in Dir::BOTH {
+                    if matches!(g.state(d, i, j), CellState::Used(n) if n == nets[0].0) {
+                        used_by_0 += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(used_by_0, 4, "scrub must leave only terminal cells");
+        assert!(validate_routed_design(&l, &res.design).is_empty());
+    }
+
+    #[test]
+    fn forced_unroutable_fault_triggers_rip_storm_but_salvage_completes() {
+        let (l, nets) = layout_with_nets(&[
+            &[Point::new(20, 100), Point::new(380, 100)],
+            &[Point::new(20, 200), Point::new(380, 200)],
+            &[Point::new(20, 300), Point::new(380, 300)],
+        ]);
+        let cfg = LevelBConfig {
+            salvage: true,
+            ..LevelBConfig::default()
+        };
+        // Force the first two branch attempts unroutable. On this empty
+        // grid the blocker probe names no rippable victims, so those
+        // nets degrade as `Unroutable` and the run keeps going.
+        let plan = ocr_fault::plan(11)
+            .fire_at("level_b.force_unroutable", 1.0, 2)
+            .build();
+        let mut r = LevelBRouter::new(&l, &nets, cfg).expect("router");
+        let res = ocr_fault::with_plan(&plan, || r.route_all()).expect("salvage");
+        assert_eq!(plan.total_fires(), 2, "both forced failures spent");
+        assert_eq!(res.stats.nets_routed, 1, "cap spent, third net routes");
+        assert_eq!(res.degraded.nets.len(), 2);
+        assert!(res
+            .degraded
+            .nets
+            .iter()
+            .all(|d| d.reason == DegradeReason::Unroutable));
+        assert_eq!(res.degraded.salvaged_routes, 1);
+        assert!(validate_routed_design(&l, &res.design).is_empty());
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod config;
 pub mod cost;
+pub mod degrade;
 pub mod error;
 pub mod flow;
 pub mod level_b;
@@ -60,6 +61,7 @@ pub mod tig;
 
 pub use config::LevelBConfig;
 pub use cost::CostWeights;
+pub use degrade::{Degradation, DegradeReason, NetDegradation};
 pub use error::RouteError;
 pub use flow::{
     run_analytic_four_layer_estimate, Flow, FlowKind, FlowOptions, FlowResult,

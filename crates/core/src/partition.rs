@@ -14,6 +14,7 @@
 //! Whole nets are assigned to one set; multi-terminal nets never split
 //! across sets (paper §2's terminal rule depends on this).
 
+use crate::error::RouteError;
 use ocr_geom::Coord;
 use ocr_netlist::{Layout, NetClass, NetId};
 
@@ -48,7 +49,16 @@ pub enum PartitionStrategy {
 }
 
 /// Partitions every routable net of `layout` into `(set_a, set_b)`.
-pub fn partition_nets(layout: &Layout, strategy: &PartitionStrategy) -> (Vec<NetId>, Vec<NetId>) {
+///
+/// # Errors
+///
+/// [`RouteError::PartitionNeedsPlacement`] for
+/// [`PartitionStrategy::AreaBudget`], which can only be resolved with a
+/// placement — use [`partition_nets_area_budget`] (the flows do).
+pub fn partition_nets(
+    layout: &Layout,
+    strategy: &PartitionStrategy,
+) -> Result<(Vec<NetId>, Vec<NetId>), RouteError> {
     let mut a = Vec::new();
     let mut b = Vec::new();
     for net in layout.net_ids() {
@@ -65,7 +75,7 @@ pub fn partition_nets(layout: &Layout, strategy: &PartitionStrategy) -> (Vec<Net
             PartitionStrategy::AllA => true,
             PartitionStrategy::Explicit(list) => list.contains(&net),
             PartitionStrategy::AreaBudget { .. } => {
-                panic!("AreaBudget needs a placement: use partition_nets_area_budget")
+                return Err(RouteError::PartitionNeedsPlacement)
             }
         };
         if to_a {
@@ -74,7 +84,7 @@ pub fn partition_nets(layout: &Layout, strategy: &PartitionStrategy) -> (Vec<Net
             b.push(net);
         }
     }
-    (a, b)
+    Ok((a, b))
 }
 
 /// Area-budgeted partitioning — the paper's "if total layout area is a
@@ -212,7 +222,7 @@ mod tests {
     #[test]
     fn by_class_sends_critical_and_power_to_a() {
         let (l, nets) = layout();
-        let (a, b) = partition_nets(&l, &PartitionStrategy::ByClass);
+        let (a, b) = partition_nets(&l, &PartitionStrategy::ByClass).expect("partition");
         assert_eq!(a, vec![nets[2], nets[3]]);
         assert_eq!(b, vec![nets[0], nets[1]]);
     }
@@ -220,7 +230,8 @@ mod tests {
     #[test]
     fn by_length_thresholds_on_hpwl() {
         let (l, nets) = layout();
-        let (a, b) = partition_nets(&l, &PartitionStrategy::ByLength { threshold: 100 });
+        let (a, b) =
+            partition_nets(&l, &PartitionStrategy::ByLength { threshold: 100 }).expect("partition");
         assert_eq!(a, vec![nets[0]]);
         assert_eq!(b.len(), 3);
     }
@@ -228,10 +239,10 @@ mod tests {
     #[test]
     fn all_b_and_all_a_are_total() {
         let (l, nets) = layout();
-        let (a, b) = partition_nets(&l, &PartitionStrategy::AllB);
+        let (a, b) = partition_nets(&l, &PartitionStrategy::AllB).expect("partition");
         assert!(a.is_empty());
         assert_eq!(b.len(), nets.len());
-        let (a2, b2) = partition_nets(&l, &PartitionStrategy::AllA);
+        let (a2, b2) = partition_nets(&l, &PartitionStrategy::AllA).expect("partition");
         assert_eq!(a2.len(), nets.len());
         assert!(b2.is_empty());
     }
@@ -239,7 +250,8 @@ mod tests {
     #[test]
     fn explicit_assignment_is_respected() {
         let (l, nets) = layout();
-        let (a, b) = partition_nets(&l, &PartitionStrategy::Explicit(vec![nets[1]]));
+        let (a, b) =
+            partition_nets(&l, &PartitionStrategy::Explicit(vec![nets[1]])).expect("partition");
         assert_eq!(a, vec![nets[1]]);
         assert_eq!(b.len(), 3);
     }
@@ -327,11 +339,24 @@ mod tests {
     }
 
     #[test]
+    fn area_budget_without_placement_is_a_typed_error() {
+        let (l, _) = layout();
+        let err = partition_nets(
+            &l,
+            &PartitionStrategy::AreaBudget {
+                max_tracks_per_channel: 4,
+            },
+        )
+        .expect_err("needs a placement");
+        assert_eq!(err, RouteError::PartitionNeedsPlacement);
+    }
+
+    #[test]
     fn single_pin_nets_are_dropped() {
         let (mut l, _) = layout();
         let lonely = l.add_net("x", NetClass::Signal);
         l.add_pin(lonely, None, Point::new(5, 5), Layer::Metal1);
-        let (a, b) = partition_nets(&l, &PartitionStrategy::AllB);
+        let (a, b) = partition_nets(&l, &PartitionStrategy::AllB).expect("partition");
         assert!(!a.contains(&lonely) && !b.contains(&lonely));
     }
 }

@@ -39,6 +39,9 @@ pub struct RoutingStats {
     /// Rip-exclusion lists dropped because their net finally routed
     /// (stale exclusions would over-restrict later rip-up probes).
     pub exclusions_cleared: usize,
+    /// Nets whose routing panicked and was isolated by salvage mode
+    /// (scrubbed from the grid and declared failed as `Poisoned`).
+    pub nets_poisoned: usize,
 }
 
 impl RoutingStats {
@@ -57,6 +60,7 @@ impl RoutingStats {
         self.rips += other.rips;
         self.doomed_terminals += other.doomed_terminals;
         self.exclusions_cleared += other.exclusions_cleared;
+        self.nets_poisoned += other.nets_poisoned;
     }
 
     /// Average expanded vertices per two-terminal connection.

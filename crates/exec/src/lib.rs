@@ -50,12 +50,25 @@
 //! `exec.w{n}.busy_ns`) plus pool-wide totals (`exec.tasks`,
 //! `exec.busy_ns`). With no collector installed nothing is measured.
 //!
-//! ## Panics
+//! ## Panics and isolation
 //!
 //! A panic in any task is caught on its worker and re-raised on the
 //! calling thread (lowest panicking item index wins) after all workers
 //! have stopped — a panicking parallel region never deadlocks and never
 //! silently drops work.
+//!
+//! Callers that would rather *keep going* use [`parallel_map_isolated`]:
+//! each task's unwind is caught in place, the task is retried once (the
+//! router's tasks are idempotent pure functions of their inputs, so a
+//! retry is safe and absorbs transient faults), and a task that panics
+//! twice surfaces as [`TaskOutcome::Poisoned`] — with the panic message,
+//! a `tasks.poisoned` telemetry count, and every *other* task's result
+//! intact. The pool itself is unaffected either way: worker threads are
+//! scoped per call, so a poisoned region never degrades later regions.
+//!
+//! Armed `ocr-fault` plans propagate to workers exactly like telemetry
+//! collectors and thread-count overrides, so a fault schedule drawn on
+//! the calling thread reaches fault points inside parallel tasks.
 //!
 //! ```
 //! let squares = ocr_exec::parallel_map(&[1i64, 2, 3, 4], |&x| x * x);
@@ -218,41 +231,48 @@ fn run_indexed(n: usize, workers: usize, run: &(impl Fn(usize) + Sync)) {
     // override) so spans and counters recorded inside tasks aggregate
     // into the same sink as sequential runs. Telemetry is observational
     // only — it never changes which items run or how results merge.
+    // Armed fault plans propagate the same way, so injection reaches
+    // fault points inside parallel tasks; with no plan armed this is a
+    // `None` handed to a no-op guard.
     let obs = ocr_obs::current();
+    let fault = ocr_fault::current();
     std::thread::scope(|s| {
         for w in 0..workers {
             let ranges = &ranges;
             let panicked = &panicked;
             let obs = obs.clone();
+            let fault = fault.clone();
             s.spawn(move || {
                 OVERRIDE.with(|c| c.set(inherit));
                 let active = obs.is_some();
-                ocr_obs::with_current(obs, || {
-                    let mut tasks = 0u64;
-                    let mut busy_ns = 0u64;
-                    while let Some(i) = ranges.pop_front(w).or_else(|| ranges.steal(w)) {
-                        if panicked.lock().map(|g| g.is_some()).unwrap_or(true) {
-                            break;
-                        }
-                        let t0 = active.then(std::time::Instant::now);
-                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
-                            let mut guard = panicked.lock().unwrap_or_else(|e| e.into_inner());
-                            match &*guard {
-                                Some((j, _)) if *j <= i => {}
-                                _ => *guard = Some((i, payload)),
+                ocr_fault::with_current(fault, || {
+                    ocr_obs::with_current(obs, || {
+                        let mut tasks = 0u64;
+                        let mut busy_ns = 0u64;
+                        while let Some(i) = ranges.pop_front(w).or_else(|| ranges.steal(w)) {
+                            if panicked.lock().map(|g| g.is_some()).unwrap_or(true) {
+                                break;
+                            }
+                            let t0 = active.then(std::time::Instant::now);
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
+                                let mut guard = panicked.lock().unwrap_or_else(|e| e.into_inner());
+                                match &*guard {
+                                    Some((j, _)) if *j <= i => {}
+                                    _ => *guard = Some((i, payload)),
+                                }
+                            }
+                            if let Some(t0) = t0 {
+                                tasks += 1;
+                                busy_ns += t0.elapsed().as_nanos() as u64;
                             }
                         }
-                        if let Some(t0) = t0 {
-                            tasks += 1;
-                            busy_ns += t0.elapsed().as_nanos() as u64;
+                        if tasks > 0 {
+                            ocr_obs::count("exec.tasks", tasks);
+                            ocr_obs::count("exec.busy_ns", busy_ns);
+                            ocr_obs::count(format!("exec.w{w}.tasks"), tasks);
+                            ocr_obs::count(format!("exec.w{w}.busy_ns"), busy_ns);
                         }
-                    }
-                    if tasks > 0 {
-                        ocr_obs::count("exec.tasks", tasks);
-                        ocr_obs::count("exec.busy_ns", busy_ns);
-                        ocr_obs::count(format!("exec.w{w}.tasks"), tasks);
-                        ocr_obs::count(format!("exec.w{w}.busy_ns"), busy_ns);
-                    }
+                    });
                 });
             });
         }
@@ -284,6 +304,88 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -
                 .expect("run_indexed visits every item")
         })
         .collect()
+}
+
+/// The result of one task in a [`parallel_map_isolated`] region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskOutcome<R> {
+    /// The task completed. `retried` is `true` when the first attempt
+    /// panicked and the retry succeeded (a transient fault absorbed).
+    Done {
+        /// The task's result.
+        value: R,
+        /// Whether success came from the second attempt.
+        retried: bool,
+    },
+    /// Both the task and its single retry panicked; the region kept
+    /// going without it. Counted as `tasks.poisoned` in telemetry.
+    Poisoned {
+        /// Human-readable message from the first panic payload.
+        message: String,
+    },
+}
+
+impl<R> TaskOutcome<R> {
+    /// The completed value, if any.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            TaskOutcome::Done { value, .. } => Some(value),
+            TaskOutcome::Poisoned { .. } => None,
+        }
+    }
+
+    /// A reference to the completed value, if any.
+    pub fn as_ok(&self) -> Option<&R> {
+        match self {
+            TaskOutcome::Done { value, .. } => Some(value),
+            TaskOutcome::Poisoned { .. } => None,
+        }
+    }
+
+    /// `true` for a task that panicked twice.
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self, TaskOutcome::Poisoned { .. })
+    }
+}
+
+/// Like [`parallel_map`], but a panicking task poisons only **itself**:
+/// the unwind is caught in place, the task retried once (router tasks
+/// are idempotent, so a transient fault is absorbed silently apart from
+/// a `tasks.retried` count), and a second panic yields
+/// [`TaskOutcome::Poisoned`] with the first panic's message plus a
+/// `tasks.poisoned` count. Every other task's outcome is unaffected and
+/// the pool remains fully usable afterward — worker threads are scoped
+/// per call, so nothing leaks out of a poisoned region.
+pub fn parallel_map_isolated<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<TaskOutcome<R>> {
+    parallel_map(items, |item| {
+        let first = match catch_unwind(AssertUnwindSafe(|| f(item))) {
+            Ok(value) => {
+                return TaskOutcome::Done {
+                    value,
+                    retried: false,
+                }
+            }
+            Err(payload) => payload,
+        };
+        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+            Ok(value) => {
+                ocr_obs::count("tasks.retried", 1);
+                TaskOutcome::Done {
+                    value,
+                    retried: true,
+                }
+            }
+            Err(_) => {
+                ocr_obs::count("tasks.poisoned", 1);
+                TaskOutcome::Poisoned {
+                    message: ocr_fault::payload_message(first.as_ref()),
+                }
+            }
+        }
+    })
 }
 
 /// A task scheduled on a [`Scope`].
@@ -465,6 +567,89 @@ mod tests {
             parallel_map(&(0..8).collect::<Vec<usize>>(), |&i| i);
         });
         assert!(ocr_obs::current().is_none());
+    }
+
+    #[test]
+    fn isolated_map_poisons_only_the_panicking_task() {
+        let c = ocr_obs::Collector::new();
+        let out = ocr_obs::with_collector(&c, || {
+            with_threads(4, || {
+                parallel_map_isolated(&(0..32).collect::<Vec<usize>>(), |&i| {
+                    if i == 13 {
+                        panic!("unlucky {i}");
+                    }
+                    i * 2
+                })
+            })
+        });
+        assert_eq!(out.len(), 32);
+        for (i, o) in out.iter().enumerate() {
+            if i == 13 {
+                match o {
+                    TaskOutcome::Poisoned { message } => {
+                        assert!(message.contains("unlucky 13"))
+                    }
+                    other => panic!("expected poisoned task, got {other:?}"),
+                }
+            } else {
+                assert_eq!(o.as_ok(), Some(&(i * 2)));
+            }
+        }
+        assert_eq!(c.snapshot().counter("tasks.poisoned"), Some(1));
+        // The pool is unaffected: the next region works normally.
+        let next = with_threads(4, || parallel_map(&[1, 2, 3], |&x| x + 1));
+        assert_eq!(next, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn isolated_map_retries_transient_panics_once() {
+        let attempts: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        let c = ocr_obs::Collector::new();
+        let out = ocr_obs::with_collector(&c, || {
+            with_threads(2, || {
+                parallel_map_isolated(&(0..8).collect::<Vec<usize>>(), |&i| {
+                    let n = attempts[i].fetch_add(1, Ordering::Relaxed);
+                    if i == 5 && n == 0 {
+                        panic!("transient");
+                    }
+                    i
+                })
+            })
+        });
+        assert_eq!(
+            out[5],
+            TaskOutcome::Done {
+                value: 5,
+                retried: true
+            }
+        );
+        assert_eq!(attempts[5].load(Ordering::Relaxed), 2);
+        let t = c.snapshot();
+        assert_eq!(t.counter("tasks.retried"), Some(1));
+        assert_eq!(t.counter("tasks.poisoned"), None);
+    }
+
+    #[test]
+    fn workers_inherit_the_armed_fault_plan() {
+        let plan = ocr_fault::plan(3)
+            .fire_at("exec.test.site", 1.0, u64::MAX)
+            .build();
+        let fired = ocr_fault::with_plan(&plan, || {
+            with_threads(4, || {
+                parallel_map(&(0..32).collect::<Vec<usize>>(), |_| {
+                    ocr_fault::point("exec.test.site")
+                })
+            })
+        });
+        assert!(fired.iter().all(|&f| f), "plan must reach every worker");
+        assert_eq!(plan.total_fires(), 32);
+        // Disarmed again outside the scope: workers see no plan.
+        let quiet = with_threads(4, || {
+            parallel_map(&(0..8).collect::<Vec<usize>>(), |_| {
+                ocr_fault::point("exec.test.site")
+            })
+        });
+        assert!(quiet.iter().all(|&f| !f));
     }
 
     #[test]

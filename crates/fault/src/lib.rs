@@ -1,0 +1,636 @@
+#![warn(missing_docs)]
+
+//! # ocr-fault
+//!
+//! A hermetic, std-only **deterministic fault-injection layer** for the
+//! over-cell router. Like the PRNG in `ocr_gen::rng` and the telemetry
+//! layer in `ocr-obs`, the workspace builds fully offline, so this crate
+//! depends on nothing outside the tree.
+//!
+//! ## Model
+//!
+//! Production code declares **named fault points** — `fault::point
+//! ("level_b.expand")` — at the places where a failure would be
+//! interesting. With no plan armed (the default), a point is a single
+//! thread-local read returning `false`: instrumented code pays nothing
+//! and behaves byte-identically to uninstrumented code (enforced by
+//! `tests/chaos.rs`).
+//!
+//! A seeded [`FaultPlan`] arms a set of [`FaultRule`]s for the dynamic
+//! extent of a closure ([`with_plan`]), exactly like an `ocr-obs`
+//! collector: the `ocr-exec` pool captures the caller's plan with
+//! [`current`] and re-installs it on workers with [`with_current`], so
+//! parallel stages see the same faults as sequential ones. Every
+//! injection decision is a pure function of `(plan seed, site name,
+//! per-site hit index)` through the in-tree xoshiro256++ generator —
+//! a given seed replays the same fault schedule on every platform, and
+//! at `OCR_THREADS=1` the schedule is exactly reproducible run to run.
+//!
+//! Three rule actions cover the interesting failure classes:
+//!
+//! * [`FaultAction::Panic`] — unwind at the site (a poisoned task /
+//!   crashed worker);
+//! * [`FaultAction::DelayMicros`] — stall the site (a slow worker,
+//!   shaking out timing assumptions);
+//! * [`FaultAction::Fire`] — no side effect; `point` returns `true` and
+//!   the *call site* degrades itself (e.g. the Level B router treats a
+//!   fired `level_b.force_unroutable` as a hard-blocked connection,
+//!   provoking rip-up storms and salvage paths).
+//!
+//! Every fired rule increments the `fault.injected` telemetry counter
+//! (visible in `--stats` exports when a collector is installed).
+//!
+//! ## Input perturbation
+//!
+//! Deterministic helpers corrupt *inputs* rather than control flow:
+//! [`corrupt_text`] mutates `.ocr` chip text (truncation, token swaps,
+//! digit flips, junk lines) for parser robustness corpora, and
+//! [`seal_random_cells`] / [`seal_random_terminals`] drop over-cell
+//! obstacles onto a layout to manufacture doomed terminals and congested
+//! grids for salvage testing.
+//!
+//! ```
+//! let plan = ocr_fault::plan(42).fire_at("demo.site", 1.0, 1).build();
+//! let fired = ocr_fault::with_plan(&plan, || ocr_fault::point("demo.site"));
+//! assert!(fired);
+//! assert!(!ocr_fault::point("demo.site")); // disarmed: never fires
+//! ```
+
+use ocr_gen::rng::Rng;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// The plan fault points on this thread consult.
+    static CURRENT: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
+}
+
+/// What happens at a fault point when a rule fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Unwind with a `fault injected at <site>` panic — a poisoned task.
+    Panic,
+    /// Sleep this many microseconds at the site — a stalled worker.
+    DelayMicros(u64),
+    /// No side effect; [`point`] returns `true` and the call site
+    /// degrades itself (forced unroutability, skipped attempts, …).
+    Fire,
+}
+
+/// One injection rule: where, how often, how many times, and what.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRule {
+    /// Site name to match: exact, or a prefix when it ends in `*`
+    /// (`"level_b.*"` matches every Level B site).
+    pub site: String,
+    /// Per-hit firing probability in `[0, 1]`, drawn deterministically
+    /// from the plan seed, the site name and the hit index.
+    pub probability: f64,
+    /// Cap on total fires of this rule (`u64::MAX` for unlimited).
+    pub max_fires: u64,
+    /// What a fire does.
+    pub action: FaultAction,
+}
+
+impl FaultRule {
+    fn matches(&self, site: &str) -> bool {
+        match self.site.strip_suffix('*') {
+            Some(prefix) => site.starts_with(prefix),
+            None => self.site == site,
+        }
+    }
+}
+
+struct PlanInner {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    /// Per-rule hit counters (every match, fired or not) — the hit
+    /// index is the deterministic input to the firing draw.
+    hits: Vec<AtomicU64>,
+    /// Per-rule fire counters, capped by `max_fires`.
+    fires: Vec<AtomicU64>,
+}
+
+/// A seeded, armed set of fault rules. Cheap to clone (an `Arc`
+/// handle); all clones share hit/fire counters, so a plan propagated
+/// across `ocr-exec` workers enforces its caps globally.
+#[derive(Clone)]
+pub struct FaultPlan {
+    inner: Arc<PlanInner>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.inner.seed)
+            .field("rules", &self.inner.rules)
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// The armed rules.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.inner.rules
+    }
+
+    /// Total fires across all rules so far.
+    pub fn total_fires(&self) -> u64 {
+        self.inner
+            .fires
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Decides whether a point at `site` fires, updating counters. The
+    /// first matching rule is consulted; its decision is a pure function
+    /// of `(seed, site, hit index)`.
+    fn decide(&self, site: &str) -> Option<FaultAction> {
+        let (i, rule) = self
+            .inner
+            .rules
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.matches(site))?;
+        let hit = self.inner.hits[i].fetch_add(1, Ordering::Relaxed);
+        let mut rng = Rng::seed_from_u64(mix(self.inner.seed, site_hash(site), hit));
+        if !rng.gen_bool(rule.probability) {
+            return None;
+        }
+        // Claim one of the rule's capped fires; losing the claim (cap
+        // reached) means the point stays quiet.
+        let claimed = self.inner.fires[i]
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                (v < rule.max_fires).then_some(v + 1)
+            })
+            .is_ok();
+        claimed.then_some(rule.action)
+    }
+}
+
+/// Builder for a [`FaultPlan`]; see [`plan`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlanBuilder {
+    /// Adds a rule.
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds a panic rule at `site`.
+    pub fn panic_at(self, site: impl Into<String>, probability: f64, max_fires: u64) -> Self {
+        self.rule(FaultRule {
+            site: site.into(),
+            probability,
+            max_fires,
+            action: FaultAction::Panic,
+        })
+    }
+
+    /// Adds a delay rule at `site`.
+    pub fn delay_at(
+        self,
+        site: impl Into<String>,
+        probability: f64,
+        max_fires: u64,
+        micros: u64,
+    ) -> Self {
+        self.rule(FaultRule {
+            site: site.into(),
+            probability,
+            max_fires,
+            action: FaultAction::DelayMicros(micros),
+        })
+    }
+
+    /// Adds a fire-only rule at `site` (the call site degrades itself).
+    pub fn fire_at(self, site: impl Into<String>, probability: f64, max_fires: u64) -> Self {
+        self.rule(FaultRule {
+            site: site.into(),
+            probability,
+            max_fires,
+            action: FaultAction::Fire,
+        })
+    }
+
+    /// Finalizes the plan.
+    pub fn build(self) -> FaultPlan {
+        let n = self.rules.len();
+        FaultPlan {
+            inner: Arc::new(PlanInner {
+                seed: self.seed,
+                rules: self.rules,
+                hits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                fires: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            }),
+        }
+    }
+}
+
+/// Starts building a [`FaultPlan`] with the given seed.
+pub fn plan(seed: u64) -> FaultPlanBuilder {
+    FaultPlanBuilder {
+        seed,
+        rules: Vec::new(),
+    }
+}
+
+/// The chaos-trial preset the `ocr chaos` CLI arms: one guaranteed
+/// poisoned trial (exercising panic isolation), a burst of forced
+/// unroutable connections (exercising rip-up storms and salvage), a few
+/// skipped search windows, and a couple of short stalls.
+///
+/// The `chaos.trial` rule is hit only by the harness's first trial and
+/// carries **two** fires, so the trial panics on both its attempts (the
+/// pool retries a panicking task once) and deterministically surfaces
+/// as `TaskOutcome::Poisoned` at any worker count. A single-fire rule
+/// on a shared site would be swallowed by the retry — or, worse, race
+/// with other tasks' hits under a multi-worker pool.
+pub fn chaos_plan(seed: u64) -> FaultPlan {
+    plan(seed)
+        .panic_at("chaos.trial", 1.0, 2)
+        .fire_at("level_b.force_unroutable", 0.25, 6)
+        .fire_at("level_b.expand", 0.10, 4)
+        .delay_at("level_b.route_net", 0.05, 2, 200)
+        .build()
+}
+
+/// Runs `f` with `plan` armed on this thread (and, through `ocr-exec`
+/// propagation, on pool workers of parallel regions inside `f`).
+/// Restores the previous arming on exit, including on panic.
+pub fn with_plan<R>(plan: &FaultPlan, f: impl FnOnce() -> R) -> R {
+    with_current(Some(plan.clone()), f)
+}
+
+/// Runs `f` with the armed plan forced to `plan` (possibly `None`,
+/// disarming injection inside `f`). This is the propagation primitive
+/// `ocr-exec` uses to hand the caller's plan to its pool workers;
+/// application code normally wants [`with_plan`].
+pub fn with_current<R>(plan: Option<FaultPlan>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<FaultPlan>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let prev = CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), plan));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The plan currently armed on this thread, if any.
+pub fn current() -> Option<FaultPlan> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// `true` when a plan is armed on this thread.
+pub fn is_armed() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// A named fault point. With no plan armed this is a no-op returning
+/// `false`. With a plan armed, the first rule matching `site` draws a
+/// deterministic decision; on a fire the rule's action runs — `Panic`
+/// unwinds, `DelayMicros` sleeps then returns `true`, `Fire` returns
+/// `true` — and the `fault.injected` telemetry counter increments.
+pub fn point(site: &str) -> bool {
+    let Some(action) = CURRENT.with(|c| c.borrow().as_ref().and_then(|p| p.decide(site))) else {
+        return false;
+    };
+    ocr_obs::count("fault.injected", 1);
+    match action {
+        FaultAction::Panic => panic!("fault injected at {site}"),
+        FaultAction::DelayMicros(us) => {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+            true
+        }
+        FaultAction::Fire => true,
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload
+/// (`&str` and `String` payloads; anything else gets a placeholder).
+pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// FNV-1a over the site name, so the firing schedule of one site is
+/// independent of every other site's.
+fn site_hash(site: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in site.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix-style combiner for (seed, site, hit) → RNG seed.
+fn mix(seed: u64, site: u64, hit: u64) -> u64 {
+    let mut z = seed ^ site.rotate_left(17) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Input perturbation: deterministic corruption of chip text and layouts.
+// ---------------------------------------------------------------------
+
+/// Deterministically corrupts `.ocr`-style text: `mutations` seeded
+/// edits drawn from truncation, line deletion/duplication/reordering,
+/// token swaps, digit flips (bad coordinates) and junk insertion. The
+/// result is *usually* malformed — exactly what parser robustness
+/// corpora need — but may occasionally still parse; callers must accept
+/// both `Ok` and `Err`, and panic on neither.
+pub fn corrupt_text(text: &str, seed: u64, mutations: usize) -> String {
+    let mut rng = Rng::seed_from_u64(mix(seed, site_hash("corrupt.text"), 0));
+    let mut lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+    for _ in 0..mutations {
+        if lines.is_empty() {
+            lines.push("x".to_string());
+        }
+        let k = rng.next_below(lines.len() as u64) as usize;
+        match rng.next_below(8) {
+            // Truncate a line mid-token.
+            0 => {
+                let cut = rng.next_below(lines[k].len().max(1) as u64) as usize;
+                let cut = lines[k]
+                    .char_indices()
+                    .map(|(i, _)| i)
+                    .take_while(|&i| i <= cut)
+                    .last()
+                    .unwrap_or(0);
+                lines[k].truncate(cut);
+            }
+            // Delete a line.
+            1 => {
+                lines.remove(k);
+            }
+            // Duplicate a line (duplicate cells/nets must be rejected,
+            // never crash).
+            2 => {
+                let copy = lines[k].clone();
+                lines.insert(k, copy);
+            }
+            // Swap two whitespace tokens within a line.
+            3 => {
+                let toks: Vec<String> = lines[k].split_whitespace().map(String::from).collect();
+                if toks.len() >= 2 {
+                    let mut toks = toks;
+                    let a = rng.next_below(toks.len() as u64) as usize;
+                    let b = rng.next_below(toks.len() as u64) as usize;
+                    toks.swap(a, b);
+                    lines[k] = toks.join(" ");
+                }
+            }
+            // Flip a digit (bad coordinate) or negate a number.
+            4 => {
+                let flipped: String = lines[k]
+                    .chars()
+                    .map(|c| {
+                        if c.is_ascii_digit() && rng.gen_bool(0.3) {
+                            char::from_digit(9 - c.to_digit(10).unwrap_or(0), 10).unwrap_or(c)
+                        } else {
+                            c
+                        }
+                    })
+                    .collect();
+                lines[k] = flipped;
+            }
+            // Replace a token with garbage.
+            5 => {
+                let toks: Vec<String> = lines[k].split_whitespace().map(String::from).collect();
+                if !toks.is_empty() {
+                    let mut toks = toks;
+                    let a = rng.next_below(toks.len() as u64) as usize;
+                    toks[a] = match rng.next_below(4) {
+                        0 => "-999999999999999999999".to_string(),
+                        1 => "metal9".to_string(),
+                        2 => "\u{fffd}\u{fffd}".to_string(),
+                        _ => "NaN".to_string(),
+                    };
+                    lines[k] = toks.join(" ");
+                }
+            }
+            // Insert a junk line.
+            6 => {
+                let junk = match rng.next_below(4) {
+                    0 => "wire",
+                    1 => "via onlyname",
+                    2 => "pin",
+                    _ => "frobnicate 1 2 3",
+                };
+                lines.insert(k, junk.to_string());
+            }
+            // Truncate the whole document.
+            _ => {
+                lines.truncate(k);
+            }
+        }
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Seals `count` random over-cell grid regions of `layout` with small
+/// metal3+metal4 obstacles. Deterministic in `seed`.
+pub fn seal_random_cells(layout: &mut ocr_netlist::Layout, seed: u64, count: usize) {
+    use ocr_geom::Rect;
+    let mut rng = Rng::seed_from_u64(mix(seed, site_hash("seal.cells"), 0));
+    let die = layout.die;
+    if die.width() < 4 || die.height() < 4 {
+        return;
+    }
+    for _ in 0..count {
+        let w = rng.gen_range(2i64..=(die.width() / 4).max(2));
+        let h = rng.gen_range(2i64..=(die.height() / 4).max(2));
+        let x0 = rng.gen_range(die.x0()..die.x1() - 1);
+        let y0 = rng.gen_range(die.y0()..die.y1() - 1);
+        layout.add_obstacle(ocr_netlist::Obstacle::new(
+            Rect::new(x0, y0, (x0 + w).min(die.x1()), (y0 + h).min(die.y1())),
+            ocr_geom::LayerSet::level_b(),
+        ));
+    }
+}
+
+/// Seals up to `count` randomly chosen net terminals of `layout` under
+/// both-plane over-cell obstacles, manufacturing *doomed terminals* —
+/// nets the Level B router can only salvage around, never complete.
+/// Returns how many terminals were sealed. Deterministic in `seed`.
+pub fn seal_random_terminals(layout: &mut ocr_netlist::Layout, seed: u64, count: usize) -> usize {
+    use ocr_geom::Rect;
+    let mut rng = Rng::seed_from_u64(mix(seed, site_hash("seal.terminals"), 0));
+    let positions: Vec<ocr_geom::Point> = layout
+        .nets
+        .iter()
+        .flat_map(|n| n.pins.iter())
+        .map(|&p| layout.pin(p).position)
+        .collect();
+    if positions.is_empty() {
+        return 0;
+    }
+    let mut sealed = 0;
+    for _ in 0..count {
+        let Some(&at) = rng.choose(&positions) else {
+            break;
+        };
+        layout.add_obstacle(ocr_netlist::Obstacle::new(
+            Rect::new(at.x - 1, at.y - 1, at.x + 1, at.y + 1),
+            ocr_geom::LayerSet::level_b(),
+        ));
+        sealed += 1;
+    }
+    sealed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_points_are_inert() {
+        assert!(!is_armed());
+        assert!(!point("anything.at.all"));
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn fire_rule_fires_deterministically() {
+        let run = || {
+            let p = plan(7).fire_at("a.site", 0.5, u64::MAX).build();
+            with_plan(&p, || {
+                (0..100).map(|_| point("a.site")).collect::<Vec<bool>>()
+            })
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "same seed must replay the same schedule");
+        let fires = first.iter().filter(|&&f| f).count();
+        assert!((20..80).contains(&fires), "p=0.5 over 100 hits: {fires}");
+    }
+
+    #[test]
+    fn seeds_change_the_schedule() {
+        let sched = |seed| {
+            let p = plan(seed).fire_at("s", 0.5, u64::MAX).build();
+            with_plan(&p, || (0..64).map(|_| point("s")).collect::<Vec<bool>>())
+        };
+        assert_ne!(sched(1), sched(2));
+    }
+
+    #[test]
+    fn max_fires_caps_injection() {
+        let p = plan(3).fire_at("capped", 1.0, 2).build();
+        let fires = with_plan(&p, || (0..10).filter(|_| point("capped")).count());
+        assert_eq!(fires, 2);
+        assert_eq!(p.total_fires(), 2);
+    }
+
+    #[test]
+    fn prefix_rules_match_site_families() {
+        let p = plan(9).fire_at("level_b.*", 1.0, u64::MAX).build();
+        with_plan(&p, || {
+            assert!(point("level_b.expand"));
+            assert!(point("level_b.route_net"));
+            assert!(!point("level_a.channel"));
+        });
+    }
+
+    #[test]
+    fn panic_action_unwinds_with_site_name() {
+        let p = plan(5).panic_at("boom.site", 1.0, 1).build();
+        let err = std::panic::catch_unwind(|| with_plan(&p, || point("boom.site")))
+            .expect_err("must panic");
+        assert!(payload_message(err.as_ref()).contains("boom.site"));
+        // The cap is spent: the next hit is quiet.
+        assert!(!with_plan(&p, || point("boom.site")));
+    }
+
+    #[test]
+    fn delay_action_returns_true() {
+        let p = plan(5).delay_at("slow.site", 1.0, 1, 1).build();
+        assert!(with_plan(&p, || point("slow.site")));
+    }
+
+    #[test]
+    fn arming_is_scoped_and_panic_safe() {
+        let p = plan(1).fire_at("x", 1.0, u64::MAX).build();
+        let _ = std::panic::catch_unwind(|| with_plan(&p, || panic!("inner")));
+        assert!(!is_armed());
+        with_plan(&p, || {
+            assert!(is_armed());
+            with_current(None, || assert!(!is_armed()));
+            assert!(is_armed());
+        });
+    }
+
+    #[test]
+    fn fires_count_into_telemetry() {
+        let c = ocr_obs::Collector::new();
+        let p = plan(2).fire_at("t", 1.0, 3).build();
+        ocr_obs::with_collector(&c, || {
+            with_plan(&p, || {
+                for _ in 0..5 {
+                    point("t");
+                }
+            })
+        });
+        assert_eq!(c.snapshot().counter("fault.injected"), Some(3));
+    }
+
+    #[test]
+    fn corrupt_text_is_deterministic_and_mutating() {
+        let base = "die 0 0 100 100\ncell a 10 10 20 20\nnet n signal 0\n";
+        let a = corrupt_text(base, 11, 3);
+        let b = corrupt_text(base, 11, 3);
+        assert_eq!(a, b);
+        let c = corrupt_text(base, 12, 3);
+        // Different seeds usually differ (not guaranteed per-seed, but
+        // these two are pinned by the deterministic generator).
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sealing_terminals_adds_obstacles() {
+        use ocr_geom::{Layer, Point, Rect};
+        let mut l = ocr_netlist::Layout::new(Rect::new(0, 0, 100, 100));
+        let n = l.add_net("n", ocr_netlist::NetClass::Signal);
+        l.add_pin(n, None, Point::new(50, 50), Layer::Metal2);
+        let sealed = seal_random_terminals(&mut l, 4, 2);
+        assert_eq!(sealed, 2);
+        assert_eq!(l.obstacles.len(), 2);
+        seal_random_cells(&mut l, 4, 3);
+        assert_eq!(l.obstacles.len(), 5);
+    }
+
+    #[test]
+    fn chaos_plan_guarantees_a_poisoned_trial() {
+        // Two fires: the single retry panics too, so the trial is
+        // poisoned instead of recovered.
+        let p = chaos_plan(1);
+        assert!(p.rules().iter().any(|r| r.site == "chaos.trial"
+            && r.action == FaultAction::Panic
+            && r.max_fires == 2));
+    }
+}

@@ -242,7 +242,9 @@ pub fn parse_chip(text: &str) -> Result<(Layout, RowPlacement), ParseError> {
             continue;
         }
         let mut tok = content.split_whitespace();
-        let kind = tok.next().expect("non-empty");
+        // `content` is non-empty after trimming, but never trust that
+        // from external input: treat a token-less line as blank.
+        let Some(kind) = tok.next() else { continue };
         match kind {
             "die" => {
                 let (x0, y0, x1, y1) = (
@@ -434,24 +436,31 @@ pub fn parse_routes(layout: &Layout, text: &str) -> Result<RoutedDesign, ParseEr
             continue;
         }
         let mut tok = content.split_whitespace();
-        let kind = tok.next().expect("non-empty");
+        // Tokenize exclusively from the comment-stripped `content`; a
+        // bare directive (`wire` with nothing after it) is a parse
+        // error, never a panic.
+        let Some(kind) = tok.next() else { continue };
         match kind {
             "wire" => {
-                let name = raw.split_whitespace().nth(1).expect("checked");
+                let name = tok.next().ok_or_else(|| err(line, "missing net".into()))?;
                 let net = *by_name
                     .get(name)
                     .ok_or_else(|| err(line, format!("unknown net `{name}`")))?;
-                let mut tok2 = content.split_whitespace().skip(2);
                 let layer = parse_layer(
-                    tok2.next()
+                    tok.next()
                         .ok_or_else(|| err(line, "missing layer".into()))?,
                     line,
                 )?;
-                let nums: Vec<Coord> = tok2
+                let nums: Vec<Coord> = tok
                     .map(|t| t.parse().map_err(|e| err(line, format!("bad number: {e}"))))
                     .collect::<Result<_, _>>()?;
                 if nums.len() != 4 {
                     return Err(err(line, "wire needs 4 coordinates".into()));
+                }
+                // `RouteSeg::new` asserts this; check first so corrupt
+                // coordinates surface as a ParseError, not a panic.
+                if nums[0] != nums[2] && nums[1] != nums[3] {
+                    return Err(err(line, "wire endpoints are not axis-parallel".into()));
                 }
                 routes
                     .entry(net)
@@ -464,22 +473,21 @@ pub fn parse_routes(layout: &Layout, text: &str) -> Result<RoutedDesign, ParseEr
                     ));
             }
             "via" => {
-                let name = raw.split_whitespace().nth(1).expect("checked");
+                let name = tok.next().ok_or_else(|| err(line, "missing net".into()))?;
                 let net = *by_name
                     .get(name)
                     .ok_or_else(|| err(line, format!("unknown net `{name}`")))?;
-                let mut tok2 = content.split_whitespace().skip(2);
                 let lower = parse_layer(
-                    tok2.next()
+                    tok.next()
                         .ok_or_else(|| err(line, "missing layer".into()))?,
                     line,
                 )?;
                 let upper = parse_layer(
-                    tok2.next()
+                    tok.next()
                         .ok_or_else(|| err(line, "missing layer".into()))?,
                     line,
                 )?;
-                let nums: Vec<Coord> = tok2
+                let nums: Vec<Coord> = tok
                     .map(|t| t.parse().map_err(|e| err(line, format!("bad number: {e}"))))
                     .collect::<Result<_, _>>()?;
                 if nums.len() != 2 {
@@ -623,5 +631,36 @@ mod tests {
     fn bad_layer_is_reported() {
         let e = parse_chip("rule metal9 1 1 1").unwrap_err();
         assert!(e.message.contains("unknown layer"));
+    }
+
+    #[test]
+    fn bare_directives_error_instead_of_panicking() {
+        let (layout, _) = sample();
+        // Truncated route lines were once a reachable panic (the name
+        // was re-tokenized from the raw line with an `expect`).
+        let e = parse_routes(&layout, "wire").unwrap_err();
+        assert!(e.message.contains("missing net"), "{e}");
+        let e = parse_routes(&layout, "via clk").unwrap_err();
+        assert!(e.message.contains("missing layer"), "{e}");
+        let e = parse_routes(&layout, "wire clk metal3 1 2 3").unwrap_err();
+        assert!(e.message.contains("4 coordinates"), "{e}");
+        let e = parse_routes(&layout, "failed").unwrap_err();
+        assert!(e.message.contains("missing net"), "{e}");
+        // Diagonal endpoints would trip `RouteSeg::new`'s assert.
+        let e = parse_routes(&layout, "wire clk metal3 1 2 3 4").unwrap_err();
+        assert!(e.message.contains("axis-parallel"), "{e}");
+    }
+
+    #[test]
+    fn route_names_are_taken_from_comment_stripped_content() {
+        let (layout, _) = sample();
+        // The net name after an inline comment must not be read: the
+        // whole line degrades to the bare directive (an error), not a
+        // lookup of `#`.
+        let e = parse_routes(&layout, "wire # clk metal3 0 0 1 0").unwrap_err();
+        assert!(e.message.contains("missing net"), "{e}");
+        // And a commented tail after valid fields is simply ignored.
+        let d = parse_routes(&layout, "via clk metal2 metal3 60 100 # tail").expect("parses");
+        assert_eq!(d.route(NetId(0)).expect("route").vias.len(), 1);
     }
 }

@@ -37,4 +37,21 @@ OCR_THREADS=1 ./target/release/ocr route --suite \
     --stats-json "$STATS_DIR/stats-par.json" >/dev/null
 ./target/release/obs-check "$STATS_DIR/stats-par.json" --min-chips 3
 
+echo "==> chaos smoke (ocr chaos --seed 1 --trials 8)"
+# Deterministic fault-injection soak: trial 0 is deliberately poisoned
+# (two-fire panic rule, so the isolation retry panics too) and must be
+# reported without aborting the run; every surviving trial must be
+# oracle-clean on its salvaged subset. Sequential and pooled.
+OCR_THREADS=1 ./target/release/ocr chaos --seed 1 --trials 8 >/dev/null
+./target/release/ocr chaos --seed 1 --trials 8 >/dev/null
+
+echo "==> no panicking macros reachable from external input (crates/io)"
+# The parsers take untrusted text; their non-test code must contain no
+# unwrap/expect/panic!. (Everything before the #[cfg(test)] marker.)
+if sed -n '1,/#\[cfg(test)\]/p' crates/io/src/lib.rs \
+    | grep -n '\.unwrap()\|\.expect(\|panic!('; then
+    echo "ci: panicking macro in crates/io non-test code" >&2
+    exit 1
+fi
+
 echo "==> ci: all green"

@@ -3,15 +3,17 @@
 //! ```text
 //! ocr generate <ami33|xerox|ex3|random> [--seed N] [-o chip.ocr]
 //! ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
-//!                      [--svg out.svg] [--routes out.txt]
+//!                      [--svg out.svg] [--routes out.txt] [--salvage]
 //!                      [--stats] [--stats-json out.json] [--trace-out out.trace]
-//! ocr route --suite [--stats] [--stats-json out.json] [--trace-out out.trace]
+//! ocr route --suite [--salvage] [--stats] [--stats-json out.json] [--trace-out out.trace]
 //! ocr verify <chip.ocr> [--flow ...] [--routes in.txt] [--strict]
 //! ocr verify --suite [--strict]
+//! ocr chaos [--seed N] [--trials K]
 //! ocr stats <chip.ocr>
 //! ```
 
 use overcell_router::core::{FlowKind, FlowOptions, FlowResult};
+use overcell_router::fault;
 use overcell_router::gen::{random::small_random, suite, GeneratedChip};
 use overcell_router::io::{parse_chip, parse_routes, write_chip, write_routes};
 use overcell_router::netlist::{
@@ -29,10 +31,13 @@ USAGE:
       Generate a benchmark chip and write it as .ocr text (stdout by
       default).
   ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
-                       [--svg FILE] [--routes FILE]
+                       [--svg FILE] [--routes FILE] [--salvage]
                        [--stats] [--stats-json FILE] [--trace-out FILE]
       Route the chip with the selected flow (default: overcell), print
       metrics, optionally write an SVG and the routed geometry.
+      --salvage degrades gracefully instead of aborting: Level B setup
+      errors and per-net panics fail only the affected net, and the
+      result carries a per-net degradation report.
       Any of --stats/--stats-json/--trace-out turns on ocr-obs
       telemetry (observational only — the routed design is identical
       with it on or off): --stats prints a per-phase timing table,
@@ -54,6 +59,15 @@ USAGE:
   ocr verify --suite [--strict]
       Verify every flow on every suite chip; exits non-zero when any
       combination is unclean.
+  ocr chaos [--seed N] [--trials K]
+      Deterministic chaos harness: run K over-cell salvage trials over
+      perturbed suite chips with the seeded fault plan armed — injected
+      panics, forced rip-up storms, sealed cells/terminals, corrupted
+      chip text fed to the parser. Each trial is isolated in the worker
+      pool (a panicking trial is retried once, then reported poisoned
+      without aborting the run) and its salvaged result is checked by
+      the ocr-verify oracle. Exits non-zero when any completed trial is
+      oracle-unclean. Defaults: --seed 1, --trials 8.
   ocr stats <chip.ocr>
       Print the chip's Table-1-style statistics.
   ocr help
@@ -137,6 +151,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("generate") => generate(args),
         Some("route") => route(args),
         Some("verify") => verify(args),
+        Some("chaos") => chaos(args),
         Some("stats") => stats(args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -286,7 +301,7 @@ fn route(args: &[String]) -> Result<(), String> {
         "route",
         &args[1..],
         &["--flow", "--svg", "--routes", "--stats-json", "--trace-out"],
-        &["--suite", "--stats"],
+        &["--suite", "--stats", "--salvage"],
     )?;
     let telemetry = TelemetryOut::from_flags(&flags);
     if flags.has("--suite") {
@@ -300,6 +315,7 @@ fn route(args: &[String]) -> Result<(), String> {
     let kind = parse_flow(&flags)?;
     let options = FlowOptions {
         telemetry: telemetry.wanted(),
+        salvage: flags.has("--salvage"),
         ..FlowOptions::default()
     };
     let result = run_flow(kind, options, &layout, &placement)?;
@@ -313,6 +329,9 @@ fn route(args: &[String]) -> Result<(), String> {
     );
     if let Some(stats) = &result.stats {
         println!("level B: {stats}");
+    }
+    if let Some(d) = &result.degradation {
+        println!("degradation: {d}");
     }
     if errors.is_empty() {
         println!("validation: clean");
@@ -357,6 +376,7 @@ fn route_suite(flags: &Flags, telemetry: &TelemetryOut) -> Result<(), String> {
     }
     let options = FlowOptions {
         telemetry: telemetry.wanted(),
+        salvage: flags.has("--salvage"),
         ..FlowOptions::default()
     };
     let mut failures = 0usize;
@@ -490,6 +510,139 @@ fn verify_suite(flags: &Flags, strict: bool) -> Result<(), String> {
     }
     if unclean > 0 {
         return Err(format!("{unclean} suite combination(s) unclean"));
+    }
+    Ok(())
+}
+
+/// What one chaos trial observed (returned through the isolated pool,
+/// so a panicking trial produces a `Poisoned` outcome instead).
+struct TrialReport {
+    chip: String,
+    salvaged: usize,
+    degraded: usize,
+    poisoned_nets: usize,
+    oracle_clean: bool,
+}
+
+/// One chaos trial: corrupt a serialization and feed it to the parser
+/// (must never panic), perturb a suite chip with sealed cells and
+/// terminals, then route it under salvage with the armed fault plan and
+/// check the salvaged result against the oracle.
+fn chaos_trial(seed: u64, t: usize, chips: &[GeneratedChip]) -> Result<TrialReport, String> {
+    // The plan's `chaos.trial` rule carries two guaranteed fires, so
+    // this trial panics on both its attempts and is deterministically
+    // reported as a poisoned task at any worker count.
+    if t == 0 {
+        fault::point("chaos.trial");
+    }
+    let trial_seed = seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let base = &chips[t % chips.len()];
+    // Malformed-input probe: a corrupted chip file must parse to Ok or
+    // Err, never panic (a panic here poisons the trial — a finding).
+    let corrupted = fault::corrupt_text(&write_chip(&base.layout, &base.placement), trial_seed, 24);
+    let _ = parse_chip(&corrupted);
+    // Perturb the routing problem: sealed over-cell cells and terminals
+    // force detours, rip-up storms and doomed nets.
+    let mut layout = base.layout.clone();
+    fault::seal_random_cells(&mut layout, trial_seed, 2);
+    fault::seal_random_terminals(&mut layout, trial_seed.wrapping_add(1), 2);
+    let options = FlowOptions {
+        salvage: true,
+        verify: true,
+        ..FlowOptions::default()
+    };
+    let result = run_flow(FlowKind::OverCell, options, &layout, &base.placement)?;
+    let report = result
+        .verify
+        .expect("flow ran with options.verify set, report attached");
+    let d = result
+        .degradation
+        .expect("flow ran with options.salvage set, report attached");
+    Ok(TrialReport {
+        chip: base.spec.name.clone(),
+        salvaged: d.salvaged_routes,
+        degraded: d.nets.len(),
+        poisoned_nets: d.poisoned(),
+        oracle_clean: report.is_clean(),
+    })
+}
+
+fn chaos(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags("chaos", &args[1..], &["--seed", "--trials"], &[])?;
+    if !flags.positionals.is_empty() {
+        return Err("chaos: takes no chip file (trials run over the suite)".into());
+    }
+    let seed: u64 = flags
+        .value("--seed")
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let trials: usize = flags
+        .value("--trials")
+        .map(|s| s.parse().map_err(|e| format!("bad --trials: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    if trials == 0 {
+        return Err("chaos: --trials must be at least 1".into());
+    }
+    let chips = suite::all();
+    let plan = fault::chaos_plan(seed);
+    let idx: Vec<usize> = (0..trials).collect();
+    let collector = ocr_obs::Collector::new();
+    // Injected panics are expected here and reported per trial; keep
+    // the default hook from spraying backtraces over the summary.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcomes = ocr_obs::with_collector(&collector, || {
+        fault::with_plan(&plan, || {
+            ocr_exec::parallel_map_isolated(&idx, |&t| chaos_trial(seed, t, &chips))
+        })
+    });
+    std::panic::set_hook(hook);
+    let mut poisoned_tasks = 0usize;
+    let mut failures = 0usize;
+    for (t, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            ocr_exec::TaskOutcome::Poisoned { message } => {
+                poisoned_tasks += 1;
+                println!("trial {t:>2}: poisoned (isolated): {message}");
+            }
+            ocr_exec::TaskOutcome::Done {
+                value: Ok(r),
+                retried,
+            } => {
+                let status = if r.oracle_clean {
+                    "oracle clean"
+                } else {
+                    failures += 1;
+                    "ORACLE UNCLEAN"
+                };
+                let retry = if *retried { ", retried" } else { "" };
+                println!(
+                    "trial {t:>2} [{:>8}]: salvaged {} routes, degraded {} nets \
+                     ({} poisoned{retry})  [{status}]",
+                    r.chip, r.salvaged, r.degraded, r.poisoned_nets
+                );
+            }
+            ocr_exec::TaskOutcome::Done {
+                value: Err(e),
+                retried: _,
+            } => {
+                failures += 1;
+                println!("trial {t:>2}: FAILED: {e}");
+            }
+        }
+    }
+    let snapshot = collector.snapshot();
+    println!(
+        "chaos: {trials} trial(s), {poisoned_tasks} poisoned task(s), \
+         {} fault(s) injected, tasks.poisoned={}, nets.salvaged={}",
+        snapshot.counter("fault.injected").unwrap_or(0),
+        snapshot.counter("tasks.poisoned").unwrap_or(0),
+        snapshot.counter("nets.salvaged").unwrap_or(0),
+    );
+    if failures > 0 {
+        return Err(format!("{failures} chaos trial(s) unclean"));
     }
     Ok(())
 }

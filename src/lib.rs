@@ -28,6 +28,7 @@
 //! |--------|-------|----------|
 //! | [`exec`] | `ocr-exec` | scoped work-stealing thread pool behind every parallel stage |
 //! | [`obs`] | `ocr-obs` | telemetry: spans, counters, stats tables, Chrome traces |
+//! | [`fault`] | `ocr-fault` | deterministic fault injection, chaos plans, input corruption |
 //! | [`geom`] | `ocr-geom` | points, rectangles, intervals, layers |
 //! | [`netlist`] | `ocr-netlist` | layout, nets, design rules, metrics, validation |
 //! | [`grid`] | `ocr-grid` | routing grid with non-uniform tracks and occupancy |
@@ -61,6 +62,7 @@
 pub use ocr_channel as channel;
 pub use ocr_core as core;
 pub use ocr_exec as exec;
+pub use ocr_fault as fault;
 pub use ocr_gen as gen;
 pub use ocr_geom as geom;
 pub use ocr_grid as grid;

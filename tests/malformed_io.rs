@@ -1,0 +1,61 @@
+//! Malformed-input fuzzing (seeded, in-tree PRNG): `parse_chip` and
+//! `parse_routes` must return `Ok` or a `ParseError` on every mutated
+//! input — a panic is never acceptable on external text.
+
+use overcell_router::core::{FlowKind, FlowOptions};
+use overcell_router::fault::corrupt_text;
+use overcell_router::gen::random::small_random;
+use overcell_router::io::{parse_chip, parse_routes, write_chip, write_routes};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const TRIALS: usize = 6_000;
+
+#[test]
+fn parse_chip_never_panics_on_mutated_inputs() {
+    let chip = small_random(8, 3, 4, 16, 42);
+    let base = write_chip(&chip.layout, &chip.placement);
+    for i in 0..TRIALS {
+        let seed = 0x5eed ^ i as u64;
+        let mutated = corrupt_text(&base, seed, 1 + i % 32);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = parse_chip(&mutated);
+        }));
+        assert!(
+            outcome.is_ok(),
+            "parse_chip panicked on mutation seed {seed} (input: {:?}…)",
+            mutated.chars().take(200).collect::<String>()
+        );
+    }
+}
+
+#[test]
+fn parse_routes_never_panics_on_mutated_inputs() {
+    let chip = small_random(6, 2, 3, 10, 42);
+    let result = FlowKind::OverCell
+        .build_with(FlowOptions::default())
+        .run(&chip.layout, &chip.placement)
+        .expect("flow");
+    let base = write_routes(&result.layout, &result.design);
+    for i in 0..TRIALS {
+        let seed = 0x0c0ffee ^ i as u64;
+        let mutated = corrupt_text(&base, seed, 1 + i % 32);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = parse_routes(&result.layout, &mutated);
+        }));
+        assert!(
+            outcome.is_ok(),
+            "parse_routes panicked on mutation seed {seed} (input: {:?}…)",
+            mutated.chars().take(200).collect::<String>()
+        );
+    }
+}
+
+#[test]
+fn valid_round_trips_survive_the_fuzz_fixture() {
+    // Sanity: the fuzz bases themselves are valid and round-trip, so
+    // the corpus mutates real documents rather than junk.
+    let chip = small_random(8, 3, 4, 16, 42);
+    let base = write_chip(&chip.layout, &chip.placement);
+    let (l2, p2) = parse_chip(&base).expect("base chip parses");
+    assert_eq!(write_chip(&l2, &p2), base);
+}
