@@ -6,7 +6,8 @@
 //! channel) on the ami33-equivalent and reports how set A shrinks and
 //! layout area falls as the budget tightens.
 
-use ocr_core::{OverCellFlow, PartitionStrategy};
+use ocr_core::{OverCellFlow, PartitionStrategy, RunSession};
+use ocr_exec::RunControl;
 use ocr_gen::suite;
 use ocr_netlist::validate_routed_design;
 
@@ -42,6 +43,41 @@ fn main() {
             res.metrics.layout_area,
             res.metrics.wire_length,
             res.metrics.vias
+        );
+    }
+
+    // The other budget: run control's deterministic *step* budget.
+    // Sweeping --max-steps shows how completion grows with allowed
+    // work — an anytime-quality curve for interruptible routing.
+    println!();
+    println!("Step-budget sweep (ami33, overcell): nets completed vs work allowed");
+    println!(
+        "{:>8} {:>8} {:>8} {:>9} {:>8}",
+        "steps", "used", "routed", "degraded", "tripped"
+    );
+    for budget in [0u64, 25, 50, 100, 200, 400, u64::MAX] {
+        let session = RunSession::with_control(RunControl::new().with_step_budget(budget));
+        let flow = OverCellFlow::default();
+        let res = flow
+            .run_controlled(&chip.layout, &chip.placement, &session)
+            .expect("a budget trip degrades, it does not error");
+        let routed = res.design.routes.iter().filter(|r| r.is_some()).count();
+        let degraded = res.degradation.as_ref().map_or(0, |d| d.nets.len());
+        let label = if budget == u64::MAX {
+            "inf".to_string()
+        } else {
+            budget.to_string()
+        };
+        println!(
+            "{label:>8} {:>8} {:>8} {:>9} {:>8}",
+            session.control.steps(),
+            routed,
+            degraded,
+            if session.control.is_tripped() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 }

@@ -23,6 +23,10 @@ use ocr_geom::{Coord, Layer, Point, Rect};
 use ocr_netlist::{Layout, NetId, NetRoute, RouteSeg, RoutedDesign, RowPlacement, Via};
 use std::collections::BTreeMap;
 
+/// One channel's routing outcome: the plan plus its track count and
+/// required height (`None` when the halting fan-out never claimed it).
+type ChannelOutcome = Option<Result<(RoutedChannel, usize, Coord), ChannelError>>;
+
 /// Which channel router the chip flow uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChannelRouterKind {
@@ -316,16 +320,20 @@ pub fn route_chip_channels(
     // ---- 5. Route each channel ------------------------------------------
     // Channels are independent once the frames are cut, so they fan out
     // across the ocr-exec pool. Results merge in channel-index order
-    // (parallel_map preserves input order), and on failure the error of
-    // the lowest-indexed failing channel is returned — exactly what a
+    // (the halting map preserves input order), and on failure the error
+    // of the lowest-indexed failing channel is returned — exactly what a
     // sequential loop would report — so parallel runs stay bit-identical
-    // to `OCR_THREADS=1` runs.
+    // to `OCR_THREADS=1` runs. The fan-out cooperates with the ambient
+    // run control: once it trips the remaining channels are never
+    // claimed, and because every channel's height feeds the vertical
+    // expansion below, a hole anywhere abandons the whole stage as
+    // `Interrupted` rather than emitting partial geometry.
     let pitch_lower = layout.rules.channel_pitch_level_a();
     let pitch_three = layout.rules.channel_pitch_three_layer();
     let pitch_upper = layout.rules.over_cell_pitch();
     let channel_indices: Vec<usize> = (0..n_channels).collect();
-    let per_channel: Vec<Result<(RoutedChannel, usize, Coord), ChannelError>> =
-        ocr_exec::parallel_map(&channel_indices, |&ch| {
+    let per_channel: Vec<ChannelOutcome> =
+        ocr_exec::parallel_map_halting(&channel_indices, |&ch| {
             // One span per channel; aggregates under a single name so
             // the `--stats` table shows channel count and total time.
             let _span = ocr_obs::span("level_a.channel");
@@ -361,7 +369,7 @@ pub fn route_chip_channels(
     let mut channel_tracks = Vec::with_capacity(n_channels);
     let mut channel_heights = Vec::with_capacity(n_channels);
     for result in per_channel {
-        let (plan, tracks, height) = result?;
+        let (plan, tracks, height) = result.ok_or(ChannelError::Interrupted)??;
         routed.push(plan);
         channel_tracks.push(tracks);
         channel_heights.push(height);

@@ -49,6 +49,10 @@ pub enum ChannelError {
         /// Budget.
         budget: usize,
     },
+    /// The ambient `ocr-exec` run control tripped while channels were
+    /// being routed and the stage was abandoned: channel heights drive
+    /// the die expansion, so a partial channel set is unusable.
+    Interrupted,
 }
 
 impl fmt::Display for ChannelError {
@@ -85,6 +89,7 @@ impl fmt::Display for ChannelError {
             ChannelError::TrackBudgetExceeded { budget } => {
                 write!(f, "greedy router exceeded track budget {budget}")
             }
+            ChannelError::Interrupted => f.write_str("channel routing interrupted by run control"),
         }
     }
 }

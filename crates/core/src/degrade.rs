@@ -38,6 +38,13 @@ pub enum DegradeReason {
         /// The panic payload's message.
         message: String,
     },
+    /// The run's deterministic step budget was exhausted before this
+    /// net's turn came; the run stopped at a clean net boundary and the
+    /// net was never attempted (or its attempt was rolled back).
+    BudgetExceeded,
+    /// The run was cancelled — programmatically or by a wall-clock
+    /// deadline — before this net's turn came.
+    Cancelled,
 }
 
 impl fmt::Display for DegradeReason {
@@ -49,6 +56,8 @@ impl fmt::Display for DegradeReason {
             DegradeReason::TerminalOffGrid => f.write_str("terminal-off-grid"),
             DegradeReason::TerminalConflict => f.write_str("terminal-conflict"),
             DegradeReason::Poisoned { message } => write!(f, "poisoned: {message}"),
+            DegradeReason::BudgetExceeded => f.write_str("budget-exceeded"),
+            DegradeReason::Cancelled => f.write_str("cancelled"),
         }
     }
 }

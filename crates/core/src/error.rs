@@ -37,6 +37,15 @@ pub enum RouteError {
     /// [`crate::partition::partition_nets_area_budget`] (the flows do
     /// this automatically).
     PartitionNeedsPlacement,
+    /// The run's [`ocr_exec::RunControl`] tripped (budget, deadline or
+    /// cancellation) inside a routing step. Internal to the run-control
+    /// machinery: `route_all` catches it at the net boundary, rolls the
+    /// attempt back and degrades the remaining nets, so callers only
+    /// see it if they drive the per-net internals directly.
+    Interrupted,
+    /// A checkpoint could not be written, or a resume file's contents
+    /// are inconsistent with the run being resumed.
+    Checkpoint(String),
 }
 
 impl fmt::Display for RouteError {
@@ -54,6 +63,8 @@ impl fmt::Display for RouteError {
             RouteError::PartitionNeedsPlacement => f.write_str(
                 "AreaBudget partitioning needs a placement: use partition_nets_area_budget",
             ),
+            RouteError::Interrupted => f.write_str("routing interrupted by run control"),
+            RouteError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

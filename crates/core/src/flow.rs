@@ -26,8 +26,9 @@
 //! Options shared by all flows (the independent oracle and its
 //! strictness) live in [`FlowOptions`] rather than per-flow fields.
 
+use crate::ckpt::RunSession;
 use crate::config::LevelBConfig;
-use crate::degrade::Degradation;
+use crate::degrade::{Degradation, DegradeReason};
 use crate::error::RouteError;
 use crate::level_b::LevelBRouter;
 use crate::partition::{partition_nets, PartitionStrategy};
@@ -35,7 +36,9 @@ use crate::stats::RoutingStats;
 use ocr_channel::{
     ChannelFrame, ChannelRouterKind, ChipChannelOptions, ChipChannelResult, MultilayerOptions,
 };
+use ocr_exec::TripReason;
 use ocr_geom::Coord;
+use ocr_io::ckpt::{write_checkpoint, CheckpointDoc};
 use ocr_netlist::{Layout, NetId, RouteMetrics, RoutedDesign, RowPlacement};
 use ocr_verify::{VerifyOptions, VerifyReport};
 use std::fmt;
@@ -154,6 +157,27 @@ pub trait Flow: Send + Sync {
     /// Propagates the flow's routing errors (channel failures, Level B
     /// setup errors).
     fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError>;
+
+    /// Runs the flow under a [`RunSession`]: the session's
+    /// [`RunControl`](ocr_exec::RunControl) is installed as the ambient
+    /// control for the whole run (cancellation, step budget, deadline),
+    /// checkpoints are written when the session asks for them, and a
+    /// checkpointed resume is honored by the stages that support it
+    /// (Level B). A run whose control trips returns `Ok` with every
+    /// unfinished net declared failed and reported in
+    /// [`FlowResult::degradation`] — never a partial, silent result.
+    ///
+    /// # Errors
+    ///
+    /// The same routing errors as [`Flow::run`], plus
+    /// [`RouteError::Checkpoint`] when a checkpoint cannot be written or
+    /// the resume state is inconsistent with this run.
+    fn run_controlled(
+        &self,
+        layout: &Layout,
+        placement: &RowPlacement,
+        session: &RunSession,
+    ) -> Result<FlowResult, RouteError>;
 }
 
 /// The four flow implementations by name, for generic dispatch from
@@ -310,6 +334,120 @@ fn assemble_result(
     }
 }
 
+/// Writes a header-only checkpoint (flow, chip hash, salvage, steps —
+/// no Level B progress) if the session asks for checkpoints. Channel
+/// flows and runs interrupted before Level B have no per-net progress
+/// worth recording, but the file still lets `--resume` re-run them
+/// coherently (a fresh resume is simply a full rerun).
+fn write_header_checkpoint(
+    layout: &Layout,
+    options: FlowOptions,
+    session: &RunSession,
+) -> Result<(), RouteError> {
+    let Some(spec) = &session.checkpoint else {
+        return Ok(());
+    };
+    let _span = ocr_obs::span("ckpt.write");
+    let doc = CheckpointDoc {
+        flow: spec.flow.clone(),
+        chip_hash: spec.chip_hash,
+        salvage: options.salvage,
+        steps: session.control.steps(),
+        ..CheckpointDoc::default()
+    };
+    std::fs::write(&spec.path, write_checkpoint(layout, &doc))
+        .map_err(|e| RouteError::Checkpoint(format!("cannot write {}: {e}", spec.path.display())))
+}
+
+/// The result of a flow run whose control tripped before any wiring was
+/// committed: every net declared failed with the trip's degradation
+/// reason, an exhaustive report attached, and (trivially) an
+/// oracle-clean design. Built over the *original* layout — the stage
+/// that would have fixed the final topology never completed.
+fn interrupted_result(
+    layout: &Layout,
+    placement: &RowPlacement,
+    options: FlowOptions,
+    session: &RunSession,
+) -> Result<FlowResult, RouteError> {
+    let reason = match session.control.tripped() {
+        Some(TripReason::BudgetExceeded) => DegradeReason::BudgetExceeded,
+        _ => DegradeReason::Cancelled,
+    };
+    ocr_obs::count("run.cancelled", 1);
+    let mut design = RoutedDesign::new(layout.die, layout.nets.len());
+    let mut degradation = Degradation::default();
+    for net in layout.net_ids() {
+        design.set_failed(net);
+        degradation.push(net, reason.clone());
+    }
+    write_header_checkpoint(layout, options, session)?;
+    let metrics = RouteMetrics::of(&design, layout);
+    let verify = maybe_verify(options, layout, &design);
+    Ok(FlowResult {
+        design,
+        layout: layout.clone(),
+        placement: placement.clone(),
+        metrics,
+        stats: None,
+        channel_tracks: Vec::new(),
+        channel_heights: Vec::new(),
+        level_a_nets: Vec::new(),
+        level_b_nets: Vec::new(),
+        verify,
+        telemetry: None,
+        degradation: Some(degradation),
+    })
+}
+
+/// The shared body of the three channel-only flows: partition everything
+/// into set A, route the chip channels with the flow's options, and
+/// assemble. Under a session, a pre-tripped control or an interrupted
+/// channel stage produces the all-failed [`interrupted_result`], and a
+/// completed run leaves a header-only checkpoint behind.
+fn run_channel_flow(
+    options: FlowOptions,
+    layout: &Layout,
+    placement: &RowPlacement,
+    opts: ChipChannelOptions,
+    session: Option<&RunSession>,
+) -> Result<FlowResult, RouteError> {
+    if let Some(s) = session {
+        if s.control.is_tripped() {
+            return interrupted_result(layout, placement, options, s);
+        }
+    }
+    let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA)?;
+    let a = {
+        let _span = ocr_obs::span("flow.channels");
+        match ocr_channel::route_chip_channels(layout, placement, &set_a, opts) {
+            Ok(a) => a,
+            Err(ocr_channel::ChannelError::Interrupted) if session.is_some() => {
+                return interrupted_result(
+                    layout,
+                    placement,
+                    options,
+                    session.expect("guarded by the match arm"),
+                );
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    if let Some(s) = session {
+        write_header_checkpoint(layout, options, s)?;
+    }
+    // Channel-only flows have no Level B stage to degrade, so a
+    // salvage run reports an empty (complete) degradation.
+    Ok(assemble_result(
+        a,
+        set_a,
+        Vec::new(),
+        None,
+        options,
+        options.salvage.then(Degradation::default),
+    ))
+}
+
 /// The proposed two-level flow.
 #[derive(Clone, Debug)]
 pub struct OverCellFlow {
@@ -343,14 +481,39 @@ impl OverCellFlow {
     /// Individual Level B net failures are recorded in the design, not
     /// returned.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
-        run_with_telemetry(self.options, || self.run_inner(layout, placement))
+        run_with_telemetry(self.options, || self.run_inner(layout, placement, None))
+    }
+
+    /// [`OverCellFlow::run`] under a [`RunSession`] — see
+    /// [`Flow::run_controlled`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OverCellFlow::run`], plus [`RouteError::Checkpoint`].
+    pub fn run_controlled(
+        &self,
+        layout: &Layout,
+        placement: &RowPlacement,
+        session: &RunSession,
+    ) -> Result<FlowResult, RouteError> {
+        run_with_telemetry(self.options, || {
+            ocr_exec::with_control(&session.control, || {
+                self.run_inner(layout, placement, Some(session))
+            })
+        })
     }
 
     fn run_inner(
         &self,
         layout: &Layout,
         placement: &RowPlacement,
+        session: Option<&RunSession>,
     ) -> Result<FlowResult, RouteError> {
+        if let Some(s) = session {
+            if s.control.is_tripped() {
+                return interrupted_result(layout, placement, self.options, s);
+            }
+        }
         let (set_a, set_b) = {
             let _span = ocr_obs::span("flow.partition");
             match &self.partition {
@@ -370,10 +533,23 @@ impl OverCellFlow {
                 other => partition_nets(layout, other)?,
             }
         };
-        // Level A: channels on metal1/metal2; fixes the topology.
+        // Level A: channels on metal1/metal2; fixes the topology. A
+        // tripped control abandons the whole stage (partial channel
+        // heights are unusable), so the run degrades to all-failed.
         let mut a = {
             let _span = ocr_obs::span("flow.level_a");
-            ocr_channel::route_chip_channels(layout, placement, &set_a, self.level_a)?
+            match ocr_channel::route_chip_channels(layout, placement, &set_a, self.level_a) {
+                Ok(a) => a,
+                Err(ocr_channel::ChannelError::Interrupted) if session.is_some() => {
+                    return interrupted_result(
+                        layout,
+                        placement,
+                        self.options,
+                        session.expect("guarded by the match arm"),
+                    );
+                }
+                Err(e) => return Err(e.into()),
+            }
         };
         // Level B: over the entire (expanded) layout area.
         let mut level_b = self.level_b.clone();
@@ -382,9 +558,12 @@ impl OverCellFlow {
         let b = {
             let _span = ocr_obs::span("flow.level_b");
             let mut router = LevelBRouter::new(&a.expanded, &set_b, level_b)?;
-            router.route_all()?
+            router.route_all_with(session)?
         };
-        let degradation = salvage.then_some(b.degraded);
+        // A tripped run always reports its degradation, salvage or not —
+        // budget/cancel trips must never look like a complete result.
+        let tripped = session.is_some_and(|s| s.control.is_tripped());
+        let degradation = (salvage || tripped).then_some(b.degraded);
         a.design.merge(b.design);
         Ok(assemble_result(
             a,
@@ -409,6 +588,15 @@ impl Flow for OverCellFlow {
     fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         OverCellFlow::run(self, layout, placement)
     }
+
+    fn run_controlled(
+        &self,
+        layout: &Layout,
+        placement: &RowPlacement,
+        session: &RunSession,
+    ) -> Result<FlowResult, RouteError> {
+        OverCellFlow::run_controlled(self, layout, placement, session)
+    }
 }
 
 /// The two-layer all-channel baseline flow.
@@ -421,6 +609,14 @@ pub struct TwoLayerChannelFlow {
 }
 
 impl TwoLayerChannelFlow {
+    fn channel_opts(&self) -> ChipChannelOptions {
+        let mut opts = self.channel;
+        if let ChannelRouterKind::FourLayer(_) = opts.router {
+            opts.router = ChannelRouterKind::TwoLayer(Default::default());
+        }
+        opts
+    }
+
     /// Runs the baseline on a layout and placement.
     ///
     /// # Errors
@@ -428,25 +624,32 @@ impl TwoLayerChannelFlow {
     /// Propagates channel routing errors.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         run_with_telemetry(self.options, || {
-            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA)?;
-            let mut opts = self.channel;
-            if let ChannelRouterKind::FourLayer(_) = opts.router {
-                opts.router = ChannelRouterKind::TwoLayer(Default::default());
-            }
-            let a = {
-                let _span = ocr_obs::span("flow.channels");
-                ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?
-            };
-            // Channel-only flows have no Level B stage to degrade, so a
-            // salvage run reports an empty (complete) degradation.
-            Ok(assemble_result(
-                a,
-                set_a,
-                Vec::new(),
-                None,
-                self.options,
-                self.options.salvage.then(Degradation::default),
-            ))
+            run_channel_flow(self.options, layout, placement, self.channel_opts(), None)
+        })
+    }
+
+    /// [`TwoLayerChannelFlow::run`] under a [`RunSession`] — see
+    /// [`Flow::run_controlled`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TwoLayerChannelFlow::run`], plus [`RouteError::Checkpoint`].
+    pub fn run_controlled(
+        &self,
+        layout: &Layout,
+        placement: &RowPlacement,
+        session: &RunSession,
+    ) -> Result<FlowResult, RouteError> {
+        run_with_telemetry(self.options, || {
+            ocr_exec::with_control(&session.control, || {
+                run_channel_flow(
+                    self.options,
+                    layout,
+                    placement,
+                    self.channel_opts(),
+                    Some(session),
+                )
+            })
         })
     }
 }
@@ -462,6 +665,15 @@ impl Flow for TwoLayerChannelFlow {
 
     fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         TwoLayerChannelFlow::run(self, layout, placement)
+    }
+
+    fn run_controlled(
+        &self,
+        layout: &Layout,
+        placement: &RowPlacement,
+        session: &RunSession,
+    ) -> Result<FlowResult, RouteError> {
+        TwoLayerChannelFlow::run_controlled(self, layout, placement, session)
     }
 }
 
@@ -479,6 +691,13 @@ pub struct ThreeLayerChannelFlow {
 }
 
 impl ThreeLayerChannelFlow {
+    fn channel_opts(&self) -> ChipChannelOptions {
+        ChipChannelOptions {
+            router: ChannelRouterKind::ThreeLayer(self.lea),
+            pitch: self.pitch,
+        }
+    }
+
     /// Runs the comparator on a layout and placement.
     ///
     /// # Errors
@@ -486,25 +705,33 @@ impl ThreeLayerChannelFlow {
     /// Propagates channel routing errors.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         run_with_telemetry(self.options, || {
-            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA)?;
-            let opts = ChipChannelOptions {
-                router: ChannelRouterKind::ThreeLayer(self.lea),
-                pitch: self.pitch,
-            };
-            let a = {
-                let _span = ocr_obs::span("flow.channels");
-                ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?
-            };
-            // Channel-only flows have no Level B stage to degrade, so a
-            // salvage run reports an empty (complete) degradation.
-            Ok(assemble_result(
-                a,
-                set_a,
-                Vec::new(),
-                None,
-                self.options,
-                self.options.salvage.then(Degradation::default),
-            ))
+            run_channel_flow(self.options, layout, placement, self.channel_opts(), None)
+        })
+    }
+
+    /// [`ThreeLayerChannelFlow::run`] under a [`RunSession`] — see
+    /// [`Flow::run_controlled`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ThreeLayerChannelFlow::run`], plus
+    /// [`RouteError::Checkpoint`].
+    pub fn run_controlled(
+        &self,
+        layout: &Layout,
+        placement: &RowPlacement,
+        session: &RunSession,
+    ) -> Result<FlowResult, RouteError> {
+        run_with_telemetry(self.options, || {
+            ocr_exec::with_control(&session.control, || {
+                run_channel_flow(
+                    self.options,
+                    layout,
+                    placement,
+                    self.channel_opts(),
+                    Some(session),
+                )
+            })
         })
     }
 }
@@ -521,6 +748,15 @@ impl Flow for ThreeLayerChannelFlow {
     fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         ThreeLayerChannelFlow::run(self, layout, placement)
     }
+
+    fn run_controlled(
+        &self,
+        layout: &Layout,
+        placement: &RowPlacement,
+        session: &RunSession,
+    ) -> Result<FlowResult, RouteError> {
+        ThreeLayerChannelFlow::run_controlled(self, layout, placement, session)
+    }
 }
 
 /// The four-layer all-channel comparator flow.
@@ -535,6 +771,13 @@ pub struct FourLayerChannelFlow {
 }
 
 impl FourLayerChannelFlow {
+    fn channel_opts(&self) -> ChipChannelOptions {
+        ChipChannelOptions {
+            router: ChannelRouterKind::FourLayer(self.multilayer),
+            pitch: self.pitch,
+        }
+    }
+
     /// Runs the comparator on a layout and placement.
     ///
     /// # Errors
@@ -542,25 +785,33 @@ impl FourLayerChannelFlow {
     /// Propagates channel routing errors.
     pub fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         run_with_telemetry(self.options, || {
-            let (set_a, _) = partition_nets(layout, &PartitionStrategy::AllA)?;
-            let opts = ChipChannelOptions {
-                router: ChannelRouterKind::FourLayer(self.multilayer),
-                pitch: self.pitch,
-            };
-            let a = {
-                let _span = ocr_obs::span("flow.channels");
-                ocr_channel::route_chip_channels(layout, placement, &set_a, opts)?
-            };
-            // Channel-only flows have no Level B stage to degrade, so a
-            // salvage run reports an empty (complete) degradation.
-            Ok(assemble_result(
-                a,
-                set_a,
-                Vec::new(),
-                None,
-                self.options,
-                self.options.salvage.then(Degradation::default),
-            ))
+            run_channel_flow(self.options, layout, placement, self.channel_opts(), None)
+        })
+    }
+
+    /// [`FourLayerChannelFlow::run`] under a [`RunSession`] — see
+    /// [`Flow::run_controlled`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FourLayerChannelFlow::run`], plus
+    /// [`RouteError::Checkpoint`].
+    pub fn run_controlled(
+        &self,
+        layout: &Layout,
+        placement: &RowPlacement,
+        session: &RunSession,
+    ) -> Result<FlowResult, RouteError> {
+        run_with_telemetry(self.options, || {
+            ocr_exec::with_control(&session.control, || {
+                run_channel_flow(
+                    self.options,
+                    layout,
+                    placement,
+                    self.channel_opts(),
+                    Some(session),
+                )
+            })
         })
     }
 }
@@ -576,6 +827,15 @@ impl Flow for FourLayerChannelFlow {
 
     fn run(&self, layout: &Layout, placement: &RowPlacement) -> Result<FlowResult, RouteError> {
         FourLayerChannelFlow::run(self, layout, placement)
+    }
+
+    fn run_controlled(
+        &self,
+        layout: &Layout,
+        placement: &RowPlacement,
+        session: &RunSession,
+    ) -> Result<FlowResult, RouteError> {
+        FourLayerChannelFlow::run_controlled(self, layout, placement, session)
     }
 }
 

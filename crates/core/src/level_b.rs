@@ -9,6 +9,7 @@
 //! nets are decomposed by the Prim-based Steiner heuristic of
 //! [`crate::steiner`].
 
+use crate::ckpt::{reason_token, stats_to_pairs, CheckpointSpec, LevelBResume, RunSession};
 use crate::config::LevelBConfig;
 use crate::cost::CostEvaluator;
 use crate::degrade::{Degradation, DegradeReason, NetDegradation};
@@ -18,8 +19,10 @@ use crate::pst::{select_best_path, CandidatePath};
 use crate::stats::RoutingStats;
 use crate::steiner::SteinerAccumulator;
 use crate::tig::Tig;
+use ocr_exec::{RunControl, TripReason};
 use ocr_geom::{Dir, Layer, Point};
 use ocr_grid::{CellState, GridBuilder, GridModel};
+use ocr_io::ckpt::{write_checkpoint, CheckpointDoc};
 use ocr_netlist::{Layout, NetId, NetRoute, RouteSeg, RoutedDesign, Via};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -31,9 +34,12 @@ pub struct LevelBResult {
     pub design: RoutedDesign,
     /// Collected counters.
     pub stats: RoutingStats,
-    /// Per-net degradation reasons. Empty unless
-    /// [`LevelBConfig::salvage`] recorded failures; in salvage mode it
-    /// mirrors the design's `failed` list exactly.
+    /// Per-net degradation reasons — one entry per net in the design's
+    /// `failed` list (the exhaustiveness invariant), whether or not
+    /// [`LevelBConfig::salvage`] was on. Non-salvage runs still abort on
+    /// setup rejections and internal errors, so their reasons are the
+    /// mid-run kinds (`Unroutable`, `Degenerate`, `DoomedTerminal`) plus
+    /// the run-control kinds (`BudgetExceeded`, `Cancelled`).
     pub degraded: Degradation,
 }
 
@@ -67,6 +73,9 @@ pub struct LevelBRouter<'a> {
     /// conflicting terminals); `route_all` declares them failed with
     /// their reasons instead of routing them.
     pre_degraded: Vec<NetDegradation>,
+    /// The run control of the active `route_all_with` call, consulted by
+    /// the search internals to charge deterministic steps.
+    control: Option<RunControl>,
     stats: RoutingStats,
 }
 
@@ -168,6 +177,7 @@ impl<'a> LevelBRouter<'a> {
             rip_exclusions: std::collections::HashMap::new(),
             doomed_nets,
             pre_degraded,
+            control: None,
             stats: RoutingStats {
                 doomed_terminals,
                 ..RoutingStats::default()
@@ -197,6 +207,39 @@ impl<'a> LevelBRouter<'a> {
     /// going and the result's [`LevelBResult::degraded`] report mirrors
     /// the failed list exactly.
     pub fn route_all(&mut self) -> Result<LevelBResult, RouteError> {
+        self.route_all_with(None)
+    }
+
+    /// [`LevelBRouter::route_all`] under an optional [`RunSession`].
+    ///
+    /// With a session, the run charges one deterministic step per
+    /// search-window attempt and one per rip-up against the session's
+    /// [`RunControl`], and polls it at every net-commit boundary. When
+    /// the control trips, the in-flight net's attempt is rolled back
+    /// (wiring *and* counters), it returns to the front of the queue,
+    /// and every net still queued is degraded with
+    /// [`DegradeReason::BudgetExceeded`] or [`DegradeReason::Cancelled`]
+    /// — the committed subset stays oracle-clean and the report stays
+    /// exhaustive.
+    ///
+    /// With [`RunSession::checkpoint`] set, progress is written to the
+    /// checkpoint file every [`CheckpointSpec::every`] net commits and
+    /// once more when the loop ends — *before* the remaining nets are
+    /// degraded, so the final checkpoint of a tripped run still lists
+    /// them as pending and a resume re-attempts them. Checkpoint write
+    /// failures are returned as [`RouteError::Checkpoint`] even in
+    /// salvage mode. With [`RunSession::resume`] set (and not
+    /// [fresh](LevelBResume::is_fresh)), the router seeds itself from
+    /// the checkpointed progress instead of starting from the net
+    /// ordering, which makes an interrupted-and-resumed run
+    /// byte-identical to an uninterrupted one.
+    pub fn route_all_with(
+        &mut self,
+        session: Option<&RunSession>,
+    ) -> Result<LevelBResult, RouteError> {
+        self.control = session.map(|s| s.control.clone());
+        let control = self.control.clone();
+        let steps_before = control.as_ref().map_or(0, |c| c.steps());
         // Declare the rip-up counters up front so telemetry exports
         // always carry them, even for runs that never rip.
         for name in [
@@ -209,21 +252,52 @@ impl<'a> LevelBRouter<'a> {
         ] {
             ocr_obs::count(name, 0);
         }
-        let order = {
-            let _span = ocr_obs::span("level_b.order");
-            self.config.ordering.clone().order(self.layout, &self.nets)
-        };
+        if control.is_some() {
+            ocr_obs::count("run.steps", 0);
+            ocr_obs::count("run.cancelled", 0);
+        }
         let mut design = RoutedDesign::new(self.layout.die, self.layout.nets.len());
         let mut degraded = Degradation::default();
         for d in std::mem::take(&mut self.pre_degraded) {
             design.set_failed(d.net);
             degraded.nets.push(d);
         }
-        let mut queue: std::collections::VecDeque<NetId> =
-            order.into_iter().filter(|&n| !degraded.covers(n)).collect();
-        let mut rips_left = self.config.rip_up_budget;
-        let mut retries: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let resume = session
+            .and_then(|s| s.resume.as_ref())
+            .filter(|r| !r.is_fresh());
+        let mut queue: std::collections::VecDeque<NetId>;
+        let mut rips_left;
+        let mut retries: std::collections::HashMap<u32, usize>;
+        if let Some(resume) = resume {
+            let _span = ocr_obs::span("ckpt.load");
+            self.seed_from_resume(resume, &mut design, &mut degraded)?;
+            // The pending queue is restored verbatim (an interrupted
+            // net sits at the front), not recomputed from the ordering:
+            // rip-up reshuffles the queue as a run progresses, so only
+            // the checkpointed order reproduces the uninterrupted run.
+            queue = resume.pending.iter().copied().collect();
+            rips_left = resume.rips_left;
+            retries = resume.retries.iter().copied().collect();
+        } else {
+            let order = {
+                let _span = ocr_obs::span("level_b.order");
+                self.config.ordering.clone().order(self.layout, &self.nets)
+            };
+            queue = order.into_iter().filter(|&n| !degraded.covers(n)).collect();
+            rips_left = self.config.rip_up_budget;
+            retries = std::collections::HashMap::new();
+        }
+        let mut commits = 0usize;
         while let Some(net) = queue.pop_front() {
+            // Net-commit boundary: a tripped control stops the run here
+            // with the queue intact (this net included).
+            if control.as_ref().is_some_and(|c| c.is_tripped()) {
+                queue.push_front(net);
+                break;
+            }
+            // Snapshot the counters so an interrupted attempt can be
+            // rolled back without double-counting on resume.
+            let snapshot = self.stats;
             let outcome = if self.config.salvage {
                 // Isolate per-net panics (injected faults or real bugs):
                 // scrub the net's partial wiring off the grid, declare
@@ -258,6 +332,24 @@ impl<'a> LevelBRouter<'a> {
                         ocr_obs::count("level_b.exclusions_cleared", 1);
                     }
                     design.set_route(net, route);
+                    commits += 1;
+                    if let Some(spec) = session.and_then(|s| s.checkpoint.as_ref()) {
+                        if commits.is_multiple_of(spec.every.max(1)) {
+                            self.write_checkpoint_file(
+                                spec, &design, &degraded, &queue, rips_left, &retries,
+                            )?;
+                        }
+                    }
+                }
+                Err(RouteError::Interrupted) => {
+                    // The attempt already rolled its wiring off the
+                    // grid; roll its counters back too, return the net
+                    // to the front of the queue and stop. A resume will
+                    // re-run the attempt from scratch, charging and
+                    // counting it exactly as the uninterrupted run did.
+                    self.stats = snapshot;
+                    queue.push_front(net);
+                    break;
                 }
                 Err(err @ (RouteError::Unroutable { .. } | RouteError::DegenerateNet(_))) => {
                     let blockers = std::mem::take(&mut self.last_blockers);
@@ -267,6 +359,12 @@ impl<'a> LevelBRouter<'a> {
                         .collect();
                     let tries = retries.entry(net.0).or_insert(0);
                     if rips_left > 0 && *tries < 4 && !rippable.is_empty() {
+                        // One deterministic step per rip-up decision.
+                        if control.as_ref().is_some_and(|c| c.charge(1).is_some()) {
+                            self.stats = snapshot;
+                            queue.push_front(net);
+                            break;
+                        }
                         let _span = ocr_obs::span("level_b.rip");
                         *tries += 1;
                         ocr_obs::count("level_b.retries", 1);
@@ -281,16 +379,12 @@ impl<'a> LevelBRouter<'a> {
                         }
                         queue.push_front(net);
                     } else {
-                        if self.config.salvage {
-                            let reason = match err {
-                                RouteError::DegenerateNet(_) => DegradeReason::Degenerate,
-                                _ if self.doomed_nets.contains(&net.0) => {
-                                    DegradeReason::DoomedTerminal
-                                }
-                                _ => DegradeReason::Unroutable,
-                            };
-                            degraded.push(net, reason);
-                        }
+                        let reason = match err {
+                            RouteError::DegenerateNet(_) => DegradeReason::Degenerate,
+                            _ if self.doomed_nets.contains(&net.0) => DegradeReason::DoomedTerminal,
+                            _ => DegradeReason::Unroutable,
+                        };
+                        degraded.push(net, reason);
                         design.set_failed(net);
                     }
                 }
@@ -310,6 +404,26 @@ impl<'a> LevelBRouter<'a> {
                 }
             }
         }
+        // The final checkpoint goes out *before* the remaining nets are
+        // degraded, so a tripped run's checkpoint still lists them as
+        // pending and a resume re-attempts them.
+        if let Some(spec) = session.and_then(|s| s.checkpoint.as_ref()) {
+            self.write_checkpoint_file(spec, &design, &degraded, &queue, rips_left, &retries)?;
+        }
+        if let Some(reason) = control.as_ref().and_then(|c| c.tripped()) {
+            let degrade = match reason {
+                TripReason::BudgetExceeded => DegradeReason::BudgetExceeded,
+                TripReason::Cancelled | TripReason::DeadlineExceeded => DegradeReason::Cancelled,
+            };
+            ocr_obs::count("run.cancelled", 1);
+            while let Some(net) = queue.pop_front() {
+                degraded.push(net, degrade.clone());
+                design.set_failed(net);
+            }
+        }
+        if let Some(c) = &control {
+            ocr_obs::count("run.steps", c.steps() - steps_before);
+        }
         self.stats.nets_routed = self
             .nets
             .iter()
@@ -321,6 +435,164 @@ impl<'a> LevelBRouter<'a> {
             design,
             stats: self.stats,
             degraded,
+        })
+    }
+
+    /// Seeds the router from checkpointed progress: validates that the
+    /// checkpoint covers exactly this run's Level B net set, replays the
+    /// committed wiring onto the grid, and restores the degradation and
+    /// rip-up bookkeeping wholesale.
+    fn seed_from_resume(
+        &mut self,
+        resume: &LevelBResume,
+        design: &mut RoutedDesign,
+        degraded: &mut Degradation,
+    ) -> Result<(), RouteError> {
+        // Every net of this Level B set must be accounted for exactly
+        // once across routed/failed/pending. The checkpoint parser
+        // already rejected double declarations within the file, so set
+        // equality is the whole check.
+        let declared: std::collections::HashSet<u32> = resume
+            .routed
+            .iter()
+            .map(|(n, _)| n.0)
+            .chain(resume.failed.iter().map(|(n, _)| n.0))
+            .chain(resume.pending.iter().map(|n| n.0))
+            .collect();
+        let ours: std::collections::HashSet<u32> = self.nets.iter().map(|n| n.0).collect();
+        if declared != ours {
+            return Err(RouteError::Checkpoint(format!(
+                "checkpoint covers {} nets but this run's Level B set has {} \
+                 (the sets differ — was the checkpoint written for another chip or flow?)",
+                declared.len(),
+                ours.len()
+            )));
+        }
+        for &(net, (i, j)) in &resume.unrouted {
+            if i >= self.grid.nv() || j >= self.grid.nh() {
+                return Err(RouteError::Checkpoint(format!(
+                    "unrouted cell ({i}, {j}) of {net} is outside the {}x{} grid",
+                    self.grid.nv(),
+                    self.grid.nh()
+                )));
+            }
+        }
+        for (net, route) in &resume.routed {
+            if degraded.covers(*net) {
+                return Err(RouteError::Checkpoint(format!(
+                    "{net} is routed in the checkpoint but rejected at grid build time"
+                )));
+            }
+            self.replay_route(*net, route);
+            design.set_route(*net, route.clone());
+        }
+        for (net, reason) in &resume.failed {
+            // Setup rejections were already re-recorded by the fresh
+            // grid build; `push` keeps the first reason, so this only
+            // adds the mid-run failures (in their checkpointed order).
+            degraded.push(*net, reason.clone());
+            design.set_failed(*net);
+        }
+        // Restored verbatim: the floating-point duplication-cost sum
+        // follows this list's order, so reordering it would change
+        // routing decisions versus the uninterrupted run.
+        self.unrouted_cells = resume.unrouted.iter().map(|&(n, c)| (n, c)).collect();
+        self.rip_exclusions = resume
+            .exclusions
+            .iter()
+            .map(|(n, v)| (*n, v.clone()))
+            .collect();
+        self.stats = resume.stats;
+        Ok(())
+    }
+
+    /// Re-applies a checkpointed route's grid occupancy exactly as
+    /// [`LevelBRouter::commit_path`] produced it: segments occupy their
+    /// runs on the plane their layer names, and metal3–metal4 vias
+    /// (corners and attachment ties) occupy both planes at their cell.
+    /// Terminal via stacks (lower layer below metal3) never touched
+    /// grid state, so they are skipped.
+    fn replay_route(&mut self, net: NetId, route: &NetRoute) {
+        for seg in &route.segs {
+            let (Some(a), Some(b)) = (self.grid.snap(seg.a()), self.grid.snap(seg.b())) else {
+                continue;
+            };
+            match seg.dir() {
+                Dir::Horizontal => self.grid.occupy_run(Dir::Horizontal, a.1, a.0, b.0, net.0),
+                Dir::Vertical => self.grid.occupy_run(Dir::Vertical, a.0, a.1, b.1, net.0),
+            }
+        }
+        for via in &route.vias {
+            if via.lower != Layer::Metal3 || via.upper != Layer::Metal4 {
+                continue;
+            }
+            if let Some((i, j)) = self.grid.snap(via.at) {
+                self.grid
+                    .set_state(Dir::Horizontal, i, j, CellState::Used(net.0));
+                self.grid
+                    .set_state(Dir::Vertical, i, j, CellState::Used(net.0));
+            }
+        }
+    }
+
+    /// Serializes the run's current state into the checkpoint file named
+    /// by `spec`, overwriting the previous checkpoint.
+    fn write_checkpoint_file(
+        &self,
+        spec: &CheckpointSpec,
+        design: &RoutedDesign,
+        degraded: &Degradation,
+        queue: &std::collections::VecDeque<NetId>,
+        rips_left: usize,
+        retries: &std::collections::HashMap<u32, usize>,
+    ) -> Result<(), RouteError> {
+        let _span = ocr_obs::span("ckpt.write");
+        let routed: Vec<(NetId, NetRoute)> = self
+            .nets
+            .iter()
+            .filter_map(|&n| design.route(n).map(|r| (n, r.clone())))
+            .collect();
+        let failed: Vec<(NetId, String)> = design
+            .failed
+            .iter()
+            .map(|&n| {
+                let reason = degraded.reason(n).unwrap_or(&DegradeReason::Unroutable);
+                (n, reason_token(reason))
+            })
+            .collect();
+        let mut exclusions: Vec<(NetId, Vec<NetId>)> = self
+            .rip_exclusions
+            .iter()
+            .map(|(&n, v)| (NetId(n), v.iter().map(|&x| NetId(x)).collect()))
+            .collect();
+        exclusions.sort_by_key(|(n, _)| n.0);
+        let mut retry_pairs: Vec<(NetId, u64)> = retries
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&n, &c)| (NetId(n), c as u64))
+            .collect();
+        retry_pairs.sort_by_key(|(n, _)| n.0);
+        let doc = CheckpointDoc {
+            flow: spec.flow.clone(),
+            chip_hash: spec.chip_hash,
+            salvage: self.config.salvage,
+            steps: self.control.as_ref().map_or(0, |c| c.steps()),
+            rips_left: rips_left as u64,
+            stats: stats_to_pairs(&self.stats),
+            routed,
+            failed,
+            pending: queue.iter().copied().collect(),
+            unrouted: self
+                .unrouted_cells
+                .iter()
+                .map(|&(n, (i, j))| (n, i, j))
+                .collect(),
+            exclusions,
+            retries: retry_pairs,
+        };
+        let text = write_checkpoint(self.layout, &doc);
+        std::fs::write(&spec.path, text).map_err(|e| {
+            RouteError::Checkpoint(format!("cannot write {}: {e}", spec.path.display()))
         })
     }
 
@@ -653,6 +925,14 @@ impl<'a> LevelBRouter<'a> {
             .map(|n| n.0)
             .collect();
         for attempt in 0..=self.config.max_window_expansions {
+            // One deterministic step per search-window attempt. On a
+            // trip the caller unwinds this net's attempt entirely, so a
+            // resumed run re-attempts (and re-charges) it from scratch.
+            if let Some(c) = &self.control {
+                if c.charge(1).is_some() {
+                    return Err(RouteError::Interrupted);
+                }
+            }
             // Chaos hook: burn a window-expansion attempt as if the
             // search had failed at this margin.
             if ocr_fault::point("level_b.expand") {

@@ -45,6 +45,7 @@
 //! # Ok::<(), ocr_core::error::RouteError>(())
 //! ```
 
+pub mod ckpt;
 pub mod config;
 pub mod cost;
 pub mod degrade;
@@ -59,6 +60,7 @@ pub mod stats;
 pub mod steiner;
 pub mod tig;
 
+pub use ckpt::{resume_from_doc, CheckpointSpec, LevelBResume, RunSession};
 pub use config::LevelBConfig;
 pub use cost::CostWeights;
 pub use degrade::{Degradation, DegradeReason, NetDegradation};

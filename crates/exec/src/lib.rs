@@ -70,10 +70,23 @@
 //! collectors and thread-count overrides, so a fault schedule drawn on
 //! the calling thread reaches fault points inside parallel tasks.
 //!
+//! ## Run control
+//!
+//! The [`control`] module provides [`RunControl`] — a shared cancel
+//! token with an optional deterministic step budget and a best-effort
+//! deadline. An ambient control installed with [`with_control`]
+//! propagates to pool workers like collectors and fault plans, and
+//! [`parallel_map_halting`] regions stop claiming new tasks once it
+//! trips.
+//!
 //! ```
 //! let squares = ocr_exec::parallel_map(&[1i64, 2, 3, 4], |&x| x * x);
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
+
+pub mod control;
+
+pub use control::{current_control, with_control, with_current_control, RunControl, TripReason};
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -86,15 +99,38 @@ thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// The process-wide default worker count: `OCR_THREADS` when set to a
-/// positive integer, otherwise the machine's available parallelism.
+/// Deterministic interpretation of an `OCR_THREADS` value:
+///
+/// * empty or all-whitespace → `None` (machine default) — an unset-like
+///   value, common when scripts export the variable unconditionally;
+/// * `0` → `Some(1)` — an explicit request for a sequential run, never
+///   a silent fall-through to full parallelism;
+/// * a positive integer (surrounding whitespace tolerated) → `Some(n)`;
+/// * anything else (non-numeric, negative, overflowing) → `None`
+///   (machine default).
+///
+/// Never panics; the same input always maps to the same answer.
+fn threads_from_env(raw: &str) -> Option<usize> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Some(1),
+        Ok(n) => Some(n),
+        Err(_) => None,
+    }
+}
+
+/// The process-wide default worker count: `OCR_THREADS` interpreted by
+/// [`threads_from_env`], otherwise the machine's available parallelism.
 fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
         std::env::var("OCR_THREADS")
             .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
+            .as_deref()
+            .and_then(threads_from_env)
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|n| n.get())
@@ -212,12 +248,25 @@ impl Ranges {
 /// Runs `run(i)` for every `i in 0..n` across the pool. Panics from
 /// tasks are re-raised on the caller (lowest item index wins).
 fn run_indexed(n: usize, workers: usize, run: &(impl Fn(usize) + Sync)) {
+    run_indexed_inner(n, workers, false, run);
+}
+
+/// [`run_indexed`], optionally cooperative with the ambient
+/// [`RunControl`]: with `halt_on_trip`, workers poll the control before
+/// claiming each item and stop claiming once it trips, so some items may
+/// never run.
+fn run_indexed_inner(n: usize, workers: usize, halt_on_trip: bool, run: &(impl Fn(usize) + Sync)) {
+    let control = halt_on_trip.then(current_control).flatten();
+    let halted = |c: &Option<RunControl>| c.as_ref().is_some_and(|c| c.is_tripped());
     if n == 0 {
         return;
     }
     let workers = workers.min(n);
     if workers <= 1 {
         for i in 0..n {
+            if halted(&control) {
+                return;
+            }
             run(i);
         }
         return;
@@ -233,45 +282,60 @@ fn run_indexed(n: usize, workers: usize, run: &(impl Fn(usize) + Sync)) {
     // only — it never changes which items run or how results merge.
     // Armed fault plans propagate the same way, so injection reaches
     // fault points inside parallel tasks; with no plan armed this is a
-    // `None` handed to a no-op guard.
+    // `None` handed to a no-op guard. The ambient run control rides
+    // along too: charged steps inside tasks land in the caller's
+    // counter, and halting regions poll the caller's trip flag.
     let obs = ocr_obs::current();
     let fault = ocr_fault::current();
+    let ambient = current_control();
     std::thread::scope(|s| {
         for w in 0..workers {
             let ranges = &ranges;
             let panicked = &panicked;
             let obs = obs.clone();
             let fault = fault.clone();
+            let ambient = ambient.clone();
+            let control = control.clone();
             s.spawn(move || {
                 OVERRIDE.with(|c| c.set(inherit));
                 let active = obs.is_some();
-                ocr_fault::with_current(fault, || {
-                    ocr_obs::with_current(obs, || {
-                        let mut tasks = 0u64;
-                        let mut busy_ns = 0u64;
-                        while let Some(i) = ranges.pop_front(w).or_else(|| ranges.steal(w)) {
-                            if panicked.lock().map(|g| g.is_some()).unwrap_or(true) {
-                                break;
-                            }
-                            let t0 = active.then(std::time::Instant::now);
-                            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
-                                let mut guard = panicked.lock().unwrap_or_else(|e| e.into_inner());
-                                match &*guard {
-                                    Some((j, _)) if *j <= i => {}
-                                    _ => *guard = Some((i, payload)),
+                control::with_current_control(ambient, || {
+                    ocr_fault::with_current(fault, || {
+                        ocr_obs::with_current(obs, || {
+                            let mut tasks = 0u64;
+                            let mut busy_ns = 0u64;
+                            loop {
+                                if halted(&control) {
+                                    break;
+                                }
+                                let Some(i) = ranges.pop_front(w).or_else(|| ranges.steal(w))
+                                else {
+                                    break;
+                                };
+                                if panicked.lock().map(|g| g.is_some()).unwrap_or(true) {
+                                    break;
+                                }
+                                let t0 = active.then(std::time::Instant::now);
+                                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
+                                    let mut guard =
+                                        panicked.lock().unwrap_or_else(|e| e.into_inner());
+                                    match &*guard {
+                                        Some((j, _)) if *j <= i => {}
+                                        _ => *guard = Some((i, payload)),
+                                    }
+                                }
+                                if let Some(t0) = t0 {
+                                    tasks += 1;
+                                    busy_ns += t0.elapsed().as_nanos() as u64;
                                 }
                             }
-                            if let Some(t0) = t0 {
-                                tasks += 1;
-                                busy_ns += t0.elapsed().as_nanos() as u64;
+                            if tasks > 0 {
+                                ocr_obs::count("exec.tasks", tasks);
+                                ocr_obs::count("exec.busy_ns", busy_ns);
+                                ocr_obs::count(format!("exec.w{w}.tasks"), tasks);
+                                ocr_obs::count(format!("exec.w{w}.busy_ns"), busy_ns);
                             }
-                        }
-                        if tasks > 0 {
-                            ocr_obs::count("exec.tasks", tasks);
-                            ocr_obs::count("exec.busy_ns", busy_ns);
-                            ocr_obs::count(format!("exec.w{w}.tasks"), tasks);
-                            ocr_obs::count(format!("exec.w{w}.busy_ns"), busy_ns);
-                        }
+                        });
                     });
                 });
             });
@@ -303,6 +367,28 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -
                 .unwrap_or_else(|e| e.into_inner())
                 .expect("run_indexed visits every item")
         })
+        .collect()
+}
+
+/// Like [`parallel_map`], but cooperative with the ambient
+/// [`RunControl`]: workers poll the control before claiming each item
+/// and stop claiming once it trips, so the returned vector holds `None`
+/// for items that never ran. Results for items that did run are merged
+/// by index as usual. With no ambient control installed — or one that
+/// never trips — every slot is `Some` and the values are identical to
+/// [`parallel_map`]'s, sequentially and in parallel.
+pub fn parallel_map_halting<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<Option<R>> {
+    let n = items.len();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    run_indexed_inner(n, current_threads(), true, &|i| {
+        let r = f(&items[i]);
+        *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
         .collect()
 }
 
@@ -657,5 +743,90 @@ mod tests {
         let empty: Vec<i32> = Vec::new();
         assert!(parallel_map(&empty, |&x| x).is_empty());
         assert_eq!(parallel_map(&[5], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn env_thread_parsing_is_deterministic() {
+        // `0` is an explicit sequential request, never full parallelism.
+        assert_eq!(threads_from_env("0"), Some(1));
+        // Empty and all-whitespace values fall back to the machine
+        // default.
+        assert_eq!(threads_from_env(""), None);
+        assert_eq!(threads_from_env("   "), None);
+        // Non-numeric garbage falls back too, never panics.
+        assert_eq!(threads_from_env("abc"), None);
+        assert_eq!(threads_from_env("-4"), None);
+        assert_eq!(threads_from_env("3x"), None);
+        assert_eq!(threads_from_env("99999999999999999999999999"), None);
+        // Ordinary positive values parse, with surrounding whitespace.
+        assert_eq!(threads_from_env("8"), Some(8));
+        assert_eq!(threads_from_env(" 4 "), Some(4));
+    }
+
+    #[test]
+    fn halting_map_without_a_control_matches_parallel_map() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 4] {
+            let full = with_threads(threads, || parallel_map(&items, |&x| x * 7));
+            let halting = with_threads(threads, || parallel_map_halting(&items, |&x| x * 7));
+            assert_eq!(halting.len(), full.len());
+            assert!(halting
+                .iter()
+                .zip(&full)
+                .all(|(h, f)| h.as_ref() == Some(f)));
+        }
+    }
+
+    #[test]
+    fn halting_map_stops_claiming_after_a_trip() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 4] {
+            // A fresh control per run: the trip flag is sticky.
+            let control = RunControl::new();
+            let out = with_control(&control, || {
+                with_threads(threads, || {
+                    parallel_map_halting(&items, |&i| {
+                        if i == 5 {
+                            current_control()
+                                .expect("workers inherit the control")
+                                .cancel();
+                        }
+                        i
+                    })
+                })
+            });
+            assert!(
+                out.iter().any(|o| o.is_none()),
+                "{threads} thread(s): a cancelled region must leave holes"
+            );
+            assert_eq!(out[5], Some(5), "the cancelling task itself completed");
+            assert_eq!(control.tripped(), Some(TripReason::Cancelled));
+        }
+    }
+
+    #[test]
+    fn plain_map_ignores_a_tripped_control() {
+        // `parallel_map` keeps its visits-every-item contract even under
+        // a tripped ambient control.
+        let control = RunControl::new();
+        control.cancel();
+        let out = with_control(&control, || {
+            with_threads(4, || parallel_map(&(0..32).collect::<Vec<usize>>(), |&i| i))
+        });
+        assert_eq!(out.len(), 32);
+        assert_eq!(out[31], 31);
+    }
+
+    #[test]
+    fn charged_steps_aggregate_across_workers() {
+        let control = RunControl::new();
+        with_control(&control, || {
+            with_threads(4, || {
+                parallel_map(&(0..40).collect::<Vec<usize>>(), |_| {
+                    current_control().expect("inherited").charge(1);
+                })
+            })
+        });
+        assert_eq!(control.steps(), 40);
     }
 }

@@ -41,6 +41,8 @@
 //! # Ok::<(), ocr_io::ParseError>(())
 //! ```
 
+pub mod ckpt;
+
 use ocr_geom::{Coord, Layer, LayerSet, Point, Rect};
 use ocr_netlist::{
     CellId, Layout, NetClass, NetId, NetRoute, Obstacle, RoutedDesign, Row, RowPlacement,

@@ -45,13 +45,38 @@ echo "==> chaos smoke (ocr chaos --seed 1 --trials 8)"
 OCR_THREADS=1 ./target/release/ocr chaos --seed 1 --trials 8 >/dev/null
 ./target/release/ocr chaos --seed 1 --trials 8 >/dev/null
 
+echo "==> run-control smoke (interrupt, checkpoint, resume, compare)"
+# A route interrupted by a tiny step budget and resumed from its
+# checkpoint must be byte-identical to one that was never interrupted —
+# sequentially and on the default pool.
+RC_DIR="$(mktemp -d)"
+./target/release/ocr generate ami33 -o "$RC_DIR/chip.ocr"
+for threads in 1 ""; do (
+    [ -n "$threads" ] && export OCR_THREADS="$threads"
+    ./target/release/ocr route "$RC_DIR/chip.ocr" \
+        --routes "$RC_DIR/full.txt" >/dev/null
+    ./target/release/ocr route "$RC_DIR/chip.ocr" --max-steps 8 \
+        --checkpoint-out "$RC_DIR/ck.txt" \
+        --routes "$RC_DIR/part.txt" >/dev/null
+    ./target/release/ocr route "$RC_DIR/chip.ocr" --resume "$RC_DIR/ck.txt" \
+        --routes "$RC_DIR/resumed.txt" >/dev/null
+    cmp "$RC_DIR/full.txt" "$RC_DIR/resumed.txt"
+    if cmp -s "$RC_DIR/full.txt" "$RC_DIR/part.txt"; then
+        echo "ci: --max-steps 8 did not interrupt the route" >&2
+        exit 1
+    fi
+); done
+rm -rf "$RC_DIR"
+
 echo "==> no panicking macros reachable from external input (crates/io)"
 # The parsers take untrusted text; their non-test code must contain no
 # unwrap/expect/panic!. (Everything before the #[cfg(test)] marker.)
-if sed -n '1,/#\[cfg(test)\]/p' crates/io/src/lib.rs \
-    | grep -n '\.unwrap()\|\.expect(\|panic!('; then
-    echo "ci: panicking macro in crates/io non-test code" >&2
-    exit 1
-fi
+for f in crates/io/src/*.rs; do
+    if sed -n '1,/#\[cfg(test)\]/p' "$f" \
+        | grep -n '\.unwrap()\|\.expect(\|panic!('; then
+        echo "ci: panicking macro in $f non-test code" >&2
+        exit 1
+    fi
+done
 
 echo "==> ci: all green"

@@ -12,9 +12,13 @@
 //! ocr stats <chip.ocr>
 //! ```
 
-use overcell_router::core::{FlowKind, FlowOptions, FlowResult};
+use overcell_router::core::{
+    resume_from_doc, CheckpointSpec, FlowKind, FlowOptions, FlowResult, RunSession,
+};
+use overcell_router::exec::RunControl;
 use overcell_router::fault;
 use overcell_router::gen::{random::small_random, suite, GeneratedChip};
+use overcell_router::io::ckpt::{fnv1a_64, parse_checkpoint};
 use overcell_router::io::{parse_chip, parse_routes, write_chip, write_routes};
 use overcell_router::netlist::{
     validate_routed_design, ChipMetrics, Layout, NetClass, RowPlacement,
@@ -33,11 +37,27 @@ USAGE:
   ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
                        [--svg FILE] [--routes FILE] [--salvage]
                        [--stats] [--stats-json FILE] [--trace-out FILE]
+                       [--max-steps N] [--deadline-ms MS]
+                       [--checkpoint-out FILE [--checkpoint-every N]]
+                       [--resume FILE]
       Route the chip with the selected flow (default: overcell), print
       metrics, optionally write an SVG and the routed geometry.
       --salvage degrades gracefully instead of aborting: Level B setup
       errors and per-net panics fail only the affected net, and the
       result carries a per-net degradation report.
+      --max-steps bounds the run by a deterministic work budget (one
+      step per Level B search-window attempt or rip-up; the same budget
+      trips at the same point at any OCR_THREADS). --deadline-ms adds a
+      best-effort wall-clock limit. A tripped run is not an error: the
+      unfinished nets are declared failed with a typed reason
+      (budget-exceeded / cancelled) and the committed wiring still
+      passes the oracle.
+      --checkpoint-out writes `ocr-ckpt-v1` progress snapshots every
+      --checkpoint-every net commits (default 1) plus a final one;
+      --resume continues from such a file (the flow is taken from the
+      checkpoint unless --flow repeats it, and the chip must be the
+      same). An interrupted run resumed this way produces byte-identical
+      routes to one that was never interrupted.
       Any of --stats/--stats-json/--trace-out turns on ocr-obs
       telemetry (observational only — the routed design is identical
       with it on or off): --stats prints a per-phase timing table,
@@ -296,15 +316,132 @@ impl<'a> TelemetryOut<'a> {
     }
 }
 
+/// Parses the run-control flags of `route` into a [`RunSession`] (plus
+/// the resolved flow, which `--resume` may dictate). Validation of the
+/// resume file against the loaded chip happens here: flow and chip
+/// fingerprint must match before any routing starts.
+fn parse_run_session(
+    flags: &Flags,
+    layout: &Layout,
+    placement: &RowPlacement,
+) -> Result<(FlowKind, RunSession, bool), String> {
+    let max_steps: Option<u64> = flags
+        .value("--max-steps")
+        .map(|s| s.parse().map_err(|e| format!("bad --max-steps: {e}")))
+        .transpose()?;
+    let deadline_ms: Option<u64> = flags
+        .value("--deadline-ms")
+        .map(|s| s.parse().map_err(|e| format!("bad --deadline-ms: {e}")))
+        .transpose()?;
+    let every: usize = flags
+        .value("--checkpoint-every")
+        .map(|s| {
+            s.parse()
+                .map_err(|e| format!("bad --checkpoint-every: {e}"))
+        })
+        .transpose()?
+        .unwrap_or(1);
+    if every == 0 {
+        return Err("route: --checkpoint-every must be at least 1".into());
+    }
+    if flags.value("--checkpoint-every").is_some() && flags.value("--checkpoint-out").is_none() {
+        return Err("route: --checkpoint-every requires --checkpoint-out".into());
+    }
+    let resume = match flags.value("--resume") {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            let doc = parse_checkpoint(layout, &text).map_err(|e| format!("{p}: {e}"))?;
+            Some(resume_from_doc(doc).map_err(|e| format!("{p}: {e}"))?)
+        }
+        None => None,
+    };
+    let kind = match (flags.value("--flow"), &resume) {
+        (Some(name), _) => {
+            let kind = FlowKind::from_name(name).ok_or_else(|| format!("unknown flow `{name}`"))?;
+            if let Some(r) = &resume {
+                if kind.name() != r.flow {
+                    return Err(format!(
+                        "route: --flow {} contradicts the checkpoint's flow `{}`",
+                        kind.name(),
+                        r.flow
+                    ));
+                }
+            }
+            kind
+        }
+        (None, Some(r)) => FlowKind::from_name(&r.flow)
+            .ok_or_else(|| format!("checkpoint names unknown flow `{}`", r.flow))?,
+        (None, None) => FlowKind::OverCell,
+    };
+    let chip_hash = fnv1a_64(&write_chip(layout, placement));
+    if let Some(r) = &resume {
+        if r.chip_hash != chip_hash {
+            return Err(
+                "route: the checkpoint was written for a different chip (fingerprint mismatch)"
+                    .into(),
+            );
+        }
+    }
+    let mut control = RunControl::new();
+    if let Some(budget) = max_steps {
+        control = control.with_step_budget(budget);
+    }
+    if let Some(ms) = deadline_ms {
+        control = control.with_deadline_in(std::time::Duration::from_millis(ms));
+    }
+    if let Some(r) = &resume {
+        // Steps stay cumulative across an interruption, so a resumed
+        // run under the same --max-steps trips immediately; drop or
+        // raise the budget to make progress.
+        control = control.resumed_at(r.steps);
+    }
+    let session = RunSession {
+        control,
+        checkpoint: flags.value("--checkpoint-out").map(|p| CheckpointSpec {
+            path: p.into(),
+            every,
+            flow: kind.name().to_string(),
+            chip_hash,
+        }),
+        resume,
+    };
+    let limited = max_steps.is_some() || deadline_ms.is_some();
+    Ok((kind, session, limited))
+}
+
 fn route(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         "route",
         &args[1..],
-        &["--flow", "--svg", "--routes", "--stats-json", "--trace-out"],
+        &[
+            "--flow",
+            "--svg",
+            "--routes",
+            "--stats-json",
+            "--trace-out",
+            "--max-steps",
+            "--deadline-ms",
+            "--checkpoint-out",
+            "--checkpoint-every",
+            "--resume",
+        ],
         &["--suite", "--stats", "--salvage"],
     )?;
     let telemetry = TelemetryOut::from_flags(&flags);
     if flags.has("--suite") {
+        for f in [
+            "--max-steps",
+            "--deadline-ms",
+            "--checkpoint-out",
+            "--checkpoint-every",
+            "--resume",
+        ] {
+            if flags.value(f).is_some() {
+                return Err(format!(
+                    "route: {f} applies to a single-chip route, not --suite"
+                ));
+            }
+        }
         return route_suite(&flags, &telemetry);
     }
     let path = *flags
@@ -312,13 +449,19 @@ fn route(args: &[String]) -> Result<(), String> {
         .first()
         .ok_or("route: missing chip file")?;
     let (layout, placement) = load(path)?;
-    let kind = parse_flow(&flags)?;
+    let (kind, session, limited) = parse_run_session(&flags, &layout, &placement)?;
     let options = FlowOptions {
         telemetry: telemetry.wanted(),
-        salvage: flags.has("--salvage"),
+        // A checkpointed salvage run resumes as a salvage run even if
+        // --salvage is not repeated on the resume command line.
+        salvage: flags.has("--salvage") || session.resume.as_ref().is_some_and(|r| r.salvage),
         ..FlowOptions::default()
     };
-    let result = run_flow(kind, options, &layout, &placement)?;
+    let result = kind
+        .build_with(options)
+        .run_controlled(&layout, &placement, &session)
+        .map_err(|e| e.to_string())?;
+    let tripped = session.control.tripped();
     let errors = validate_routed_design(&result.layout, &result.design);
     println!("flow: {kind}");
     println!("die:  {}", result.layout.die);
@@ -337,6 +480,18 @@ fn route(args: &[String]) -> Result<(), String> {
         println!("validation: clean");
     } else {
         println!("validation: {} errors (first: {})", errors.len(), errors[0]);
+    }
+    if let Some(reason) = tripped {
+        println!(
+            "run control: tripped ({reason}) after {} steps; unfinished nets are \
+             degraded, committed wiring is verified",
+            session.control.steps()
+        );
+    } else if limited {
+        println!(
+            "run control: completed within limits ({} steps)",
+            session.control.steps()
+        );
     }
     if let Some(svg_path) = flags.value("--svg") {
         let svg = render_svg(&result.layout, &result.design);

@@ -163,3 +163,59 @@ fn poisoned_chaos_trials_are_isolated_from_the_suite_run() {
     let echo = overcell_router::exec::parallel_map(&idx, |&t| t * 2);
     assert_eq!(echo, vec![0, 2, 4, 6]);
 }
+
+#[test]
+fn injected_delays_under_a_tight_deadline_degrade_instead_of_hanging() {
+    // Interplay of the fault layer and run control: every
+    // `level_b.route_net` call stalls 30ms while the deadline is 5ms.
+    // The run must trip promptly, declare every unfinished net with a
+    // typed reason, keep whatever it committed oracle-clean — and
+    // above all return instead of hanging.
+    use overcell_router::core::RunSession;
+    use overcell_router::exec::RunControl;
+    use std::time::{Duration, Instant};
+
+    let chip = small_random(6, 2, 3, 10, 42);
+    let plan = fault::plan(5)
+        .delay_at("level_b.route_net", 1.0, u64::MAX, 30_000)
+        .build();
+    let control = RunControl::new().with_deadline_in(Duration::from_millis(5));
+    let session = RunSession::with_control(control);
+    let started = Instant::now();
+    let result = fault::with_plan(&plan, || {
+        FlowKind::OverCell
+            .build_with(FlowOptions::verified())
+            .run_controlled(&chip.layout, &chip.placement, &session)
+            .expect("a deadline trip is a degraded result, not an error")
+    });
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the deadline must cut the delayed run short"
+    );
+    assert!(session.control.is_tripped(), "the deadline must trip");
+
+    let degradation = result
+        .degradation
+        .expect("trip carries a degradation report");
+    let mut failed: Vec<NetId> = result.design.failed.clone();
+    failed.sort();
+    let mut reported: Vec<NetId> = degradation.nets.iter().map(|d| d.net).collect();
+    reported.sort();
+    reported.dedup();
+    assert_eq!(failed, reported, "every unfinished net must be reported");
+    for net in chip.layout.net_ids() {
+        assert!(
+            result.design.route(net).is_some() || failed.binary_search(&net).is_ok(),
+            "{net} neither routed nor declared failed"
+        );
+    }
+    assert!(
+        degradation
+            .nets
+            .iter()
+            .all(|d| d.reason == DegradeReason::Cancelled),
+        "deadline trips surface as Cancelled"
+    );
+    let report = result.verify.expect("verify requested");
+    assert!(report.is_clean(), "{report}");
+}

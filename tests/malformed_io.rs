@@ -59,3 +59,49 @@ fn valid_round_trips_survive_the_fuzz_fixture() {
     let (l2, p2) = parse_chip(&base).expect("base chip parses");
     assert_eq!(write_chip(&l2, &p2), base);
 }
+
+#[test]
+fn parse_checkpoint_never_panics_on_mutated_inputs() {
+    // The fuzz base is a *real* mid-run checkpoint — routed geometry,
+    // failure reasons, pending queue, stats — so mutations hit every
+    // section of the `ocr-ckpt-v1` grammar, not just the header.
+    use overcell_router::core::{CheckpointSpec, RunSession};
+    use overcell_router::exec::RunControl;
+    use overcell_router::io::ckpt::{fnv1a_64, parse_checkpoint};
+
+    let chip = small_random(6, 2, 3, 10, 42);
+    let path = std::env::temp_dir().join(format!("ocr-malformed-ckpt-{}.ckpt", std::process::id()));
+    let session = RunSession {
+        control: RunControl::new().with_step_budget(6),
+        checkpoint: Some(CheckpointSpec {
+            path: path.clone(),
+            every: 1,
+            flow: FlowKind::OverCell.name().to_string(),
+            chip_hash: fnv1a_64(&write_chip(&chip.layout, &chip.placement)),
+        }),
+        resume: None,
+    };
+    FlowKind::OverCell
+        .build_with(FlowOptions::default())
+        .run_controlled(&chip.layout, &chip.placement, &session)
+        .expect("budgeted flow");
+    let base = std::fs::read_to_string(&path).expect("checkpoint written");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        base.lines().any(|l| l.starts_with("routed ")),
+        "fixture must contain committed routes"
+    );
+
+    for i in 0..TRIALS {
+        let seed = 0xc4e_c4e ^ i as u64;
+        let mutated = corrupt_text(&base, seed, 1 + i % 32);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = parse_checkpoint(&chip.layout, &mutated);
+        }));
+        assert!(
+            outcome.is_ok(),
+            "parse_checkpoint panicked on mutation seed {seed} (input: {:?}…)",
+            mutated.chars().take(200).collect::<String>()
+        );
+    }
+}
