@@ -5,6 +5,15 @@
 //! Sweeps the area-budget partitioning (max estimated tracks per
 //! channel) on the ami33-equivalent and reports how set A shrinks and
 //! layout area falls as the budget tightens.
+//!
+//! ```text
+//! budget_sweep [--json FILE]
+//! ```
+//!
+//! `--json` additionally writes both sweeps as a machine-readable
+//! snapshot (`ocr-bench-v1`). Every number in it is deterministic, so
+//! the checked-in snapshot doubles as a regression fence: a diff means
+//! routing behaviour changed.
 
 use ocr_core::{OverCellFlow, PartitionStrategy, RunSession};
 use ocr_exec::RunControl;
@@ -12,6 +21,19 @@ use ocr_gen::suite;
 use ocr_netlist::validate_routed_design;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => path.clone(),
+            None => {
+                eprintln!("error: budget_sweep: flag `--json` requires a value");
+                std::process::exit(2);
+            }
+        });
+    let mut area_rows: Vec<String> = Vec::new();
+    let mut step_rows: Vec<String> = Vec::new();
     let chip = suite::ami33_like();
     println!(
         "Channel-area budget sweep (ami33): tighter budget → more nets over-cell → smaller die"
@@ -44,6 +66,15 @@ fn main() {
             res.metrics.wire_length,
             res.metrics.vias
         );
+        area_rows.push(format!(
+            "    {{\"budget\": \"{label}\", \"a_nets\": {}, \"b_nets\": {}, \"area\": {}, \
+             \"wire_length\": {}, \"vias\": {}}}",
+            res.level_a_nets.len(),
+            res.level_b_nets.len(),
+            res.metrics.layout_area,
+            res.metrics.wire_length,
+            res.metrics.vias
+        ));
     }
 
     // The other budget: run control's deterministic *step* budget.
@@ -79,5 +110,28 @@ fn main() {
                 "no"
             }
         );
+        step_rows.push(format!(
+            "    {{\"budget\": \"{label}\", \"used\": {}, \"routed\": {routed}, \
+             \"degraded\": {degraded}, \"tripped\": {}}}",
+            session.control.steps(),
+            session.control.is_tripped()
+        ));
+    }
+
+    if let Some(path) = json_path {
+        let doc = format!(
+            "{{\n  \"schema\": \"ocr-bench-v1\",\n  \"bench\": \"budget_sweep\",\n  \
+             \"chip\": \"ami33\",\n  \"area_sweep\": [\n{}\n  ],\n  \
+             \"step_sweep\": [\n{}\n  ]\n}}\n",
+            area_rows.join(",\n"),
+            step_rows.join(",\n")
+        );
+        match std::fs::write(&path, doc) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

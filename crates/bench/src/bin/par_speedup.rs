@@ -6,8 +6,12 @@
 //! compared structurally).
 //!
 //! ```text
-//! par_speedup [THREADS]   # default 4
+//! par_speedup [THREADS] [--json FILE]   # default 4 threads
 //! ```
+//!
+//! `--json` additionally writes the measurements as a machine-readable
+//! snapshot (`ocr-bench-v1`), suitable for checking in and diffing
+//! across commits.
 //!
 //! Speedups are *recorded*, not asserted: they are a property of the
 //! host (a single-hardware-thread machine legitimately reports ~1.0×).
@@ -34,8 +38,20 @@ fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
 }
 
 fn main() -> ExitCode {
-    let threads: usize = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => path.clone(),
+            None => {
+                eprintln!("error: par_speedup: flag `--json` requires a value");
+                std::process::exit(2);
+            }
+        });
+    let threads: usize = args
+        .iter()
+        .find(|a| !a.starts_with('-') && Some(a.as_str()) != json_path.as_deref())
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
     let runs: usize = if std::env::var_os("OCR_BENCH_QUICK").is_some() {
@@ -55,6 +71,7 @@ fn main() -> ExitCode {
     );
 
     let mut divergent = 0usize;
+    let mut rows: Vec<String> = Vec::new();
     for chip in suite::all() {
         let name = chip.spec.name.as_str();
         let route = || -> FlowResult {
@@ -74,6 +91,7 @@ fn main() -> ExitCode {
             ocr_exec::with_threads(threads, || std::hint::black_box(route()));
         });
         print_row(name, "route", t1, tn, same_routes);
+        rows.push(json_row(name, "route", t1, tn, same_routes));
         divergent += usize::from(!same_routes);
 
         let check = || ocr_verify::verify(&seq.layout, &seq.design);
@@ -87,6 +105,7 @@ fn main() -> ExitCode {
             ocr_exec::with_threads(threads, || std::hint::black_box(check()));
         });
         print_row(name, "verify", v1, vn, same_report);
+        rows.push(json_row(name, "verify", v1, vn, same_report));
         divergent += usize::from(!same_report);
 
         // Where the time goes: one instrumented run of the paper's flow
@@ -103,11 +122,34 @@ fn main() -> ExitCode {
         println!();
     }
 
+    if let Some(path) = json_path {
+        let doc = format!(
+            "{{\n  \"schema\": \"ocr-bench-v1\",\n  \"bench\": \"par_speedup\",\n  \
+             \"threads\": {threads},\n  \"runs\": {runs},\n  \"hardware_threads\": {hw},\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
     if divergent > 0 {
         eprintln!("error: {divergent} stage(s) diverged between 1 and {threads} threads");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+fn json_row(chip: &str, stage: &str, t1: Duration, tn: Duration, identical: bool) -> String {
+    let speedup = t1.as_secs_f64() / tn.as_secs_f64().max(f64::EPSILON);
+    format!(
+        "    {{\"chip\": \"{chip}\", \"stage\": \"{stage}\", \"t1_ns\": {}, \"tn_ns\": {}, \
+         \"speedup\": {speedup:.3}, \"identical\": {identical}}}",
+        t1.as_nanos(),
+        tn.as_nanos()
+    )
 }
 
 fn print_row(chip: &str, stage: &str, t1: Duration, tn: Duration, identical: bool) {

@@ -1,0 +1,487 @@
+//! `ocr-jobs-v1` / `ocr-results-v1` — the batch-service text formats.
+//!
+//! A *job manifest* is newline-delimited job specs for `ocr serve`: one
+//! `job` directive per line naming a `.ocr` chip, a flow, and the
+//! per-job scheduling options. The same grammar is used verbatim for
+//! `.job` files dropped into a spool directory:
+//!
+//! ```text
+//! ocr-jobs-v1
+//! # name      chip            options…
+//! job alpha   chips/a.ocr     flow overcell priority 2 max-steps 500
+//! job beta    chips/b.ocr     salvage verify
+//! ```
+//!
+//! A *result manifest* is the service's answer sheet — one record per
+//! job with its typed terminal status and the deterministic accounting
+//! that produced it:
+//!
+//! ```text
+//! ocr-results-v1
+//! job alpha done steps 431 routed 18 degraded 0 preempts 2
+//! job beta failed steps 0 routed 0 degraded 0 preempts 0 detail chip missing
+//! ```
+//!
+//! Both parsers take untrusted text, so — like every other `ocr-io`
+//! format — they return a line-numbered [`ParseError`] on any malformed
+//! input and never panic.
+
+use crate::ParseError;
+use std::fmt::Write as _;
+
+/// Magic first line of a job manifest / spool file.
+pub const JOBS_MAGIC: &str = "ocr-jobs-v1";
+/// Magic first line of a result manifest.
+pub const RESULTS_MAGIC: &str = "ocr-results-v1";
+
+/// The typed terminal statuses a batch job can end in, as spelled in
+/// `ocr-results-v1` documents.
+pub const STATUS_TOKENS: [&str; 5] = ["done", "salvaged", "preempted", "rejected", "failed"];
+
+/// One routing job as submitted to the batch service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Unique job name; doubles as the per-job results directory, so it
+    /// is restricted to `[A-Za-z0-9._-]` and may not start with a dot.
+    pub name: String,
+    /// Path of the `.ocr` chip to route (resolved by the service
+    /// relative to the file this spec came from).
+    pub chip: String,
+    /// Flow name (`overcell` / `channel2` / `channel3` / `channel4`).
+    pub flow: String,
+    /// Scheduling priority: higher runs first. Defaults to 0.
+    pub priority: i64,
+    /// Optional per-job deterministic step budget.
+    pub max_steps: Option<u64>,
+    /// Degrade gracefully instead of aborting (see `FlowOptions`).
+    pub salvage: bool,
+    /// Run the independent oracle on the result.
+    pub verify: bool,
+}
+
+impl JobSpec {
+    /// A job with default options (overcell flow, priority 0, no
+    /// budget, no salvage, no verification).
+    pub fn new(name: impl Into<String>, chip: impl Into<String>) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            chip: chip.into(),
+            flow: "overcell".to_string(),
+            priority: 0,
+            max_steps: None,
+            salvage: false,
+            verify: false,
+        }
+    }
+}
+
+/// One terminal record of a result manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobRecord {
+    /// The job's name.
+    pub name: String,
+    /// Terminal status: one of [`STATUS_TOKENS`].
+    pub status: String,
+    /// Deterministic steps the job charged across all its slices.
+    pub steps: u64,
+    /// Nets routed in the final design (0 for jobs that never ran).
+    pub routed: u64,
+    /// Nets degraded in the final design.
+    pub degraded: u64,
+    /// How many times the scheduler preempted the job to a checkpoint.
+    pub preempts: u64,
+    /// Free-text detail (failure reason, rejection cause); empty when
+    /// there is nothing to add.
+    pub detail: String,
+}
+
+/// Keeps free text on one token-safe line: control characters and the
+/// comment introducer collapse to spaces so a record always re-parses.
+fn sanitize(text: &str) -> String {
+    text.chars()
+        .map(|c| if c.is_control() || c == '#' { ' ' } else { c })
+        .collect()
+}
+
+/// `true` for a job name both manifests accept: `[A-Za-z0-9._-]`, at
+/// most 64 characters, no leading dot — safe to reuse as a directory
+/// name. The batch service consults this before creating per-job
+/// result directories for names that arrived outside a manifest.
+pub fn valid_job_name(name: &str) -> bool {
+    valid_name(name)
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('.')
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// Serializes job specs as an `ocr-jobs-v1` manifest. Output of this
+/// writer always re-parses; callers are responsible for `name` and
+/// `chip` being representable (the parser rejects what `valid_name`
+/// rejects, and a chip path containing whitespace or `#` cannot
+/// round-trip a token-oriented format).
+pub fn write_jobs(jobs: &[JobSpec]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{JOBS_MAGIC}");
+    for job in jobs {
+        let _ = write!(out, "job {} {}", sanitize(&job.name), sanitize(&job.chip));
+        if job.flow != "overcell" {
+            let _ = write!(out, " flow {}", sanitize(&job.flow));
+        }
+        if job.priority != 0 {
+            let _ = write!(out, " priority {}", job.priority);
+        }
+        if let Some(steps) = job.max_steps {
+            let _ = write!(out, " max-steps {steps}");
+        }
+        if job.salvage {
+            let _ = write!(out, " salvage");
+        }
+        if job.verify {
+            let _ = write!(out, " verify");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Strips the `#` comment and splits one line into tokens.
+fn tokens(line: &str) -> Vec<&str> {
+    let body = line.split('#').next().unwrap_or("");
+    body.split_whitespace().collect()
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(token: &str, what: &str, line: usize) -> Result<T, ParseError>
+where
+    T::Err: std::fmt::Display,
+{
+    token
+        .parse()
+        .map_err(|e| err(line, format!("bad {what} `{token}`: {e}")))
+}
+
+/// Checks the magic first non-blank, non-comment line, returning the
+/// remaining lines with their 1-based numbers.
+fn check_magic<'a>(
+    text: &'a str,
+    magic: &str,
+    what: &str,
+) -> Result<Vec<(usize, Vec<&'a str>)>, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, tokens(l)))
+        .filter(|(_, t)| !t.is_empty());
+    match lines.next() {
+        Some((_, first)) if first == [magic] => Ok(lines.collect()),
+        Some((n, _)) => Err(err(n, format!("not a {what} file (expected `{magic}`)"))),
+        None => Err(err(1, format!("empty {what} file"))),
+    }
+}
+
+/// Parses an `ocr-jobs-v1` manifest (or spool `.job` file).
+///
+/// # Errors
+///
+/// A line-numbered [`ParseError`] on a missing magic line, an unknown
+/// directive or option, a duplicate or malformed job name, a bad
+/// number, or a repeated option.
+pub fn parse_jobs(text: &str) -> Result<Vec<JobSpec>, ParseError> {
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for (n, toks) in check_magic(text, JOBS_MAGIC, "job manifest")? {
+        let mut it = toks.iter().copied();
+        match it.next() {
+            Some("job") => {}
+            Some(other) => return Err(err(n, format!("unknown directive `{other}`"))),
+            None => continue,
+        }
+        let name = it.next().ok_or_else(|| err(n, "job: missing name"))?;
+        if !valid_name(name) {
+            return Err(err(
+                n,
+                format!("bad job name `{name}` (want [A-Za-z0-9._-]{{1,64}}, no leading dot)"),
+            ));
+        }
+        if jobs.iter().any(|j| j.name == name) {
+            return Err(err(n, format!("duplicate job name `{name}`")));
+        }
+        let chip = it
+            .next()
+            .ok_or_else(|| err(n, format!("job {name}: missing chip path")))?;
+        let mut spec = JobSpec::new(name, chip);
+        let mut seen_flow = false;
+        let mut seen_priority = false;
+        while let Some(opt) = it.next() {
+            match opt {
+                "flow" => {
+                    let v = it.next().ok_or_else(|| err(n, "flow: missing value"))?;
+                    if seen_flow {
+                        return Err(err(n, "repeated option `flow`"));
+                    }
+                    seen_flow = true;
+                    spec.flow = v.to_string();
+                }
+                "priority" => {
+                    let v = it.next().ok_or_else(|| err(n, "priority: missing value"))?;
+                    if seen_priority {
+                        return Err(err(n, "repeated option `priority`"));
+                    }
+                    seen_priority = true;
+                    spec.priority = parse_num(v, "priority", n)?;
+                }
+                "max-steps" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| err(n, "max-steps: missing value"))?;
+                    if spec.max_steps.is_some() {
+                        return Err(err(n, "repeated option `max-steps`"));
+                    }
+                    spec.max_steps = Some(parse_num(v, "max-steps", n)?);
+                }
+                "salvage" => spec.salvage = true,
+                "verify" => spec.verify = true,
+                other => return Err(err(n, format!("unknown job option `{other}`"))),
+            }
+        }
+        jobs.push(spec);
+    }
+    Ok(jobs)
+}
+
+/// Serializes job records as an `ocr-results-v1` manifest.
+pub fn write_results(records: &[JobRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{RESULTS_MAGIC}");
+    for r in records {
+        let _ = write!(
+            out,
+            "job {} {} steps {} routed {} degraded {} preempts {}",
+            sanitize(&r.name),
+            sanitize(&r.status),
+            r.steps,
+            r.routed,
+            r.degraded,
+            r.preempts
+        );
+        if !r.detail.is_empty() {
+            let _ = write!(out, " detail {}", sanitize(&r.detail));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Parses an `ocr-results-v1` manifest.
+///
+/// # Errors
+///
+/// A line-numbered [`ParseError`] on a missing magic line, an unknown
+/// directive or status token, a malformed field, or a duplicate job.
+pub fn parse_results(text: &str) -> Result<Vec<JobRecord>, ParseError> {
+    let mut records: Vec<JobRecord> = Vec::new();
+    for (n, toks) in check_magic(text, RESULTS_MAGIC, "result manifest")? {
+        let mut it = toks.iter().copied();
+        match it.next() {
+            Some("job") => {}
+            Some(other) => return Err(err(n, format!("unknown directive `{other}`"))),
+            None => continue,
+        }
+        let name = it.next().ok_or_else(|| err(n, "job: missing name"))?;
+        if !valid_name(name) {
+            return Err(err(n, format!("bad job name `{name}`")));
+        }
+        if records.iter().any(|r| r.name == name) {
+            return Err(err(n, format!("duplicate job `{name}`")));
+        }
+        let status = it.next().ok_or_else(|| err(n, "missing status"))?;
+        if !STATUS_TOKENS.contains(&status) {
+            return Err(err(n, format!("unknown status `{status}`")));
+        }
+        let mut record = JobRecord {
+            name: name.to_string(),
+            status: status.to_string(),
+            steps: 0,
+            routed: 0,
+            degraded: 0,
+            preempts: 0,
+            detail: String::new(),
+        };
+        for field in ["steps", "routed", "degraded", "preempts"] {
+            match it.next() {
+                Some(key) if key == field => {}
+                Some(other) => {
+                    return Err(err(n, format!("expected `{field}`, found `{other}`")));
+                }
+                None => return Err(err(n, format!("missing `{field}` field"))),
+            }
+            let v = it
+                .next()
+                .ok_or_else(|| err(n, format!("{field}: missing value")))?;
+            let v: u64 = parse_num(v, field, n)?;
+            match field {
+                "steps" => record.steps = v,
+                "routed" => record.routed = v,
+                "degraded" => record.degraded = v,
+                _ => record.preempts = v,
+            }
+        }
+        match it.next() {
+            Some("detail") => {
+                record.detail = it.collect::<Vec<&str>>().join(" ");
+                if record.detail.is_empty() {
+                    return Err(err(n, "detail: missing text"));
+                }
+            }
+            Some(other) => return Err(err(n, format!("unexpected trailing token `{other}`"))),
+            None => {}
+        }
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specimen() -> Vec<JobSpec> {
+        vec![
+            JobSpec::new("alpha", "chips/a.ocr"),
+            JobSpec {
+                flow: "channel2".into(),
+                priority: -3,
+                max_steps: Some(500),
+                salvage: true,
+                verify: true,
+                ..JobSpec::new("beta-2.x", "b.ocr")
+            },
+        ]
+    }
+
+    #[test]
+    fn jobs_round_trip() {
+        let jobs = specimen();
+        let text = write_jobs(&jobs);
+        let parsed = parse_jobs(&text).expect("round-trip parses");
+        assert_eq!(parsed, jobs);
+        assert_eq!(write_jobs(&parsed), text);
+    }
+
+    #[test]
+    fn jobs_reject_bad_input() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("ocr-ckpt-v1\n", "not a job manifest"),
+            ("ocr-jobs-v1\nnet a b\n", "unknown directive"),
+            ("ocr-jobs-v1\njob\n", "missing name"),
+            ("ocr-jobs-v1\njob .hidden a.ocr\n", "bad job name"),
+            ("ocr-jobs-v1\njob a/b a.ocr\n", "bad job name"),
+            (
+                "ocr-jobs-v1\njob a a.ocr\njob a b.ocr\n",
+                "duplicate job name",
+            ),
+            ("ocr-jobs-v1\njob a\n", "missing chip path"),
+            ("ocr-jobs-v1\njob a a.ocr priority x\n", "bad priority"),
+            ("ocr-jobs-v1\njob a a.ocr max-steps\n", "missing value"),
+            (
+                "ocr-jobs-v1\njob a a.ocr flow x flow y\n",
+                "repeated option",
+            ),
+            ("ocr-jobs-v1\njob a a.ocr turbo\n", "unknown job option"),
+        ] {
+            let e = parse_jobs(text).expect_err(text);
+            assert!(e.message.contains(needle), "{text:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# spool file\nocr-jobs-v1\n\n# batch 1\njob a a.ocr # trailing\n";
+        let jobs = parse_jobs(text).expect("parses");
+        assert_eq!(jobs, vec![JobSpec::new("a", "a.ocr")]);
+    }
+
+    #[test]
+    fn results_round_trip() {
+        let records = vec![
+            JobRecord {
+                name: "alpha".into(),
+                status: "done".into(),
+                steps: 431,
+                routed: 18,
+                degraded: 0,
+                preempts: 2,
+                detail: String::new(),
+            },
+            JobRecord {
+                name: "beta".into(),
+                status: "failed".into(),
+                steps: 0,
+                routed: 0,
+                degraded: 0,
+                preempts: 0,
+                detail: "chip missing: no such file".into(),
+            },
+        ];
+        let text = write_results(&records);
+        let parsed = parse_results(&text).expect("round-trip parses");
+        assert_eq!(parsed, records);
+        assert_eq!(write_results(&parsed), text);
+    }
+
+    #[test]
+    fn results_reject_bad_input() {
+        for (text, needle) in [
+            ("ocr-jobs-v1\n", "not a result manifest"),
+            ("ocr-results-v1\njob a won\n", "unknown status"),
+            ("ocr-results-v1\njob a done\n", "missing `steps`"),
+            (
+                "ocr-results-v1\njob a done steps 1 routed 2\n",
+                "missing `degraded`",
+            ),
+            (
+                "ocr-results-v1\njob a done steps x routed 0 degraded 0 preempts 0\n",
+                "bad steps",
+            ),
+            (
+                "ocr-results-v1\njob a done steps 1 routed 0 degraded 0 preempts 0 woops\n",
+                "unexpected trailing token",
+            ),
+            (
+                "ocr-results-v1\njob a done steps 1 routed 0 degraded 0 preempts 0 detail\n",
+                "detail: missing text",
+            ),
+        ] {
+            let e = parse_results(text).expect_err(text);
+            assert!(e.message.contains(needle), "{text:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn detail_text_is_sanitized_to_one_line() {
+        let records = vec![JobRecord {
+            name: "a".into(),
+            status: "failed".into(),
+            steps: 0,
+            routed: 0,
+            degraded: 0,
+            preempts: 0,
+            detail: "panic:\nnot # a comment".into(),
+        }];
+        let text = write_results(&records);
+        let parsed = parse_results(&text).expect("sanitized detail re-parses");
+        assert_eq!(parsed[0].detail, "panic: not a comment");
+    }
+}

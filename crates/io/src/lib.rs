@@ -42,6 +42,7 @@
 //! ```
 
 pub mod ckpt;
+pub mod job;
 
 use ocr_geom::{Coord, Layer, LayerSet, Point, Rect};
 use ocr_netlist::{

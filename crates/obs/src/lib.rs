@@ -239,6 +239,25 @@ pub fn count(name: impl Into<Cow<'static, str>>, delta: u64) {
     });
 }
 
+/// Raises the named counter to at least `value` — a high-water mark
+/// (queue depth, fan-out width) rather than a running sum. Recording a
+/// lower value still declares the counter. Mixing [`count`] and
+/// [`count_max`] on one name is a caller bug: the result depends on
+/// call order. No-op when no collector is installed.
+pub fn count_max(name: impl Into<Cow<'static, str>>, value: u64) {
+    CURRENT.with(|c| {
+        if let Some(collector) = &*c.borrow() {
+            let mut counters = collector
+                .inner
+                .counters
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let slot = counters.entry(name.into().into_owned()).or_insert(0);
+            *slot = (*slot).max(value);
+        }
+    });
+}
+
 /// Aggregate of every span sharing one name.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpanAgg {
@@ -497,6 +516,20 @@ mod tests {
         let c = Collector::new();
         with_collector(&c, || count("declared", 0));
         assert_eq!(c.snapshot().counter("declared"), Some(0));
+    }
+
+    #[test]
+    fn count_max_keeps_the_high_water_mark() {
+        let c = Collector::new();
+        with_collector(&c, || {
+            count_max("queue.depth", 3);
+            count_max("queue.depth", 7);
+            count_max("queue.depth", 5);
+            count_max("declared", 0);
+        });
+        assert_eq!(c.snapshot().counter("queue.depth"), Some(7));
+        assert_eq!(c.snapshot().counter("declared"), Some(0));
+        count_max("ignored", 9); // no collector installed — no-op
     }
 
     #[test]

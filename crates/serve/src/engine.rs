@@ -1,0 +1,763 @@
+//! The deterministic round-based scheduler (see the crate docs for the
+//! model). Everything the engine logs or returns is a pure function of
+//! (job set, budgets): step counts, never wall clock.
+
+use crate::{record_of, JobInput, JobStatus, LoadedChip, ServeConfig, ServeError};
+use ocr_core::{resume_from_doc, CheckpointSpec, FlowOptions, FlowResult, RunSession};
+use ocr_exec::{RunControl, TaskOutcome, TripReason};
+use ocr_io::ckpt::parse_checkpoint;
+use ocr_io::job::{valid_job_name, write_results, JobRecord, JobSpec};
+use ocr_io::write_routes;
+use ocr_netlist::validate_routed_design;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A source of arriving jobs. The engine polls it once per round (and
+/// while idle); returning `None` closes the intake — the service then
+/// drains its queue and stops.
+///
+/// `idle` is `true` when the engine has no queued work: a watching
+/// intake may block (sleep between directory scans) only then, and must
+/// return promptly — with an empty batch if nothing arrived — when the
+/// engine has jobs to run.
+pub trait Intake {
+    /// The next batch of submissions, or `None` once closed.
+    fn poll(&mut self, idle: bool) -> Option<Vec<JobInput>>;
+}
+
+/// An intake with nothing to add: the engine runs exactly the jobs it
+/// was handed and stops.
+struct ClosedIntake;
+
+impl Intake for ClosedIntake {
+    fn poll(&mut self, _idle: bool) -> Option<Vec<JobInput>> {
+        None
+    }
+}
+
+/// The service's answer for one job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Flow the job asked for.
+    pub flow: String,
+    /// Typed terminal status.
+    pub status: JobStatus,
+    /// Deterministic steps charged across every slice.
+    pub steps: u64,
+    /// Nets routed in the final (possibly partial) design.
+    pub routed: u64,
+    /// Nets degraded in the final design.
+    pub degraded: u64,
+    /// Times the scheduler preempted the job to a checkpoint.
+    pub preempts: u64,
+    /// Failure / rejection detail; empty when there is nothing to add.
+    pub detail: String,
+    /// The routed design as `write_routes` text (absent for jobs that
+    /// never produced one).
+    pub routes: Option<String>,
+    /// The job's `ocr-stats-v1` document (absent for jobs that never
+    /// ran).
+    pub stats: Option<String>,
+}
+
+impl JobReport {
+    /// The job's `ocr-results-v1` record.
+    pub fn record(&self) -> JobRecord {
+        record_of(self)
+    }
+}
+
+/// What one service run produced, in submission order.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Every job answered, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// The deterministic admission log, one event per line, ending
+    /// with the service summary line.
+    pub log: Vec<String>,
+    /// Steps charged across all jobs.
+    pub total_steps: u64,
+    /// Rounds the scheduler ran.
+    pub rounds: u64,
+}
+
+impl ServeReport {
+    /// The `ocr-results-v1` records for every job.
+    pub fn records(&self) -> Vec<JobRecord> {
+        self.jobs.iter().map(record_of).collect()
+    }
+
+    /// The final summary line of the log.
+    pub fn summary(&self) -> &str {
+        self.log.last().map(|s| s.as_str()).unwrap_or("")
+    }
+}
+
+/// Runs a fixed job set to completion (a closed intake) — the
+/// `--manifest`-without-`--spool` path and the natural embedded API.
+///
+/// # Errors
+///
+/// [`ServeError`] on unusable configuration or a service-file I/O
+/// failure; per-job failures are statuses in the report, not errors.
+pub fn run_jobs(jobs: Vec<JobInput>, config: &ServeConfig) -> Result<ServeReport, ServeError> {
+    serve(jobs, &mut ClosedIntake, config)
+}
+
+/// Distinguishes scratch directories of concurrent engines in one
+/// process (tests run several).
+static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+/// Runs the service: `initial` jobs first, then whatever `intake`
+/// delivers, until the intake closes and the queue drains (or the
+/// global step budget finalizes everything early).
+///
+/// # Errors
+///
+/// [`ServeError`] on unusable configuration or a service-file I/O
+/// failure; per-job failures are statuses in the report, not errors.
+pub fn serve(
+    initial: Vec<JobInput>,
+    intake: &mut dyn Intake,
+    config: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    if config.max_concurrent == 0 {
+        return Err(ServeError::Config(
+            "max_concurrent must be at least 1".into(),
+        ));
+    }
+    if config.quantum == 0 {
+        return Err(ServeError::Config("quantum must be at least 1".into()));
+    }
+    let (out, scratch) = match &config.out {
+        Some(dir) => (dir.clone(), false),
+        None => {
+            let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!("ocr-serve-{}-{n}", std::process::id()));
+            (dir, true)
+        }
+    };
+    std::fs::create_dir_all(&out).map_err(|e| ServeError::Io {
+        path: out.clone(),
+        message: e.to_string(),
+    })?;
+    let mut engine = Engine {
+        config,
+        out,
+        persist: !scratch,
+        states: Vec::new(),
+        queue: Vec::new(),
+        log: Vec::new(),
+        used_steps: 0,
+        rounds: 0,
+        peak_queue: 0,
+    };
+    let result = engine.run(initial, intake);
+    if scratch {
+        let _ = std::fs::remove_dir_all(&engine.out);
+    }
+    result?;
+    engine.finish_service()
+}
+
+/// Per-job scheduler state.
+struct JobState {
+    spec: JobSpec,
+    loaded: Option<LoadedChip>,
+    steps: u64,
+    slices: u64,
+    preempts: u64,
+    ckpt_text: Option<String>,
+    ckpt_path: PathBuf,
+    /// The last (tripped) slice result — the partial answer a
+    /// terminally preempted job is reported with.
+    last: Option<FlowResult>,
+    report: Option<JobReport>,
+}
+
+/// What one slice observed, returned through the isolated pool.
+struct SliceOut {
+    result: Result<FlowResult, String>,
+    steps: u64,
+    tripped: Option<TripReason>,
+    ckpt_text: Option<String>,
+}
+
+/// One slice as handed to the pool (borrows the job's loaded chip).
+struct SliceTask<'a> {
+    name: String,
+    loaded: &'a LoadedChip,
+    salvage: bool,
+    verify: bool,
+    budget: u64,
+    resumed: u64,
+    resume_text: Option<String>,
+    ckpt_path: PathBuf,
+}
+
+/// The slice budget for a job that has been preempted `preempts` times:
+/// one quantum, doubled per preemption (capped), so a resumed search —
+/// which re-charges the interrupted net's window attempts from scratch
+/// — always eventually fits in one slice.
+fn effective_quantum(quantum: u64, preempts: u64) -> u64 {
+    quantum.saturating_mul(1u64 << preempts.min(20))
+}
+
+/// Runs one slice under its own `RunControl`. Panics unwind into the
+/// pool's isolation (retried once, then `Poisoned`).
+fn run_slice(task: &SliceTask<'_>) -> SliceOut {
+    // Deterministic per-job fault site, so chaos plans can poison one
+    // named job without racing on a global hit index.
+    ocr_fault::point(&format!("serve.job.{}", task.name));
+    let kind = task.loaded.kind;
+    let resume = match &task.resume_text {
+        Some(text) => {
+            let doc = match parse_checkpoint(&task.loaded.layout, text) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    return SliceOut {
+                        result: Err(format!("checkpoint re-parse failed: {e}")),
+                        steps: task.resumed,
+                        tripped: None,
+                        ckpt_text: None,
+                    }
+                }
+            };
+            match resume_from_doc(doc) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    return SliceOut {
+                        result: Err(format!("checkpoint resume failed: {e}")),
+                        steps: task.resumed,
+                        tripped: None,
+                        ckpt_text: None,
+                    }
+                }
+            }
+        }
+        None => None,
+    };
+    let control = RunControl::new()
+        .with_step_budget(task.budget)
+        .resumed_at(task.resumed);
+    let session = RunSession {
+        control: control.clone(),
+        checkpoint: Some(CheckpointSpec {
+            path: task.ckpt_path.clone(),
+            every: 1,
+            flow: kind.name().to_string(),
+            chip_hash: task.loaded.chip_hash,
+        }),
+        resume,
+    };
+    let options = FlowOptions {
+        telemetry: true,
+        salvage: task.salvage,
+        verify: task.verify,
+        ..FlowOptions::default()
+    };
+    let result = kind
+        .build_with(options)
+        .run_controlled(&task.loaded.layout, &task.loaded.placement, &session)
+        .map_err(|e| e.to_string());
+    // The checkpoint the flow just wrote (final state, at the last
+    // net-commit boundary) is what a later slice resumes from.
+    let ckpt_text = std::fs::read_to_string(&task.ckpt_path).ok();
+    SliceOut {
+        result,
+        steps: control.steps(),
+        tripped: control.tripped(),
+        ckpt_text,
+    }
+}
+
+struct Engine<'a> {
+    config: &'a ServeConfig,
+    out: PathBuf,
+    persist: bool,
+    states: Vec<JobState>,
+    queue: Vec<usize>,
+    log: Vec<String>,
+    used_steps: u64,
+    rounds: u64,
+    peak_queue: usize,
+}
+
+impl Engine<'_> {
+    fn run(&mut self, initial: Vec<JobInput>, intake: &mut dyn Intake) -> Result<(), ServeError> {
+        self.enqueue(initial)?;
+        let mut closed = false;
+        loop {
+            if !closed {
+                match intake.poll(self.queue.is_empty()) {
+                    None => closed = true,
+                    Some(batch) => self.enqueue(batch)?,
+                }
+            }
+            if self.exhausted() {
+                self.finalize_queue()?;
+            }
+            if self.queue.is_empty() {
+                if closed {
+                    return Ok(());
+                }
+                continue;
+            }
+            self.round()?;
+        }
+    }
+
+    /// `true` once the global step budget has drained.
+    fn exhausted(&self) -> bool {
+        self.config
+            .max_total_steps
+            .is_some_and(|total| self.used_steps >= total)
+    }
+
+    fn enqueue(&mut self, batch: Vec<JobInput>) -> Result<(), ServeError> {
+        for input in batch {
+            let seq = self.states.len();
+            let duplicate = self.states.iter().any(|s| s.spec.name == input.spec.name);
+            let ckpt_path = self.out.join(&input.spec.name).join("job.ckpt");
+            self.states.push(JobState {
+                spec: input.spec,
+                loaded: None,
+                steps: 0,
+                slices: 0,
+                preempts: 0,
+                ckpt_text: None,
+                ckpt_path,
+                last: None,
+                report: None,
+            });
+            if duplicate {
+                self.reject(seq, "duplicate job name".to_string())?;
+                continue;
+            }
+            match input.load {
+                Err(reason) => self.reject(seq, reason)?,
+                Ok(_) if self.exhausted() => {
+                    self.reject(seq, "global step budget exhausted".to_string())?;
+                }
+                Ok(loaded) => {
+                    self.states[seq].loaded = Some(loaded);
+                    self.queue.push(seq);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One barrier round: sort, admit under the global budget, run the
+    /// batch isolated on the pool, then settle outcomes in queue order.
+    fn round(&mut self) -> Result<(), ServeError> {
+        self.rounds += 1;
+        let round = self.rounds;
+        ocr_obs::count("serve.rounds", 1);
+        ocr_obs::count_max("serve.queue.depth", self.queue.len() as u64);
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+        // Strict priority, then round-robin within a class, then
+        // submission order: fully deterministic.
+        let states = &self.states;
+        self.queue.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(states[i].spec.priority),
+                states[i].slices,
+                i,
+            )
+        });
+        // Admission: grant slices while the global budget has headroom.
+        let mut batch: Vec<usize> = Vec::new();
+        let mut budgets: Vec<u64> = Vec::new();
+        let mut planned: u64 = 0;
+        for &i in &self.queue {
+            if batch.len() >= self.config.max_concurrent {
+                break;
+            }
+            let s = &self.states[i];
+            let mut alloc = effective_quantum(self.config.quantum, s.preempts);
+            if let Some(total) = self.config.max_total_steps {
+                let remaining = total
+                    .saturating_sub(self.used_steps)
+                    .saturating_sub(planned);
+                if remaining == 0 {
+                    break;
+                }
+                alloc = alloc.min(remaining);
+            }
+            let mut budget = s.steps.saturating_add(alloc);
+            if let Some(cap) = s.spec.max_steps {
+                budget = budget.min(cap);
+            }
+            planned += budget.saturating_sub(s.steps);
+            batch.push(i);
+            budgets.push(budget);
+        }
+        if batch.is_empty() {
+            // No headroom for anyone: the budget is as good as drained.
+            return self.finalize_queue();
+        }
+        self.queue.retain(|i| !batch.contains(i));
+        for (&i, &budget) in batch.iter().zip(&budgets) {
+            let s = &self.states[i];
+            let slice = budget.saturating_sub(s.steps);
+            if s.slices == 0 {
+                ocr_obs::count("serve.jobs.admitted", 1);
+                self.log.push(format!(
+                    "round {round}: admit {} slice {slice} (priority {})",
+                    s.spec.name, s.spec.priority
+                ));
+                self.ensure_job_dir(i)?;
+            } else {
+                ocr_obs::count("serve.jobs.resumed", 1);
+                self.log.push(format!(
+                    "round {round}: resume {} slice {slice} at {} steps",
+                    s.spec.name, s.steps
+                ));
+            }
+        }
+        let tasks: Vec<SliceTask<'_>> = batch
+            .iter()
+            .zip(&budgets)
+            .map(|(&i, &budget)| {
+                let s = &self.states[i];
+                let loaded = s.loaded.as_ref().expect("queued jobs are loaded");
+                SliceTask {
+                    name: s.spec.name.clone(),
+                    loaded,
+                    salvage: s.spec.salvage,
+                    verify: s.spec.verify,
+                    budget,
+                    resumed: s.steps,
+                    resume_text: s.ckpt_text.clone(),
+                    ckpt_path: s.ckpt_path.clone(),
+                }
+            })
+            .collect();
+        let outcomes = ocr_exec::parallel_map_isolated(&tasks, run_slice);
+        drop(tasks);
+        for ((&i, &budget), outcome) in batch.iter().zip(&budgets).zip(outcomes) {
+            match outcome {
+                TaskOutcome::Poisoned { message } => {
+                    // The slice's control died with the task, so its
+                    // charges are unknowable; the job is answered as
+                    // failed and the daemon (and its siblings) move on.
+                    self.finish(i, JobStatus::Failed, format!("poisoned: {message}"), None)?;
+                }
+                TaskOutcome::Done { value, .. } => {
+                    let delta = value.steps.saturating_sub(self.states[i].steps);
+                    self.used_steps += delta;
+                    self.states[i].steps = value.steps;
+                    self.states[i].slices += 1;
+                    match value.result {
+                        Err(message) => {
+                            self.finish(i, JobStatus::Failed, message, None)?;
+                        }
+                        Ok(result) => {
+                            let s = &self.states[i];
+                            let own_cap_hit =
+                                s.spec.max_steps.is_some_and(|cap| value.steps >= cap);
+                            let sliced = s.spec.max_steps.is_none_or(|cap| budget < cap);
+                            if value.tripped == Some(TripReason::BudgetExceeded)
+                                && sliced
+                                && !own_cap_hit
+                            {
+                                // Preempted at the slice boundary: keep
+                                // the checkpoint, requeue for resume.
+                                match value.ckpt_text {
+                                    Some(text) => {
+                                        ocr_obs::count("serve.preemptions", 1);
+                                        let s = &mut self.states[i];
+                                        s.ckpt_text = Some(text);
+                                        s.preempts += 1;
+                                        s.last = Some(result);
+                                        self.log.push(format!(
+                                            "round {round}: preempt {} at {} steps",
+                                            self.states[i].spec.name, value.steps
+                                        ));
+                                        self.queue.push(i);
+                                    }
+                                    None => {
+                                        self.finish(
+                                            i,
+                                            JobStatus::Failed,
+                                            "preempted but its checkpoint is unreadable".into(),
+                                            None,
+                                        )?;
+                                    }
+                                }
+                            } else {
+                                self.finish_with_result(i, result)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Terminal settlement of a completed slice (ran to the end, or to
+    /// the job's *own* step cap — both are full answers).
+    fn finish_with_result(&mut self, i: usize, result: FlowResult) -> Result<(), ServeError> {
+        let validation = validate_routed_design(&result.layout, &result.design);
+        let verify_violations = result
+            .verify
+            .as_ref()
+            .map_or(0, |report| report.violations.len());
+        let degraded = result.degradation.as_ref().map_or(0, |d| d.nets.len()) as u64;
+        let (status, detail) = if !validation.is_empty() {
+            (
+                JobStatus::Failed,
+                format!(
+                    "{} validation error(s) (first: {})",
+                    validation.len(),
+                    validation[0]
+                ),
+            )
+        } else if verify_violations > 0 {
+            (
+                JobStatus::Failed,
+                format!("{verify_violations} verification violation(s)"),
+            )
+        } else if degraded > 0 {
+            (JobStatus::Salvaged, String::new())
+        } else {
+            (JobStatus::Done, String::new())
+        };
+        self.finish(i, status, detail, Some(result))
+    }
+
+    /// Records a terminal status, logs it, bumps counters, and writes
+    /// the per-job answer files when a results directory is configured.
+    fn finish(
+        &mut self,
+        i: usize,
+        status: JobStatus,
+        detail: String,
+        result: Option<FlowResult>,
+    ) -> Result<(), ServeError> {
+        let s = &self.states[i];
+        let answer = result.as_ref().or(s.last.as_ref());
+        let routed = answer.map_or(0, |r| {
+            r.design
+                .routes
+                .iter()
+                .filter(|route| route.is_some())
+                .count() as u64
+        });
+        let degraded = answer.map_or(0, |r| {
+            r.degradation.as_ref().map_or(0, |d| d.nets.len()) as u64
+        });
+        let routes = answer.map(|r| write_routes(&r.layout, &r.design));
+        let stats = answer.and_then(|r| {
+            r.telemetry
+                .as_ref()
+                .map(|t| ocr_obs::stats_json(&[(s.spec.name.as_str(), flow_label(s), t)]))
+        });
+        let report = JobReport {
+            name: s.spec.name.clone(),
+            flow: s.spec.flow.clone(),
+            status,
+            steps: s.steps,
+            routed,
+            degraded,
+            preempts: s.preempts,
+            detail,
+            routes,
+            stats,
+        };
+        ocr_obs::count(
+            match status {
+                JobStatus::Done => "serve.jobs.done",
+                JobStatus::Salvaged => "serve.jobs.salvaged",
+                JobStatus::Preempted => "serve.jobs.preempted",
+                JobStatus::Rejected => "serve.jobs.rejected",
+                JobStatus::Failed => "serve.jobs.failed",
+            },
+            1,
+        );
+        let line = match status {
+            JobStatus::Rejected => format!("reject {}: {}", report.name, report.detail),
+            _ => {
+                let mut line = format!(
+                    "round {}: finish {} {status} steps {} routed {} degraded {}",
+                    self.rounds, report.name, report.steps, report.routed, report.degraded
+                );
+                if !report.detail.is_empty() {
+                    line.push_str(&format!(" ({})", report.detail));
+                }
+                line
+            }
+        };
+        self.log.push(line);
+        self.write_job_files(&report)?;
+        self.states[i].last = None;
+        self.states[i].report = Some(report);
+        Ok(())
+    }
+
+    fn reject(&mut self, i: usize, reason: String) -> Result<(), ServeError> {
+        self.finish(i, JobStatus::Rejected, reason, None)
+    }
+
+    /// The global budget drained: running checkpointed jobs end
+    /// `preempted` (their partial design is the answer), jobs that
+    /// never got a slice end `rejected`.
+    fn finalize_queue(&mut self) -> Result<(), ServeError> {
+        let queue = std::mem::take(&mut self.queue);
+        for i in queue {
+            if self.states[i].slices > 0 {
+                self.finish(
+                    i,
+                    JobStatus::Preempted,
+                    "global step budget exhausted".into(),
+                    None,
+                )?;
+            } else {
+                self.reject(i, "global step budget exhausted".to_string())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_job_dir(&self, i: usize) -> Result<(), ServeError> {
+        let dir = self.out.join(&self.states[i].spec.name);
+        std::fs::create_dir_all(&dir).map_err(|e| ServeError::Io {
+            path: dir.clone(),
+            message: e.to_string(),
+        })
+    }
+
+    fn write_job_files(&self, report: &JobReport) -> Result<(), ServeError> {
+        if !self.persist || !valid_job_name(&report.name) {
+            return Ok(());
+        }
+        let dir = self.out.join(&report.name);
+        std::fs::create_dir_all(&dir).map_err(|e| ServeError::Io {
+            path: dir.clone(),
+            message: e.to_string(),
+        })?;
+        let write = |file: &str, text: &str| -> Result<(), ServeError> {
+            let path = dir.join(file);
+            std::fs::write(&path, text).map_err(|e| ServeError::Io {
+                path,
+                message: e.to_string(),
+            })
+        };
+        let mut status = report.status.name().to_string();
+        if !report.detail.is_empty() {
+            status.push(' ');
+            status.push_str(&report.detail);
+        }
+        status.push('\n');
+        write("status", &status)?;
+        if let Some(routes) = &report.routes {
+            write("routes.txt", routes)?;
+        }
+        if let Some(stats) = &report.stats {
+            write("stats.json", stats)?;
+        }
+        Ok(())
+    }
+
+    /// Appends the summary line and writes the service-level files.
+    fn finish_service(mut self) -> Result<ServeReport, ServeError> {
+        let jobs: Vec<JobReport> = self
+            .states
+            .into_iter()
+            .map(|s| s.report.expect("every submitted job is answered"))
+            .collect();
+        let count = |status: JobStatus| jobs.iter().filter(|j| j.status == status).count();
+        let admitted = jobs
+            .iter()
+            .filter(|j| j.status != JobStatus::Rejected)
+            .count();
+        let resumed: u64 = jobs.iter().map(|j| j.preempts).sum();
+        self.log.push(format!(
+            "serve: jobs {} admitted {admitted} preemptions {resumed} rejected {} \
+             done {} salvaged {} preempted {} failed {} steps {} rounds {} peak-queue {}",
+            jobs.len(),
+            count(JobStatus::Rejected),
+            count(JobStatus::Done),
+            count(JobStatus::Salvaged),
+            count(JobStatus::Preempted),
+            count(JobStatus::Failed),
+            self.used_steps,
+            self.rounds,
+            self.peak_queue
+        ));
+        let report = ServeReport {
+            jobs,
+            log: self.log,
+            total_steps: self.used_steps,
+            rounds: self.rounds,
+        };
+        if self.persist {
+            let write = |file: &str, text: &str| -> Result<(), ServeError> {
+                let path = self.out.join(file);
+                std::fs::write(&path, text).map_err(|e| ServeError::Io {
+                    path,
+                    message: e.to_string(),
+                })
+            };
+            let mut log_text = report.log.join("\n");
+            log_text.push('\n');
+            write("serve.log", &log_text)?;
+            write("results.txt", &write_results(&report.records()))?;
+        }
+        Ok(report)
+    }
+}
+
+fn flow_label(state: &JobState) -> &str {
+    state
+        .loaded
+        .as_ref()
+        .map(|l| l.kind.name())
+        .unwrap_or(state.spec.flow.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_quantum_doubles_and_saturates() {
+        assert_eq!(effective_quantum(8, 0), 8);
+        assert_eq!(effective_quantum(8, 1), 16);
+        assert_eq!(effective_quantum(8, 3), 64);
+        assert_eq!(effective_quantum(u64::MAX, 5), u64::MAX);
+        assert_eq!(effective_quantum(8, 64), 8 << 20, "doubling is capped");
+    }
+
+    #[test]
+    fn bad_config_is_a_service_error() {
+        let cfg = ServeConfig {
+            max_concurrent: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            run_jobs(Vec::new(), &cfg),
+            Err(ServeError::Config(_))
+        ));
+        let cfg = ServeConfig {
+            quantum: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            run_jobs(Vec::new(), &cfg),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn empty_job_set_produces_an_empty_summary() {
+        let report = run_jobs(Vec::new(), &ServeConfig::default()).expect("serves");
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.rounds, 0);
+        assert!(report.summary().starts_with("serve: jobs 0"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Job intake: resolving submitted specs into runnable [`JobInput`]s,
+//! reading `ocr-jobs-v1` manifests, and watching a spool directory.
+//!
+//! The spool protocol is deliberately plain: drop an `ocr-jobs-v1`
+//! document named `*.job` into the directory and the service consumes
+//! (deletes) it. Files are picked up in filename order, so a scan is
+//! deterministic for a fixed set of files. A file named `stop` closes
+//! the intake: the service drains its queue and exits.
+
+use crate::{JobInput, LoadedChip, ServeError};
+use ocr_core::FlowKind;
+use ocr_io::ckpt::fnv1a_64;
+use ocr_io::job::{parse_jobs, JobSpec};
+use ocr_io::{parse_chip, write_chip};
+use std::path::{Path, PathBuf};
+
+/// Resolves a submitted spec into a [`JobInput`]: parses and audits the
+/// chip (relative paths resolve against `base`) and binds the flow
+/// kind. Every failure becomes an `Err` load — the scheduler answers it
+/// as `rejected` rather than dropping the submission.
+pub fn load_job(spec: JobSpec, base: &Path) -> JobInput {
+    let load = resolve(&spec, base);
+    JobInput { spec, load }
+}
+
+fn resolve(spec: &JobSpec, base: &Path) -> Result<LoadedChip, String> {
+    let kind =
+        FlowKind::from_name(&spec.flow).ok_or_else(|| format!("unknown flow `{}`", spec.flow))?;
+    let path = base.join(&spec.chip);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (layout, placement) = parse_chip(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let problems = layout.audit();
+    if !problems.is_empty() {
+        return Err(format!(
+            "{}: layout audit failed: {}",
+            path.display(),
+            problems.join("; ")
+        ));
+    }
+    let problems = placement.audit(&layout);
+    if !problems.is_empty() {
+        return Err(format!(
+            "{}: placement audit failed: {}",
+            path.display(),
+            problems.join("; ")
+        ));
+    }
+    // Fingerprint the canonical re-serialization, exactly as `ocr
+    // route --checkpoint` does, so service checkpoints and standalone
+    // checkpoints agree on the chip hash.
+    let chip_hash = fnv1a_64(&write_chip(&layout, &placement));
+    Ok(LoadedChip {
+        kind,
+        layout,
+        placement,
+        chip_hash,
+    })
+}
+
+/// Reads an `ocr-jobs-v1` manifest and resolves every spec (chip paths
+/// relative to the manifest's directory).
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the manifest itself is unreadable or
+/// malformed; individual chips that fail to load are per-job
+/// rejections, not errors.
+pub fn manifest_jobs(path: &Path) -> Result<Vec<JobInput>, ServeError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ServeError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let specs = parse_jobs(&text).map_err(|e| ServeError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let base = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+    Ok(specs.into_iter().map(|s| load_job(s, &base)).collect())
+}
+
+/// One scan of a spool directory: consumes every `*.job` file in
+/// filename order and resolves the jobs it carries (chip paths relative
+/// to the spool directory). A malformed job file becomes a single
+/// rejected pseudo-job named after the file, so nothing is silently
+/// swallowed. Returns the resolved batch.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the directory itself cannot be read.
+pub fn scan_spool(dir: &Path) -> Result<Vec<JobInput>, ServeError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| ServeError::Io {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "job"))
+        .collect();
+    files.sort();
+    let mut jobs = Vec::new();
+    for file in files {
+        let batch = std::fs::read_to_string(&file)
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse_jobs(&text).map_err(|e| e.to_string()));
+        match batch {
+            Ok(specs) => {
+                jobs.extend(specs.into_iter().map(|s| load_job(s, dir)));
+            }
+            Err(message) => {
+                let stem = file
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("malformed");
+                jobs.push(JobInput {
+                    spec: JobSpec::new(stem, ""),
+                    load: Err(format!("{}: {message}", file.display())),
+                });
+            }
+        }
+        // Consume the file so the job runs exactly once. A file that
+        // cannot be removed would resubmit forever; surface that as a
+        // rejection too rather than loop.
+        if let Err(e) = std::fs::remove_file(&file) {
+            jobs.push(JobInput {
+                spec: JobSpec::new("spool-remove-failed", ""),
+                load: Err(format!("{}: cannot consume: {e}", file.display())),
+            });
+            break;
+        }
+    }
+    Ok(jobs)
+}
+
+/// A spool-directory [`crate::Intake`]: polls the directory for `*.job`
+/// files, sleeping between scans only while the engine is idle. Closes
+/// when a `stop` sentinel file appears (consumed) or — in drain mode —
+/// after the first scan.
+pub struct SpoolIntake {
+    dir: PathBuf,
+    poll: std::time::Duration,
+    drain: bool,
+    scanned: bool,
+    error: Option<ServeError>,
+}
+
+impl SpoolIntake {
+    /// Watches `dir`, sleeping `poll_ms` between idle scans. With
+    /// `drain`, performs a single scan and closes.
+    pub fn new(dir: &Path, poll_ms: u64, drain: bool) -> SpoolIntake {
+        SpoolIntake {
+            dir: dir.to_path_buf(),
+            poll: std::time::Duration::from_millis(poll_ms.max(1)),
+            drain,
+            scanned: false,
+            error: None,
+        }
+    }
+
+    /// The first directory-read error that closed the intake, if any.
+    pub fn take_error(&mut self) -> Option<ServeError> {
+        self.error.take()
+    }
+}
+
+impl crate::Intake for SpoolIntake {
+    fn poll(&mut self, idle: bool) -> Option<Vec<JobInput>> {
+        if self.drain && self.scanned {
+            return None;
+        }
+        if self.scanned && idle {
+            // Nothing queued and nothing new last time: sleep before
+            // rescanning instead of spinning on the directory.
+            std::thread::sleep(self.poll);
+        }
+        let stop = self.dir.join("stop");
+        let stopping = stop.exists();
+        let batch = match scan_spool(&self.dir) {
+            Ok(batch) => batch,
+            Err(e) => {
+                // The spool went away: close the intake so the engine
+                // drains and reports, instead of erroring mid-flight.
+                self.error = Some(e);
+                return None;
+            }
+        };
+        self.scanned = true;
+        if stopping {
+            let _ = std::fs::remove_file(&stop);
+            if batch.is_empty() {
+                return None;
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocr_io::job::write_jobs;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ocr-intake-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn load_job_rejects_unknown_flow_and_missing_chip() {
+        let dir = scratch("load");
+        let mut spec = JobSpec::new("a", "missing.ocr");
+        spec.flow = "warp".into();
+        let input = load_job(spec, &dir);
+        assert!(input.load.unwrap_err().contains("unknown flow"));
+        let input = load_job(JobSpec::new("b", "missing.ocr"), &dir);
+        assert!(input.load.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spool_scan_consumes_files_in_name_order() {
+        let dir = scratch("scan");
+        let chip = ocr_gen::random::small_random(4, 2, 3, 8, 7);
+        let text = write_chip(&chip.layout, &chip.placement);
+        std::fs::write(dir.join("chip.ocr"), &text).expect("chip");
+        std::fs::write(
+            dir.join("b.job"),
+            write_jobs(&[JobSpec::new("beta", "chip.ocr")]),
+        )
+        .expect("job");
+        std::fs::write(
+            dir.join("a.job"),
+            write_jobs(&[JobSpec::new("alpha", "chip.ocr")]),
+        )
+        .expect("job");
+        std::fs::write(dir.join("notes.txt"), "ignored").expect("stray");
+        let jobs = scan_spool(&dir).expect("scan");
+        let names: Vec<&str> = jobs.iter().map(|j| j.spec.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"], "filename order, .job only");
+        assert!(jobs.iter().all(|j| j.load.is_ok()));
+        assert!(!dir.join("a.job").exists(), "job files are consumed");
+        assert!(dir.join("notes.txt").exists(), "strays are left alone");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_spool_file_becomes_a_rejection() {
+        let dir = scratch("bad");
+        std::fs::write(dir.join("x.job"), "not a jobs file").expect("job");
+        let jobs = scan_spool(&dir).expect("scan");
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].spec.name, "x");
+        assert!(jobs[0].load.is_err());
+        assert!(!dir.join("x.job").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_mode_closes_after_one_scan() {
+        use crate::Intake;
+        let dir = scratch("drain");
+        let mut intake = SpoolIntake::new(&dir, 1, true);
+        assert!(intake.poll(true).is_some());
+        assert!(intake.poll(true).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

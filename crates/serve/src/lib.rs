@@ -1,0 +1,200 @@
+#![warn(missing_docs)]
+
+//! `ocr-serve` — the batch routing service.
+//!
+//! A long-lived front end that ties every existing runtime primitive
+//! together: jobs arrive from a spool directory or manifest
+//! ([`ocr_io::job`]), a deterministic scheduler admits them onto the
+//! shared `ocr-exec` pool under a global step-budget admission
+//! controller, long-running jobs are preempted at their next
+//! net-commit boundary into `ocr-ckpt-v1` checkpoints and resumed
+//! later, and every job is answered with its routed design, an
+//! `ocr-stats-v1` report and a typed terminal status in a per-job
+//! results directory.
+//!
+//! # Scheduling model
+//!
+//! Time is divided into *rounds*. Each round the scheduler sorts the
+//! pending queue by `(priority desc, slices taken asc, submission
+//! order)` — strict priority first, round-robin fairness within a
+//! priority class — admits up to `max_concurrent` jobs, and grants each
+//! a *slice*: a deterministic step budget of one quantum (doubling per
+//! preemption of that job, so a slice always eventually spans the most
+//! expensive net search). The batch runs concurrently on the `ocr-exec`
+//! pool with per-task panic isolation; the round is a barrier. A job
+//! whose control trips its slice budget is preempted: the flow has
+//! already written an `ocr-ckpt-v1` checkpoint at the last net-commit
+//! boundary, and the job re-enters the queue to be resumed from it. A
+//! job that completes is finished with a typed status.
+//!
+//! # Determinism
+//!
+//! Given the same job set and budgets, the admission log — admission
+//! order, slice grants, preemption points (step counts, not wall
+//! clock), terminal statuses — and every routed output are byte-
+//! identical at any `OCR_THREADS`, because slices are deterministic
+//! step budgets, rounds are barriers processed in queue order, and
+//! checkpoint/resume is byte-stable (PR 5). Telemetry timings inside
+//! `stats.json` are the only nondeterministic bytes the service emits.
+//!
+//! # Statuses
+//!
+//! * `done` — completed, validation clean, nothing degraded.
+//! * `salvaged` — completed with a non-empty degradation report (its
+//!   own step budget ran out, or salvage degraded nets around faults);
+//!   the committed wiring still validates.
+//! * `preempted` — checkpointed mid-run when the *global* step budget
+//!   drained; the results directory holds the checkpoint, the partial
+//!   design, and stats.
+//! * `rejected` — never admitted: malformed spec, unreadable chip,
+//!   duplicate name, or the global budget was exhausted first.
+//! * `failed` — ran and went wrong: flow error, twice-panicking task
+//!   (isolated by the pool; the service and sibling jobs are
+//!   unaffected), validation or verification failure.
+
+mod engine;
+mod intake;
+
+pub use engine::{run_jobs, serve, Intake, JobReport, ServeReport};
+pub use intake::{load_job, manifest_jobs, scan_spool, SpoolIntake};
+
+use ocr_core::FlowKind;
+use ocr_io::job::JobRecord;
+use ocr_netlist::{Layout, RowPlacement};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Service configuration shared by the CLI and the embedded engine.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Results root: one subdirectory per job (`status`, `routes.txt`,
+    /// `stats.json`, `job.ckpt`) plus `serve.log` and `results.txt`.
+    /// `None` keeps everything in memory (checkpoints spill to a
+    /// scratch directory that is removed afterwards).
+    pub out: Option<PathBuf>,
+    /// Global deterministic step budget across every job the service
+    /// admits. When it drains, running checkpointed jobs end
+    /// `preempted` and everything still queued ends `rejected`.
+    /// `None` is unbounded.
+    pub max_total_steps: Option<u64>,
+    /// Jobs admitted per round (the concurrency width). At least 1.
+    pub max_concurrent: usize,
+    /// Base slice budget in steps. Doubles per preemption of a job so
+    /// resumed searches always make progress. At least 1.
+    pub quantum: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            out: None,
+            max_total_steps: None,
+            max_concurrent: 2,
+            quantum: 256,
+        }
+    }
+}
+
+/// A chip resolved and audited at intake, ready to route.
+#[derive(Clone, Debug)]
+pub struct LoadedChip {
+    /// The flow the job asked for.
+    pub kind: FlowKind,
+    /// Parsed, audited layout.
+    pub layout: Layout,
+    /// Parsed, audited placement.
+    pub placement: RowPlacement,
+    /// FNV-1a fingerprint of the canonical chip text — stamped into
+    /// checkpoints so a resume can never cross chips.
+    pub chip_hash: u64,
+}
+
+/// One job as it enters the scheduler: the submitted spec plus the
+/// outcome of loading its chip (an `Err` is rejected with the reason,
+/// so every submission is answered).
+#[derive(Clone, Debug)]
+pub struct JobInput {
+    /// The submitted spec.
+    pub spec: ocr_io::job::JobSpec,
+    /// The loaded chip, or why loading failed.
+    pub load: Result<LoadedChip, String>,
+}
+
+/// Typed terminal status of a batch job (see the crate docs for the
+/// exact semantics of each).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Completed cleanly.
+    Done,
+    /// Completed with degradations; committed wiring validates.
+    Salvaged,
+    /// Checkpointed when the global budget drained.
+    Preempted,
+    /// Never admitted.
+    Rejected,
+    /// Ran and failed.
+    Failed,
+}
+
+impl JobStatus {
+    /// The `ocr-results-v1` status token.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Done => "done",
+            JobStatus::Salvaged => "salvaged",
+            JobStatus::Preempted => "preempted",
+            JobStatus::Rejected => "rejected",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A service-level failure (the per-job failures are statuses, not
+/// errors — the daemon answers them and keeps going).
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// Reading or writing service files failed.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error.
+        message: String,
+    },
+    /// The service configuration is unusable.
+    Config(
+        /// What is wrong with it.
+        String,
+    ),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+            ServeError::Config(message) => write!(f, "config: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Converts a [`JobReport`] into its `ocr-results-v1` record.
+pub(crate) fn record_of(report: &JobReport) -> JobRecord {
+    JobRecord {
+        name: report.name.clone(),
+        status: report.status.name().to_string(),
+        steps: report.steps,
+        routed: report.routed,
+        degraded: report.degraded,
+        preempts: report.preempts,
+        detail: report.detail.clone(),
+    }
+}

@@ -68,6 +68,49 @@ for threads in 1 ""; do (
 ); done
 rm -rf "$RC_DIR"
 
+echo "==> serve smoke (spool three suite chips, preempt/resume, diff vs ocr route)"
+# The batch service on a spool of the three suite chips, with a quantum
+# tight enough to force preemption: the admission log must show at least
+# one preempt and one resume, every per-job stats document must satisfy
+# obs-check, every answer must be byte-identical to a standalone
+# `ocr route` run, and the log/results must not depend on OCR_THREADS.
+SV_DIR="$(mktemp -d)"
+for chip in ami33 xerox ex3; do
+    ./target/release/ocr generate "$chip" -o "$SV_DIR/$chip.ocr"
+    ./target/release/ocr route "$SV_DIR/$chip.ocr" \
+        --routes "$SV_DIR/direct-$chip.txt" >/dev/null
+done
+for threads in 1 ""; do (
+    [ -n "$threads" ] && export OCR_THREADS="$threads"
+    tag="${threads:-par}"
+    mkdir -p "$SV_DIR/spool-$tag"
+    cp "$SV_DIR"/*.ocr "$SV_DIR/spool-$tag/"
+    {
+        echo "ocr-jobs-v1"
+        for chip in ami33 xerox ex3; do
+            echo "job $chip $chip.ocr flow overcell"
+        done
+    } > "$SV_DIR/spool-$tag/batch.job"
+    ./target/release/ocr serve --spool "$SV_DIR/spool-$tag" \
+        --out "$SV_DIR/out-$tag" --quantum 64 --max-concurrent 2 \
+        --drain >/dev/null
+    grep -q ": preempt " "$SV_DIR/out-$tag/serve.log" || {
+        echo "ci: serve smoke expected at least one preemption" >&2
+        exit 1
+    }
+    grep -q ": resume " "$SV_DIR/out-$tag/serve.log" || {
+        echo "ci: serve smoke expected at least one resume" >&2
+        exit 1
+    }
+    for chip in ami33 xerox ex3; do
+        ./target/release/obs-check "$SV_DIR/out-$tag/$chip/stats.json" >/dev/null
+        cmp "$SV_DIR/out-$tag/$chip/routes.txt" "$SV_DIR/direct-$chip.txt"
+    done
+); done
+cmp "$SV_DIR/out-1/serve.log" "$SV_DIR/out-par/serve.log"
+cmp "$SV_DIR/out-1/results.txt" "$SV_DIR/out-par/results.txt"
+rm -rf "$SV_DIR"
+
 echo "==> no panicking macros reachable from external input (crates/io)"
 # The parsers take untrusted text; their non-test code must contain no
 # unwrap/expect/panic!. (Everything before the #[cfg(test)] marker.)

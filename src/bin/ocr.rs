@@ -9,6 +9,8 @@
 //! ocr verify <chip.ocr> [--flow ...] [--routes in.txt] [--strict]
 //! ocr verify --suite [--strict]
 //! ocr chaos [--seed N] [--trials K]
+//! ocr serve [--spool DIR] [--manifest FILE] [--out DIR] [--drain]
+//!           [--max-total-steps N] [--max-concurrent N] [--quantum N]
 //! ocr stats <chip.ocr>
 //! ```
 
@@ -88,6 +90,26 @@ USAGE:
       without aborting the run) and its salvaged result is checked by
       the ocr-verify oracle. Exits non-zero when any completed trial is
       oracle-unclean. Defaults: --seed 1, --trials 8.
+  ocr serve [--spool DIR] [--manifest FILE] [--out DIR]
+            [--max-total-steps N] [--max-concurrent N] [--quantum N]
+            [--poll-ms MS] [--drain]
+      Batch routing service. Jobs come from an `ocr-jobs-v1` manifest
+      (--manifest, chip paths relative to it) and/or a spool directory
+      (--spool): drop `*.job` files in and they are consumed in filename
+      order; a file named `stop` shuts the service down after the queue
+      drains, and --drain processes what is already spooled and exits.
+      A deterministic scheduler admits up to --max-concurrent jobs per
+      round onto the ocr-exec pool, slicing each job's work into
+      --quantum step budgets (doubling per preemption); a job that
+      outruns its slice is preempted into an `ocr-ckpt-v1` checkpoint at
+      its next net-commit boundary and resumed later. --max-total-steps
+      caps deterministic work across all jobs: when it drains, running
+      jobs end `preempted` and queued ones `rejected`. Each job is
+      answered under <out>/<name>/ with `status`, `routes.txt`,
+      `stats.json` and its checkpoint, plus service-level `serve.log`
+      (deterministic: step counts, never wall clock) and `results.txt`
+      (`ocr-results-v1`). Exits non-zero when any job ends `failed`.
+      Defaults: --max-concurrent 2, --quantum 256, --poll-ms 200.
   ocr stats <chip.ocr>
       Print the chip's Table-1-style statistics.
   ocr help
@@ -172,6 +194,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("route") => route(args),
         Some("verify") => verify(args),
         Some("chaos") => chaos(args),
+        Some("serve") => serve_cmd(args),
         Some("stats") => stats(args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -209,7 +232,7 @@ fn generate(args: &[String]) -> Result<(), String> {
         .ok_or("generate: missing benchmark name")?;
     let seed: u64 = flags
         .value("--seed")
-        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .map(|s| s.parse().map_err(|e| format!("generate: bad --seed: {e}")))
         .transpose()?
         .unwrap_or(1);
     let chip = match which {
@@ -327,17 +350,23 @@ fn parse_run_session(
 ) -> Result<(FlowKind, RunSession, bool), String> {
     let max_steps: Option<u64> = flags
         .value("--max-steps")
-        .map(|s| s.parse().map_err(|e| format!("bad --max-steps: {e}")))
+        .map(|s| {
+            s.parse()
+                .map_err(|e| format!("route: bad --max-steps: {e}"))
+        })
         .transpose()?;
     let deadline_ms: Option<u64> = flags
         .value("--deadline-ms")
-        .map(|s| s.parse().map_err(|e| format!("bad --deadline-ms: {e}")))
+        .map(|s| {
+            s.parse()
+                .map_err(|e| format!("route: bad --deadline-ms: {e}"))
+        })
         .transpose()?;
     let every: usize = flags
         .value("--checkpoint-every")
         .map(|s| {
             s.parse()
-                .map_err(|e| format!("bad --checkpoint-every: {e}"))
+                .map_err(|e| format!("route: bad --checkpoint-every: {e}"))
         })
         .transpose()?
         .unwrap_or(1);
@@ -729,12 +758,12 @@ fn chaos(args: &[String]) -> Result<(), String> {
     }
     let seed: u64 = flags
         .value("--seed")
-        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .map(|s| s.parse().map_err(|e| format!("chaos: bad --seed: {e}")))
         .transpose()?
         .unwrap_or(1);
     let trials: usize = flags
         .value("--trials")
-        .map(|s| s.parse().map_err(|e| format!("bad --trials: {e}")))
+        .map(|s| s.parse().map_err(|e| format!("chaos: bad --trials: {e}")))
         .transpose()?
         .unwrap_or(8);
     if trials == 0 {
@@ -798,6 +827,100 @@ fn chaos(args: &[String]) -> Result<(), String> {
     );
     if failures > 0 {
         return Err(format!("{failures} chaos trial(s) unclean"));
+    }
+    Ok(())
+}
+
+/// `ocr serve`: batch routing service over a spool directory and/or an
+/// `ocr-jobs-v1` manifest (see USAGE for the scheduling model).
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    use overcell_router::serve::{
+        manifest_jobs, run_jobs, serve, JobStatus, ServeConfig, SpoolIntake,
+    };
+    let flags = parse_flags(
+        "serve",
+        &args[1..],
+        &[
+            "--spool",
+            "--manifest",
+            "--out",
+            "--max-total-steps",
+            "--max-concurrent",
+            "--quantum",
+            "--poll-ms",
+        ],
+        &["--drain"],
+    )?;
+    if let Some(stray) = flags.positionals.first() {
+        return Err(format!("serve: unexpected argument `{stray}`"));
+    }
+    let spool = flags.value("--spool");
+    let manifest = flags.value("--manifest");
+    if spool.is_none() && manifest.is_none() {
+        return Err("serve: nothing to serve (pass --spool and/or --manifest)".into());
+    }
+    let max_total_steps: Option<u64> = flags
+        .value("--max-total-steps")
+        .map(|s| {
+            s.parse()
+                .map_err(|e| format!("serve: bad --max-total-steps: {e}"))
+        })
+        .transpose()?;
+    let max_concurrent: usize = flags
+        .value("--max-concurrent")
+        .map(|s| {
+            s.parse()
+                .map_err(|e| format!("serve: bad --max-concurrent: {e}"))
+        })
+        .transpose()?
+        .unwrap_or(2);
+    let quantum: u64 = flags
+        .value("--quantum")
+        .map(|s| s.parse().map_err(|e| format!("serve: bad --quantum: {e}")))
+        .transpose()?
+        .unwrap_or(256);
+    let poll_ms: u64 = flags
+        .value("--poll-ms")
+        .map(|s| s.parse().map_err(|e| format!("serve: bad --poll-ms: {e}")))
+        .transpose()?
+        .unwrap_or(200);
+    if flags.has("--drain") && spool.is_none() {
+        return Err("serve: --drain requires --spool (a manifest is one-shot already)".into());
+    }
+    let config = ServeConfig {
+        out: flags.value("--out").map(std::path::PathBuf::from),
+        max_total_steps,
+        max_concurrent,
+        quantum,
+    };
+    let initial = match manifest {
+        Some(path) => {
+            manifest_jobs(std::path::Path::new(path)).map_err(|e| format!("serve: {e}"))?
+        }
+        None => Vec::new(),
+    };
+    let report = match spool {
+        Some(dir) => {
+            let mut intake =
+                SpoolIntake::new(std::path::Path::new(dir), poll_ms, flags.has("--drain"));
+            let report = serve(initial, &mut intake, &config).map_err(|e| format!("serve: {e}"))?;
+            if let Some(e) = intake.take_error() {
+                return Err(format!("serve: {e}"));
+            }
+            report
+        }
+        None => run_jobs(initial, &config).map_err(|e| format!("serve: {e}"))?,
+    };
+    for line in &report.log {
+        println!("{line}");
+    }
+    let failed = report
+        .jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::Failed)
+        .count();
+    if failed > 0 {
+        return Err(format!("serve: {failed} job(s) failed"));
     }
     Ok(())
 }

@@ -71,4 +71,5 @@ pub use ocr_maze as maze;
 pub use ocr_netlist as netlist;
 pub use ocr_obs as obs;
 pub use ocr_render as render;
+pub use ocr_serve as serve;
 pub use ocr_verify as verify;

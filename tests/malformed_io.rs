@@ -61,6 +61,75 @@ fn valid_round_trips_survive_the_fuzz_fixture() {
 }
 
 #[test]
+fn parse_jobs_never_panics_on_mutated_inputs() {
+    // The fuzz base exercises the whole `ocr-jobs-v1` grammar: every
+    // per-job option, negative priority, comments.
+    use overcell_router::io::job::{parse_jobs, write_jobs, JobSpec};
+
+    let mut a = JobSpec::new("alpha", "chips/a.ocr");
+    a.flow = "channel3".into();
+    a.priority = -4;
+    a.max_steps = Some(9_000);
+    a.salvage = true;
+    a.verify = true;
+    let b = JobSpec::new("beta.2", "b.ocr");
+    let base = format!("# spooled batch\n{}", write_jobs(&[a, b]));
+    parse_jobs(&base).expect("base jobs document parses");
+    for i in 0..TRIALS {
+        let seed = 0x10b5 ^ i as u64;
+        let mutated = corrupt_text(&base, seed, 1 + i % 32);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = parse_jobs(&mutated);
+        }));
+        assert!(
+            outcome.is_ok(),
+            "parse_jobs panicked on mutation seed {seed} (input: {:?}…)",
+            mutated.chars().take(200).collect::<String>()
+        );
+    }
+}
+
+#[test]
+fn parse_results_never_panics_on_mutated_inputs() {
+    use overcell_router::io::job::{parse_results, write_results, JobRecord};
+
+    let records = vec![
+        JobRecord {
+            name: "alpha".into(),
+            status: "done".into(),
+            steps: 203,
+            routed: 123,
+            degraded: 0,
+            preempts: 2,
+            detail: String::new(),
+        },
+        JobRecord {
+            name: "beta".into(),
+            status: "failed".into(),
+            steps: 0,
+            routed: 0,
+            degraded: 0,
+            preempts: 0,
+            detail: "poisoned: injected fault".into(),
+        },
+    ];
+    let base = write_results(&records);
+    parse_results(&base).expect("base results document parses");
+    for i in 0..TRIALS {
+        let seed = 0x4e5 ^ i as u64;
+        let mutated = corrupt_text(&base, seed, 1 + i % 32);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = parse_results(&mutated);
+        }));
+        assert!(
+            outcome.is_ok(),
+            "parse_results panicked on mutation seed {seed} (input: {:?}…)",
+            mutated.chars().take(200).collect::<String>()
+        );
+    }
+}
+
+#[test]
 fn parse_checkpoint_never_panics_on_mutated_inputs() {
     // The fuzz base is a *real* mid-run checkpoint — routed geometry,
     // failure reasons, pending queue, stats — so mutations hit every
