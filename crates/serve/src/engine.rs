@@ -84,9 +84,18 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
-    /// The `ocr-results-v1` records for every job.
+    /// The `ocr-results-v1` records, one per job *name* in submission
+    /// order. `ocr-results-v1` keys records by name, so when a
+    /// duplicate-name submission was rejected the first job's answer
+    /// owns the record; the rejection itself is still visible in
+    /// [`ServeReport::jobs`] and the log.
     pub fn records(&self) -> Vec<JobRecord> {
-        self.jobs.iter().map(record_of).collect()
+        let mut seen = std::collections::BTreeSet::new();
+        self.jobs
+            .iter()
+            .filter(|j| seen.insert(j.name.as_str()))
+            .map(record_of)
+            .collect()
     }
 
     /// The final summary line of the log.
@@ -165,6 +174,10 @@ pub fn serve(
 /// Per-job scheduler state.
 struct JobState {
     spec: JobSpec,
+    /// A later submission reusing an earlier job's name. It is answered
+    /// `rejected` in the report and log only — the first job owns the
+    /// `out/<name>/` directory and the name's record in `results.txt`.
+    duplicate: bool,
     loaded: Option<LoadedChip>,
     steps: u64,
     slices: u64,
@@ -323,6 +336,7 @@ impl Engine<'_> {
             let ckpt_path = self.out.join(&input.spec.name).join("job.ckpt");
             self.states.push(JobState {
                 spec: input.spec,
+                duplicate,
                 loaded: None,
                 steps: 0,
                 slices: 0,
@@ -593,7 +607,9 @@ impl Engine<'_> {
             }
         };
         self.log.push(line);
-        self.write_job_files(&report)?;
+        if !self.states[i].duplicate {
+            self.write_job_files(&report)?;
+        }
         self.states[i].last = None;
         self.states[i].report = Some(report);
         Ok(())

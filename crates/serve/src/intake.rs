@@ -10,8 +10,9 @@
 use crate::{JobInput, LoadedChip, ServeError};
 use ocr_core::FlowKind;
 use ocr_io::ckpt::fnv1a_64;
-use ocr_io::job::{parse_jobs, JobSpec};
+use ocr_io::job::{parse_jobs, valid_job_name, JobSpec};
 use ocr_io::{parse_chip, write_chip};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// Resolves a submitted spec into a [`JobInput`]: parses and audits the
@@ -88,6 +89,18 @@ pub fn manifest_jobs(path: &Path) -> Result<Vec<JobInput>, ServeError> {
 ///
 /// [`ServeError::Io`] when the directory itself cannot be read.
 pub fn scan_spool(dir: &Path) -> Result<Vec<JobInput>, ServeError> {
+    scan_spool_sticky(dir, &mut BTreeSet::new())
+}
+
+/// [`scan_spool`] with a memory: files recorded in `sticky` are skipped,
+/// and a file whose jobs were submitted but which could not be removed
+/// is added to it. A long-lived intake passes the same set every scan,
+/// so an unremovable file (read-only spool, permission change) is
+/// surfaced as one rejection instead of resubmitting its jobs forever.
+fn scan_spool_sticky(
+    dir: &Path,
+    sticky: &mut BTreeSet<PathBuf>,
+) -> Result<Vec<JobInput>, ServeError> {
     let entries = std::fs::read_dir(dir).map_err(|e| ServeError::Io {
         path: dir.to_path_buf(),
         message: e.to_string(),
@@ -99,6 +112,9 @@ pub fn scan_spool(dir: &Path) -> Result<Vec<JobInput>, ServeError> {
     files.sort();
     let mut jobs = Vec::new();
     for file in files {
+        if sticky.contains(&file) {
+            continue;
+        }
         let batch = std::fs::read_to_string(&file)
             .map_err(|e| e.to_string())
             .and_then(|text| parse_jobs(&text).map_err(|e| e.to_string()));
@@ -107,9 +123,13 @@ pub fn scan_spool(dir: &Path) -> Result<Vec<JobInput>, ServeError> {
                 jobs.extend(specs.into_iter().map(|s| load_job(s, dir)));
             }
             Err(message) => {
+                // The pseudo-job's name must survive the results-file
+                // round trip, so an invalid stem (`.x.job`, `a b.job`)
+                // falls back like a non-UTF-8 one.
                 let stem = file
                     .file_stem()
                     .and_then(|s| s.to_str())
+                    .filter(|s| valid_job_name(s))
                     .unwrap_or("malformed");
                 jobs.push(JobInput {
                     spec: JobSpec::new(stem, ""),
@@ -118,14 +138,14 @@ pub fn scan_spool(dir: &Path) -> Result<Vec<JobInput>, ServeError> {
             }
         }
         // Consume the file so the job runs exactly once. A file that
-        // cannot be removed would resubmit forever; surface that as a
-        // rejection too rather than loop.
+        // cannot be removed is remembered in `sticky` and surfaced as a
+        // rejection, rather than resubmitting on every rescan.
         if let Err(e) = std::fs::remove_file(&file) {
             jobs.push(JobInput {
                 spec: JobSpec::new("spool-remove-failed", ""),
                 load: Err(format!("{}: cannot consume: {e}", file.display())),
             });
-            break;
+            sticky.insert(file);
         }
     }
     Ok(jobs)
@@ -140,6 +160,8 @@ pub struct SpoolIntake {
     poll: std::time::Duration,
     drain: bool,
     scanned: bool,
+    closing: bool,
+    sticky: BTreeSet<PathBuf>,
     error: Option<ServeError>,
 }
 
@@ -152,6 +174,8 @@ impl SpoolIntake {
             poll: std::time::Duration::from_millis(poll_ms.max(1)),
             drain,
             scanned: false,
+            closing: false,
+            sticky: BTreeSet::new(),
             error: None,
         }
     }
@@ -164,7 +188,7 @@ impl SpoolIntake {
 
 impl crate::Intake for SpoolIntake {
     fn poll(&mut self, idle: bool) -> Option<Vec<JobInput>> {
-        if self.drain && self.scanned {
+        if self.closing || (self.drain && self.scanned) {
             return None;
         }
         if self.scanned && idle {
@@ -174,7 +198,7 @@ impl crate::Intake for SpoolIntake {
         }
         let stop = self.dir.join("stop");
         let stopping = stop.exists();
-        let batch = match scan_spool(&self.dir) {
+        let batch = match scan_spool_sticky(&self.dir, &mut self.sticky) {
             Ok(batch) => batch,
             Err(e) => {
                 // The spool went away: close the intake so the engine
@@ -185,7 +209,11 @@ impl crate::Intake for SpoolIntake {
         };
         self.scanned = true;
         if stopping {
+            // The sentinel is consumed now, so the decision to close
+            // must outlive this call: deliver any jobs scanned alongside
+            // it, then close on the next poll.
             let _ = std::fs::remove_file(&stop);
+            self.closing = true;
             if batch.is_empty() {
                 return None;
             }
@@ -248,11 +276,56 @@ mod tests {
     fn malformed_spool_file_becomes_a_rejection() {
         let dir = scratch("bad");
         std::fs::write(dir.join("x.job"), "not a jobs file").expect("job");
+        // A stem that is not a valid job name must not leak into the
+        // pseudo-job (it would poison the service's results file).
+        std::fs::write(dir.join(".x.job"), "not a jobs file").expect("job");
         let jobs = scan_spool(&dir).expect("scan");
-        assert_eq!(jobs.len(), 1);
-        assert_eq!(jobs[0].spec.name, "x");
-        assert!(jobs[0].load.is_err());
+        let names: Vec<&str> = jobs.iter().map(|j| j.spec.name.as_str()).collect();
+        assert_eq!(names, ["malformed", "x"], "invalid stems are sanitized");
+        assert!(jobs.iter().all(|j| j.load.is_err()));
         assert!(!dir.join("x.job").exists());
+        assert!(!dir.join(".x.job").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sticky_files_are_skipped_on_rescan() {
+        let dir = scratch("sticky");
+        std::fs::write(dir.join("x.job"), "not a jobs file").expect("job");
+        let mut sticky = BTreeSet::new();
+        sticky.insert(dir.join("x.job"));
+        let jobs = scan_spool_sticky(&dir, &mut sticky).expect("scan");
+        assert!(jobs.is_empty(), "sticky files are not resubmitted");
+        assert!(dir.join("x.job").exists(), "sticky files are left alone");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_alongside_pending_jobs_still_closes_the_intake() {
+        use crate::Intake;
+        let dir = scratch("stopbatch");
+        let chip = ocr_gen::random::small_random(4, 2, 3, 8, 7);
+        std::fs::write(
+            dir.join("chip.ocr"),
+            write_chip(&chip.layout, &chip.placement),
+        )
+        .expect("chip");
+        std::fs::write(
+            dir.join("a.job"),
+            write_jobs(&[JobSpec::new("alpha", "chip.ocr")]),
+        )
+        .expect("job");
+        std::fs::write(dir.join("stop"), "").expect("stop");
+        let mut intake = SpoolIntake::new(&dir, 1, false);
+        let batch = intake
+            .poll(true)
+            .expect("jobs scanned with the sentinel are delivered");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].spec.name, "alpha");
+        assert!(
+            intake.poll(true).is_none(),
+            "the consumed sentinel must still close the intake"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

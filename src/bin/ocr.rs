@@ -899,18 +899,21 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         }
         None => Vec::new(),
     };
-    let report = match spool {
+    let (report, intake_error) = match spool {
         Some(dir) => {
             let mut intake =
                 SpoolIntake::new(std::path::Path::new(dir), poll_ms, flags.has("--drain"));
             let report = serve(initial, &mut intake, &config).map_err(|e| format!("serve: {e}"))?;
-            if let Some(e) = intake.take_error() {
-                return Err(format!("serve: {e}"));
-            }
-            report
+            (report, intake.take_error())
         }
-        None => run_jobs(initial, &config).map_err(|e| format!("serve: {e}"))?,
+        None => (
+            run_jobs(initial, &config).map_err(|e| format!("serve: {e}"))?,
+            None,
+        ),
     };
+    // The engine drained and answered every job even if the spool went
+    // away mid-run: print the admission log and per-job outcomes before
+    // surfacing the intake error.
     for line in &report.log {
         println!("{line}");
     }
@@ -919,6 +922,9 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         .iter()
         .filter(|j| j.status == JobStatus::Failed)
         .count();
+    if let Some(e) = intake_error {
+        return Err(format!("serve: {e}"));
+    }
     if failed > 0 {
         return Err(format!("serve: {failed} job(s) failed"));
     }

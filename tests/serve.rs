@@ -19,7 +19,7 @@ use overcell_router::io::ckpt::fnv1a_64;
 use overcell_router::io::job::{parse_results, write_jobs, JobSpec};
 use overcell_router::io::{write_chip, write_routes};
 use overcell_router::serve::{
-    run_jobs, serve, JobInput, JobStatus, LoadedChip, ServeConfig, ServeReport, SpoolIntake,
+    run_jobs, serve, Intake, JobInput, JobStatus, LoadedChip, ServeConfig, ServeReport, SpoolIntake,
 };
 use std::path::PathBuf;
 
@@ -253,6 +253,55 @@ fn bad_submissions_are_answered_not_dropped() {
         .filter(|j| j.name == "a" && j.status == JobStatus::Rejected)
         .count();
     assert_eq!(dup, 1, "the duplicate is rejected, the original runs");
+}
+
+#[test]
+fn late_duplicate_name_never_clobbers_the_original_answer() {
+    /// Delivers its batches one per poll, but only once the engine is
+    /// idle — so the duplicate arrives strictly after the original job
+    /// has been answered.
+    struct Late {
+        queued: Vec<Vec<JobInput>>,
+    }
+    impl Intake for Late {
+        fn poll(&mut self, idle: bool) -> Option<Vec<JobInput>> {
+            if !idle {
+                return Some(Vec::new());
+            }
+            if self.queued.is_empty() {
+                None
+            } else {
+                Some(self.queued.remove(0))
+            }
+        }
+    }
+    let out = scratch("dup");
+    let config = ServeConfig {
+        out: Some(out.clone()),
+        ..ServeConfig::default()
+    };
+    let original = input("a", &chip(42), FlowKind::OverCell, 0);
+    let duplicate = input("a", &chip(3), FlowKind::OverCell, 0);
+    let mut intake = Late {
+        queued: vec![vec![duplicate]],
+    };
+    let report = serve(vec![original], &mut intake, &config).expect("serves");
+    assert_eq!(report.jobs.len(), 2, "both submissions are answered");
+    assert_eq!(report.jobs[0].status, JobStatus::Done);
+    assert_eq!(report.jobs[1].status, JobStatus::Rejected);
+    // The first job owns out/a/: the rejection must not touch it.
+    let status = std::fs::read_to_string(out.join("a").join("status")).expect("status file");
+    assert_eq!(status, "done\n", "the original's status survives");
+    assert!(out.join("a").join("routes.txt").exists());
+    // And the service's own results file still re-parses: one record
+    // per name, owned by the first answer.
+    let results = std::fs::read_to_string(out.join("results.txt")).expect("results.txt");
+    let records = parse_results(&results).expect("service results re-parse");
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].name, "a");
+    assert_eq!(records[0].status, "done");
+    assert_eq!(records, report.records());
+    let _ = std::fs::remove_dir_all(&out);
 }
 
 /// A collision-free scratch directory for the on-disk spool test.
