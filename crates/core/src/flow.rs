@@ -102,37 +102,62 @@ pub struct FlowOptions {
 }
 
 impl FlowOptions {
+    /// All options off — the start of a builder chain:
+    ///
+    /// ```
+    /// # use ocr_core::flow::FlowOptions;
+    /// let opts = FlowOptions::new().verify(true).salvage(true);
+    /// assert!(opts.verify && opts.salvage && !opts.strict);
+    /// ```
+    ///
+    /// The fields stay public; the builder just replaces struct-literal
+    /// churn at construction sites.
+    pub fn new() -> Self {
+        FlowOptions::default()
+    }
+
+    /// Sets [`FlowOptions::verify`] (run the independent oracle).
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Sets [`FlowOptions::strict`] (drawn-width rules everywhere).
+    pub fn strict(mut self, on: bool) -> Self {
+        self.strict = on;
+        self
+    }
+
+    /// Sets [`FlowOptions::telemetry`] (collect `ocr-obs` data).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Sets [`FlowOptions::salvage`] (degrade instead of aborting).
+    pub fn salvage(mut self, on: bool) -> Self {
+        self.salvage = on;
+        self
+    }
+
     /// Verification on, default (Level A drawn-layer) rules.
     pub fn verified() -> Self {
-        FlowOptions {
-            verify: true,
-            ..FlowOptions::default()
-        }
+        FlowOptions::new().verify(true)
     }
 
     /// Verification on, strict drawn-width rules on all four layers.
     pub fn verified_strict() -> Self {
-        FlowOptions {
-            verify: true,
-            strict: true,
-            ..FlowOptions::default()
-        }
+        FlowOptions::new().verify(true).strict(true)
     }
 
     /// Telemetry collection on.
     pub fn instrumented() -> Self {
-        FlowOptions {
-            telemetry: true,
-            ..FlowOptions::default()
-        }
+        FlowOptions::new().telemetry(true)
     }
 
     /// Graceful degradation on (see [`FlowOptions::salvage`]).
     pub fn salvaged() -> Self {
-        FlowOptions {
-            salvage: true,
-            ..FlowOptions::default()
-        }
+        FlowOptions::new().salvage(true)
     }
 }
 
@@ -233,6 +258,29 @@ impl FlowKind {
         self.build_with(FlowOptions::default())
     }
 
+    /// Builds the flow with the given shared options and, for the
+    /// over-cell flow, a Level B net-ordering policy. Channel flows have
+    /// no serial net loop, so `ordering` is ignored for them — callers
+    /// that must reject the combination (e.g. `ocr serve`'s per-job
+    /// `order=`) validate before building.
+    pub fn build_with_ordering(
+        self,
+        options: FlowOptions,
+        ordering: Option<crate::order::NetOrdering>,
+    ) -> Box<dyn Flow> {
+        match (self, ordering) {
+            (FlowKind::OverCell, Some(ordering)) => Box::new(OverCellFlow {
+                options,
+                level_b: LevelBConfig {
+                    ordering,
+                    ..LevelBConfig::default()
+                },
+                ..OverCellFlow::default()
+            }),
+            (kind, _) => kind.build_with(options),
+        }
+    }
+
     /// Builds the flow with default configuration and the given shared
     /// options.
     pub fn build_with(self, options: FlowOptions) -> Box<dyn Flow> {
@@ -286,7 +334,7 @@ fn maybe_verify(
 /// (pool workers inherit it through `ocr-exec`), and its snapshot is
 /// attached to the result. With the flag off this is a plain call —
 /// instrumented code paths see no collector and record nothing.
-fn run_with_telemetry(
+pub(crate) fn run_with_telemetry(
     options: FlowOptions,
     f: impl FnOnce() -> Result<FlowResult, RouteError>,
 ) -> Result<FlowResult, RouteError> {
@@ -305,7 +353,7 @@ fn run_with_telemetry(
 /// Assembles the [`FlowResult`] every flow returns from the (possibly
 /// merged) chip-channel result — the one place metrics and the optional
 /// oracle report are computed.
-fn assemble_result(
+pub(crate) fn assemble_result(
     a: ChipChannelResult,
     level_a_nets: Vec<NetId>,
     level_b_nets: Vec<NetId>,
@@ -398,6 +446,34 @@ fn interrupted_result(
         telemetry: None,
         degradation: Some(degradation),
     })
+}
+
+/// Splits the nets into sets A and B under the flow's partition
+/// strategy (the `AreaBudget` strategy takes its priority from the
+/// criticality order). Shared by [`OverCellFlow::run`] and the
+/// portfolio racer, which partitions once and races only Level B.
+pub(crate) fn partition_sets(
+    partition: &PartitionStrategy,
+    layout: &Layout,
+    placement: &RowPlacement,
+) -> Result<(Vec<NetId>, Vec<NetId>), RouteError> {
+    let _span = ocr_obs::span("flow.partition");
+    match partition {
+        PartitionStrategy::AreaBudget {
+            max_tracks_per_channel,
+        } => {
+            // Priority: criticality order (most critical first).
+            let all: Vec<_> = layout.net_ids().collect();
+            let priority = crate::order::NetOrdering::Criticality.order(layout, &all);
+            Ok(crate::partition::partition_nets_area_budget(
+                layout,
+                placement,
+                *max_tracks_per_channel,
+                &priority,
+            ))
+        }
+        other => partition_nets(layout, other),
+    }
 }
 
 /// The shared body of the three channel-only flows: partition everything
@@ -514,25 +590,7 @@ impl OverCellFlow {
                 return interrupted_result(layout, placement, self.options, s);
             }
         }
-        let (set_a, set_b) = {
-            let _span = ocr_obs::span("flow.partition");
-            match &self.partition {
-                PartitionStrategy::AreaBudget {
-                    max_tracks_per_channel,
-                } => {
-                    // Priority: criticality order (most critical first).
-                    let all: Vec<_> = layout.net_ids().collect();
-                    let priority = crate::order::NetOrdering::Criticality.order(layout, &all);
-                    crate::partition::partition_nets_area_budget(
-                        layout,
-                        placement,
-                        *max_tracks_per_channel,
-                        &priority,
-                    )
-                }
-                other => partition_nets(layout, other)?,
-            }
-        };
+        let (set_a, set_b) = partition_sets(&self.partition, layout, placement)?;
         // Level A: channels on metal1/metal2; fixes the topology. A
         // tripped control abandons the whole stage (partial channel
         // heights are unusable), so the run degrades to all-failed.

@@ -55,6 +55,7 @@ pub mod level_b;
 pub mod mbfs;
 pub mod order;
 pub mod partition;
+pub mod portfolio;
 pub mod pst;
 pub mod stats;
 pub mod steiner;
@@ -70,7 +71,11 @@ pub use flow::{
     FourLayerChannelFlow, OverCellFlow, ThreeLayerChannelFlow, TwoLayerChannelFlow,
 };
 pub use level_b::{LevelBResult, LevelBRouter};
-pub use order::NetOrdering;
+pub use order::{
+    ordering_from_name, CongestionAware, CriticalityAware, LongestDistance, NetOrdering,
+    OrderingStrategy, SeededShuffle, ORDER_API,
+};
 pub use partition::{partition_nets, partition_nets_area_budget, PartitionStrategy};
+pub use portfolio::{portfolio_roster, PortfolioReport, StrategyOutcome};
 pub use stats::RoutingStats;
 pub use tig::Tig;

@@ -86,7 +86,9 @@
 
 pub mod control;
 
-pub use control::{current_control, with_control, with_current_control, RunControl, TripReason};
+pub use control::{
+    current_control, with_control, with_current_control, ControlGroup, RunControl, TripReason,
+};
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -49,6 +49,12 @@ pub struct JobSpec {
     pub chip: String,
     /// Flow name (`overcell` / `channel2` / `channel3` / `channel4`).
     pub flow: String,
+    /// Optional `ocr-order-v1` net-ordering strategy name for the
+    /// overcell flow (`longest` / `shortest` / `congestion` /
+    /// `criticality` / `shuffle[:SEED]`). `None` leaves the flow's
+    /// default ordering in place. Validated by the service, not the
+    /// parser — the format stays open to future strategy names.
+    pub order: Option<String>,
     /// Scheduling priority: higher runs first. Defaults to 0.
     pub priority: i64,
     /// Optional per-job deterministic step budget.
@@ -67,6 +73,7 @@ impl JobSpec {
             name: name.into(),
             chip: chip.into(),
             flow: "overcell".to_string(),
+            order: None,
             priority: 0,
             max_steps: None,
             salvage: false,
@@ -132,6 +139,9 @@ pub fn write_jobs(jobs: &[JobSpec]) -> String {
         let _ = write!(out, "job {} {}", sanitize(&job.name), sanitize(&job.chip));
         if job.flow != "overcell" {
             let _ = write!(out, " flow {}", sanitize(&job.flow));
+        }
+        if let Some(order) = &job.order {
+            let _ = write!(out, " order {}", sanitize(order));
         }
         if job.priority != 0 {
             let _ = write!(out, " priority {}", job.priority);
@@ -232,6 +242,13 @@ pub fn parse_jobs(text: &str) -> Result<Vec<JobSpec>, ParseError> {
                     }
                     seen_flow = true;
                     spec.flow = v.to_string();
+                }
+                "order" => {
+                    let v = it.next().ok_or_else(|| err(n, "order: missing value"))?;
+                    if spec.order.is_some() {
+                        return Err(err(n, "repeated option `order`"));
+                    }
+                    spec.order = Some(v.to_string());
                 }
                 "priority" => {
                     let v = it.next().ok_or_else(|| err(n, "priority: missing value"))?;
@@ -367,6 +384,10 @@ mod tests {
                 verify: true,
                 ..JobSpec::new("beta-2.x", "b.ocr")
             },
+            JobSpec {
+                order: Some("shuffle:7".into()),
+                ..JobSpec::new("gamma", "c.ocr")
+            },
         ]
     }
 
@@ -398,6 +419,11 @@ mod tests {
             (
                 "ocr-jobs-v1\njob a a.ocr flow x flow y\n",
                 "repeated option",
+            ),
+            ("ocr-jobs-v1\njob a a.ocr order\n", "order: missing value"),
+            (
+                "ocr-jobs-v1\njob a a.ocr order longest order shortest\n",
+                "repeated option `order`",
             ),
             ("ocr-jobs-v1\njob a a.ocr turbo\n", "unknown job option"),
         ] {

@@ -265,14 +265,12 @@ fn run_slice(task: &SliceTask<'_>) -> SliceOut {
         }),
         resume,
     };
-    let options = FlowOptions {
-        telemetry: true,
-        salvage: task.salvage,
-        verify: task.verify,
-        ..FlowOptions::default()
-    };
+    let options = FlowOptions::new()
+        .telemetry(true)
+        .salvage(task.salvage)
+        .verify(task.verify);
     let result = kind
-        .build_with(options)
+        .build_with_ordering(options, task.loaded.ordering.clone())
         .run_controlled(&task.loaded.layout, &task.loaded.placement, &session)
         .map_err(|e| e.to_string());
     // The checkpoint the flow just wrote (final state, at the last

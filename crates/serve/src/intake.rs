@@ -8,7 +8,7 @@
 //! the intake: the service drains its queue and exits.
 
 use crate::{JobInput, LoadedChip, ServeError};
-use ocr_core::FlowKind;
+use ocr_core::{ordering_from_name, FlowKind};
 use ocr_io::ckpt::fnv1a_64;
 use ocr_io::job::{parse_jobs, valid_job_name, JobSpec};
 use ocr_io::{parse_chip, write_chip};
@@ -27,6 +27,23 @@ pub fn load_job(spec: JobSpec, base: &Path) -> JobInput {
 fn resolve(spec: &JobSpec, base: &Path) -> Result<LoadedChip, String> {
     let kind =
         FlowKind::from_name(&spec.flow).ok_or_else(|| format!("unknown flow `{}`", spec.flow))?;
+    let ordering = match &spec.order {
+        Some(name) => {
+            // The racer manages its own controls, which cannot compose
+            // with the scheduler's slice budgets — so no `portfolio`
+            // here; it falls out naturally as an unknown name.
+            let ordering =
+                ordering_from_name(name).ok_or_else(|| format!("unknown ordering `{name}`"))?;
+            if kind != FlowKind::OverCell {
+                return Err(format!(
+                    "ordering `{name}` applies to the overcell flow, not `{}`",
+                    spec.flow
+                ));
+            }
+            Some(ordering)
+        }
+        None => None,
+    };
     let path = base.join(&spec.chip);
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
     let (layout, placement) = parse_chip(&text).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -52,6 +69,7 @@ fn resolve(spec: &JobSpec, base: &Path) -> Result<LoadedChip, String> {
     let chip_hash = fnv1a_64(&write_chip(&layout, &placement));
     Ok(LoadedChip {
         kind,
+        ordering,
         layout,
         placement,
         chip_hash,
@@ -243,6 +261,41 @@ mod tests {
         assert!(input.load.unwrap_err().contains("unknown flow"));
         let input = load_job(JobSpec::new("b", "missing.ocr"), &dir);
         assert!(input.load.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_job_validates_the_order_option() {
+        let dir = scratch("order");
+        let chip = ocr_gen::random::small_random(4, 2, 3, 8, 7);
+        std::fs::write(
+            dir.join("chip.ocr"),
+            write_chip(&chip.layout, &chip.placement),
+        )
+        .expect("chip");
+        let mut spec = JobSpec::new("a", "chip.ocr");
+        spec.order = Some("criticality".into());
+        let input = load_job(spec, &dir);
+        let loaded = input.load.expect("valid ordering loads");
+        assert_eq!(
+            loaded.ordering.as_ref().map(|o| o.name()),
+            Some("criticality".to_string())
+        );
+        let mut spec = JobSpec::new("b", "chip.ocr");
+        spec.order = Some("portfolio".into());
+        let input = load_job(spec, &dir);
+        assert!(
+            input.load.unwrap_err().contains("unknown ordering"),
+            "portfolio needs its own controls: rejected as unknown"
+        );
+        let mut spec = JobSpec::new("c", "chip.ocr");
+        spec.flow = "channel2".into();
+        spec.order = Some("longest".into());
+        let input = load_job(spec, &dir);
+        assert!(input
+            .load
+            .unwrap_err()
+            .contains("applies to the overcell flow"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

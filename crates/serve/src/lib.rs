@@ -58,7 +58,7 @@ mod intake;
 pub use engine::{run_jobs, serve, Intake, JobReport, ServeReport};
 pub use intake::{load_job, manifest_jobs, scan_spool, SpoolIntake};
 
-use ocr_core::FlowKind;
+use ocr_core::{FlowKind, NetOrdering};
 use ocr_io::job::JobRecord;
 use ocr_netlist::{Layout, RowPlacement};
 use std::fmt;
@@ -100,6 +100,10 @@ impl Default for ServeConfig {
 pub struct LoadedChip {
     /// The flow the job asked for.
     pub kind: FlowKind,
+    /// The `ocr-order-v1` net ordering the job asked for (`order=` in
+    /// the manifest), validated at intake. `None` keeps the flow's
+    /// default ordering.
+    pub ordering: Option<NetOrdering>,
     /// Parsed, audited layout.
     pub layout: Layout,
     /// Parsed, audited placement.

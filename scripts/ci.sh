@@ -68,6 +68,26 @@ for threads in 1 ""; do (
 ); done
 rm -rf "$RC_DIR"
 
+echo "==> ordering smoke (--order portfolio: deterministic racer, winner vs --order longest)"
+# The portfolio racer must produce byte-identical routes at OCR_THREADS=1
+# and on the default pool, print its deterministic winner line, and
+# `--order longest` must keep working as the explicit default strategy.
+OP_DIR="$(mktemp -d)"
+./target/release/ocr generate ami33 -o "$OP_DIR/chip.ocr"
+OCR_THREADS=1 ./target/release/ocr route "$OP_DIR/chip.ocr" --order portfolio \
+    --routes "$OP_DIR/pf-seq.txt" > "$OP_DIR/pf-seq.out"
+./target/release/ocr route "$OP_DIR/chip.ocr" --order portfolio \
+    --routes "$OP_DIR/pf-par.txt" > "$OP_DIR/pf-par.out"
+cmp "$OP_DIR/pf-seq.txt" "$OP_DIR/pf-par.txt"
+cmp "$OP_DIR/pf-seq.out" "$OP_DIR/pf-par.out"
+grep -q "portfolio: winner " "$OP_DIR/pf-seq.out" || {
+    echo "ci: ordering smoke expected a portfolio winner line" >&2
+    exit 1
+}
+./target/release/ocr route "$OP_DIR/chip.ocr" --order longest \
+    --routes "$OP_DIR/longest.txt" >/dev/null
+rm -rf "$OP_DIR"
+
 echo "==> serve smoke (spool three suite chips, preempt/resume, diff vs ocr route)"
 # The batch service on a spool of the three suite chips, with a quantum
 # tight enough to force preemption: the admission log must show at least

@@ -3,6 +3,7 @@
 //! ```text
 //! ocr generate <ami33|xerox|ex3|random> [--seed N] [-o chip.ocr]
 //! ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
+//!                      [--order NAME|portfolio[:K]]
 //!                      [--svg out.svg] [--routes out.txt] [--salvage]
 //!                      [--stats] [--stats-json out.json] [--trace-out out.trace]
 //! ocr route --suite [--salvage] [--stats] [--stats-json out.json] [--trace-out out.trace]
@@ -15,7 +16,8 @@
 //! ```
 
 use overcell_router::core::{
-    resume_from_doc, CheckpointSpec, FlowKind, FlowOptions, FlowResult, RunSession,
+    ordering_from_name, resume_from_doc, CheckpointSpec, FlowKind, FlowOptions, FlowResult,
+    NetOrdering, OverCellFlow, RunSession,
 };
 use overcell_router::exec::RunControl;
 use overcell_router::fault;
@@ -37,6 +39,8 @@ USAGE:
       Generate a benchmark chip and write it as .ocr text (stdout by
       default).
   ocr route <chip.ocr> [--flow overcell|channel2|channel3|channel4]
+                       [--order longest|shortest|congestion|criticality|
+                                shuffle[:SEED]|portfolio[:K]]
                        [--svg FILE] [--routes FILE] [--salvage]
                        [--stats] [--stats-json FILE] [--trace-out FILE]
                        [--max-steps N] [--deadline-ms MS]
@@ -44,6 +48,17 @@ USAGE:
                        [--resume FILE]
       Route the chip with the selected flow (default: overcell), print
       metrics, optionally write an SVG and the routed geometry.
+      --order picks the Level B net-ordering strategy (`ocr-order-v1`;
+      overcell flow only; default: longest). `portfolio[:K]` races K
+      strategies (default 4: longest, congestion, criticality,
+      shuffle:1; K > 4 adds shuffle:2, shuffle:3, …) concurrently on
+      the ocr-exec pool, cancels the losers once a strategy commits a
+      full result, and keeps the winner by a deterministic rule —
+      fewest unrouted nets, then lowest steps, then lowest strategy
+      index — so the routed output is bit-identical at any OCR_THREADS
+      and never worse in unrouted nets than --order longest. The racer
+      manages its own run controls, so portfolio cannot be combined
+      with --max-steps/--deadline-ms/--checkpoint-out/--resume.
       --salvage degrades gracefully instead of aborting: Level B setup
       errors and per-net panics fail only the affected net, and the
       result carries a per-net degradation report.
@@ -127,12 +142,117 @@ fn main() -> ExitCode {
     }
 }
 
+/// The declarative argument table of one subcommand: its name, the
+/// flags that take a value, and the bare switches. One parser serves
+/// every subcommand; a new flag is one string in a table, not a new
+/// hand-rolled loop.
+#[derive(Clone, Copy, Debug)]
+struct ArgSpec {
+    command: &'static str,
+    value_flags: &'static [&'static str],
+    switch_flags: &'static [&'static str],
+}
+
+const GENERATE_SPEC: ArgSpec = ArgSpec {
+    command: "generate",
+    value_flags: &["--seed", "-o"],
+    switch_flags: &[],
+};
+
+const ROUTE_SPEC: ArgSpec = ArgSpec {
+    command: "route",
+    value_flags: &[
+        "--flow",
+        "--order",
+        "--svg",
+        "--routes",
+        "--stats-json",
+        "--trace-out",
+        "--max-steps",
+        "--deadline-ms",
+        "--checkpoint-out",
+        "--checkpoint-every",
+        "--resume",
+    ],
+    switch_flags: &["--suite", "--stats", "--salvage"],
+};
+
+const VERIFY_SPEC: ArgSpec = ArgSpec {
+    command: "verify",
+    value_flags: &["--flow", "--routes"],
+    switch_flags: &["--strict", "--suite"],
+};
+
+const CHAOS_SPEC: ArgSpec = ArgSpec {
+    command: "chaos",
+    value_flags: &["--seed", "--trials"],
+    switch_flags: &[],
+};
+
+const SERVE_SPEC: ArgSpec = ArgSpec {
+    command: "serve",
+    value_flags: &[
+        "--spool",
+        "--manifest",
+        "--out",
+        "--max-total-steps",
+        "--max-concurrent",
+        "--quantum",
+        "--poll-ms",
+    ],
+    switch_flags: &["--drain"],
+};
+
+const STATS_SPEC: ArgSpec = ArgSpec {
+    command: "stats",
+    value_flags: &[],
+    switch_flags: &[],
+};
+
+impl ArgSpec {
+    /// Parses everything after the subcommand name. Unknown flags and
+    /// value flags with a missing (or flag-like) value are usage errors
+    /// — a typo must never be silently ignored.
+    fn parse<'a>(&self, args: &'a [String]) -> Result<Flags<'a>, String> {
+        let command = self.command;
+        let mut flags = Flags {
+            command,
+            values: Vec::new(),
+            switches: Vec::new(),
+            positionals: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if let Some(&name) = self.value_flags.iter().find(|&&n| n == arg) {
+                match args.get(i + 1).map(|s| s.as_str()) {
+                    Some(value) if !value.starts_with('-') || value == "-" => {
+                        flags.values.push((name, value));
+                        i += 2;
+                    }
+                    _ => return Err(format!("{command}: flag `{name}` requires a value")),
+                }
+            } else if let Some(&name) = self.switch_flags.iter().find(|&&n| n == arg) {
+                flags.switches.push(name);
+                i += 1;
+            } else if arg.starts_with('-') {
+                return Err(format!("{command}: unknown flag `{arg}`"));
+            } else {
+                flags.positionals.push(arg);
+                i += 1;
+            }
+        }
+        Ok(flags)
+    }
+}
+
 /// Parsed flags of one subcommand: `--name value` pairs, bare switches,
 /// and non-flag positionals, in order of appearance.
 #[derive(Debug)]
 struct Flags<'a> {
-    values: Vec<(&'a str, &'a str)>,
-    switches: Vec<&'a str>,
+    command: &'static str,
+    values: Vec<(&'static str, &'a str)>,
+    switches: Vec<&'static str>,
     positionals: Vec<&'a str>,
 }
 
@@ -148,44 +268,28 @@ impl<'a> Flags<'a> {
     fn has(&self, name: &str) -> bool {
         self.switches.contains(&name)
     }
-}
 
-/// Parses everything after the subcommand name. Unknown flags and value
-/// flags with a missing (or flag-like) value are usage errors — a typo
-/// must never be silently ignored.
-fn parse_flags<'a>(
-    command: &str,
-    args: &'a [String],
-    value_flags: &[&'a str],
-    switch_flags: &[&'a str],
-) -> Result<Flags<'a>, String> {
-    let mut flags = Flags {
-        values: Vec::new(),
-        switches: Vec::new(),
-        positionals: Vec::new(),
-    };
-    let mut i = 0;
-    while i < args.len() {
-        let arg = args[i].as_str();
-        if let Some(&name) = value_flags.iter().find(|&&n| n == arg) {
-            match args.get(i + 1).map(|s| s.as_str()) {
-                Some(value) if !value.starts_with('-') || value == "-" => {
-                    flags.values.push((name, value));
-                    i += 2;
-                }
-                _ => return Err(format!("{command}: flag `{name}` requires a value")),
-            }
-        } else if let Some(&name) = switch_flags.iter().find(|&&n| n == arg) {
-            flags.switches.push(name);
-            i += 1;
-        } else if arg.starts_with('-') {
-            return Err(format!("{command}: unknown flag `{arg}`"));
-        } else {
-            flags.positionals.push(arg);
-            i += 1;
-        }
+    /// The flag's value parsed as `T`, with the normalized
+    /// `"{command}: bad {flag}: {cause}"` error every subcommand shares.
+    fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.value(name)
+            .map(|s| {
+                s.parse()
+                    .map_err(|e: T::Err| format!("{}: bad {name}: {e}", self.command))
+            })
+            .transpose()
     }
-    Ok(flags)
+
+    /// [`Flags::parsed`] with a default for an absent flag.
+    fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        Ok(self.parsed(name)?.unwrap_or(default))
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -225,16 +329,12 @@ fn load(path: &str) -> Result<(Layout, RowPlacement), String> {
 }
 
 fn generate(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags("generate", &args[1..], &["--seed", "-o"], &[])?;
+    let flags = GENERATE_SPEC.parse(&args[1..])?;
     let which = *flags
         .positionals
         .first()
         .ok_or("generate: missing benchmark name")?;
-    let seed: u64 = flags
-        .value("--seed")
-        .map(|s| s.parse().map_err(|e| format!("generate: bad --seed: {e}")))
-        .transpose()?
-        .unwrap_or(1);
+    let seed: u64 = flags.parsed_or("--seed", 1)?;
     let chip = match which {
         "ami33" => suite::ami33_like(),
         "xerox" => suite::xerox_like(),
@@ -348,28 +448,9 @@ fn parse_run_session(
     layout: &Layout,
     placement: &RowPlacement,
 ) -> Result<(FlowKind, RunSession, bool), String> {
-    let max_steps: Option<u64> = flags
-        .value("--max-steps")
-        .map(|s| {
-            s.parse()
-                .map_err(|e| format!("route: bad --max-steps: {e}"))
-        })
-        .transpose()?;
-    let deadline_ms: Option<u64> = flags
-        .value("--deadline-ms")
-        .map(|s| {
-            s.parse()
-                .map_err(|e| format!("route: bad --deadline-ms: {e}"))
-        })
-        .transpose()?;
-    let every: usize = flags
-        .value("--checkpoint-every")
-        .map(|s| {
-            s.parse()
-                .map_err(|e| format!("route: bad --checkpoint-every: {e}"))
-        })
-        .transpose()?
-        .unwrap_or(1);
+    let max_steps: Option<u64> = flags.parsed("--max-steps")?;
+    let deadline_ms: Option<u64> = flags.parsed("--deadline-ms")?;
+    let every: usize = flags.parsed_or("--checkpoint-every", 1)?;
     if every == 0 {
         return Err("route: --checkpoint-every must be at least 1".into());
     }
@@ -438,27 +519,45 @@ fn parse_run_session(
     Ok((kind, session, limited))
 }
 
+/// What `--order NAME` asked for: one named strategy, or a `k`-wide
+/// portfolio race.
+enum OrderChoice {
+    Strategy(NetOrdering),
+    Portfolio(usize),
+}
+
+/// Parses `--order`: an `ocr-order-v1` strategy name or
+/// `portfolio[:K]`.
+fn parse_order(name: &str) -> Result<OrderChoice, String> {
+    if let Some(rest) = name.strip_prefix("portfolio") {
+        let k = match rest {
+            "" => 4,
+            _ => rest
+                .strip_prefix(':')
+                .and_then(|s| s.parse().ok())
+                .filter(|&k| k >= 1)
+                .ok_or(format!(
+                    "route: bad --order: `{name}` takes portfolio[:K] with K >= 1"
+                ))?,
+        };
+        return Ok(OrderChoice::Portfolio(k));
+    }
+    ordering_from_name(name)
+        .map(OrderChoice::Strategy)
+        .ok_or_else(|| {
+            format!(
+                "route: unknown ordering `{name}` (try longest, shortest, congestion, \
+                 criticality, shuffle[:SEED] or portfolio[:K])"
+            )
+        })
+}
+
 fn route(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(
-        "route",
-        &args[1..],
-        &[
-            "--flow",
-            "--svg",
-            "--routes",
-            "--stats-json",
-            "--trace-out",
-            "--max-steps",
-            "--deadline-ms",
-            "--checkpoint-out",
-            "--checkpoint-every",
-            "--resume",
-        ],
-        &["--suite", "--stats", "--salvage"],
-    )?;
+    let flags = ROUTE_SPEC.parse(&args[1..])?;
     let telemetry = TelemetryOut::from_flags(&flags);
     if flags.has("--suite") {
         for f in [
+            "--order",
             "--max-steps",
             "--deadline-ms",
             "--checkpoint-out",
@@ -473,26 +572,105 @@ fn route(args: &[String]) -> Result<(), String> {
         }
         return route_suite(&flags, &telemetry);
     }
+    let order = flags.value("--order").map(parse_order).transpose()?;
+    if let Some(OrderChoice::Portfolio(_)) = order {
+        // The racer manages one RunControl per strategy internally and
+        // settles interrupted attempts itself; an outer budget or a
+        // checkpointed resume has no deterministic meaning for it.
+        for f in [
+            "--max-steps",
+            "--deadline-ms",
+            "--checkpoint-out",
+            "--checkpoint-every",
+            "--resume",
+        ] {
+            if flags.value(f).is_some() {
+                return Err(format!(
+                    "route: {f} cannot be combined with --order portfolio \
+                     (the racer runs its own controls)"
+                ));
+            }
+        }
+    }
     let path = *flags
         .positionals
         .first()
         .ok_or("route: missing chip file")?;
     let (layout, placement) = load(path)?;
     let (kind, session, limited) = parse_run_session(&flags, &layout, &placement)?;
-    let options = FlowOptions {
-        telemetry: telemetry.wanted(),
+    if order.is_some() && kind != FlowKind::OverCell {
+        return Err(format!(
+            "route: --order applies to the overcell flow, not `{}`",
+            kind.name()
+        ));
+    }
+    let options = FlowOptions::new()
+        .telemetry(telemetry.wanted())
         // A checkpointed salvage run resumes as a salvage run even if
         // --salvage is not repeated on the resume command line.
-        salvage: flags.has("--salvage") || session.resume.as_ref().is_some_and(|r| r.salvage),
-        ..FlowOptions::default()
+        .salvage(flags.has("--salvage") || session.resume.as_ref().is_some_and(|r| r.salvage));
+    let (result, portfolio) = match order {
+        Some(OrderChoice::Portfolio(k)) => {
+            let flow = OverCellFlow {
+                options,
+                ..OverCellFlow::default()
+            };
+            let (result, report) = flow
+                .run_portfolio(&layout, &placement, k)
+                .map_err(|e| e.to_string())?;
+            (result, Some(report))
+        }
+        Some(OrderChoice::Strategy(ordering)) => {
+            let result = kind
+                .build_with_ordering(options, Some(ordering))
+                .run_controlled(&layout, &placement, &session)
+                .map_err(|e| e.to_string())?;
+            (result, None)
+        }
+        None => {
+            let result = kind
+                .build_with(options)
+                .run_controlled(&layout, &placement, &session)
+                .map_err(|e| e.to_string())?;
+            (result, None)
+        }
     };
-    let result = kind
-        .build_with(options)
-        .run_controlled(&layout, &placement, &session)
-        .map_err(|e| e.to_string())?;
     let tripped = session.control.tripped();
     let errors = validate_routed_design(&result.layout, &result.design);
     println!("flow: {kind}");
+    if let Some(report) = &portfolio {
+        println!(
+            "portfolio: raced {} ordering strategies ({})",
+            report.outcomes.len(),
+            overcell_router::core::ORDER_API
+        );
+        for (j, o) in report.outcomes.iter().enumerate() {
+            match o.settled {
+                Some((unrouted, steps)) => {
+                    let marker = if j == report.winner {
+                        "  << winner"
+                    } else {
+                        ""
+                    };
+                    println!(
+                        "  [{j}] {:<14} unrouted {unrouted}, steps {steps}{marker}",
+                        o.name
+                    );
+                }
+                None => println!(
+                    "  [{j}] {:<14} lost (needed more steps than the winner)",
+                    o.name
+                ),
+            }
+        }
+        println!(
+            "portfolio: winner {} (strategy {}, unrouted {}, steps {})",
+            report.winner_name(),
+            report.winner,
+            report.winner_unrouted,
+            report.winner_steps
+        );
+    }
     println!("die:  {}", result.layout.die);
     println!("metrics: {}", result.metrics);
     println!(
@@ -558,11 +736,9 @@ fn route_suite(flags: &Flags, telemetry: &TelemetryOut) -> Result<(), String> {
                     it takes no chip file or --flow"
             .into());
     }
-    let options = FlowOptions {
-        telemetry: telemetry.wanted(),
-        salvage: flags.has("--salvage"),
-        ..FlowOptions::default()
-    };
+    let options = FlowOptions::new()
+        .telemetry(telemetry.wanted())
+        .salvage(flags.has("--salvage"));
     let mut failures = 0usize;
     let mut runs: Vec<(String, FlowKind, ocr_obs::Telemetry)> = Vec::new();
     for (chip, kind, res) in suite_fanout(options) {
@@ -597,12 +773,7 @@ fn route_suite(flags: &Flags, telemetry: &TelemetryOut) -> Result<(), String> {
 }
 
 fn verify(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(
-        "verify",
-        &args[1..],
-        &["--flow", "--routes"],
-        &["--strict", "--suite"],
-    )?;
+    let flags = VERIFY_SPEC.parse(&args[1..])?;
     let strict = flags.has("--strict");
     if flags.has("--suite") {
         return verify_suite(&flags, strict);
@@ -629,11 +800,7 @@ fn verify(args: &[String]) -> Result<(), String> {
         }
         None => {
             let kind = parse_flow(&flags)?;
-            let options = FlowOptions {
-                verify: true,
-                strict,
-                ..FlowOptions::default()
-            };
+            let options = FlowOptions::new().verify(true).strict(strict);
             let result = run_flow(kind, options, &layout, &placement)?;
             println!("flow: {kind}");
             result
@@ -661,11 +828,7 @@ fn verify_suite(flags: &Flags, strict: bool) -> Result<(), String> {
                     it takes no chip file, --flow or --routes"
             .into());
     }
-    let options = FlowOptions {
-        verify: true,
-        strict,
-        ..FlowOptions::default()
-    };
+    let options = FlowOptions::new().verify(true).strict(strict);
     let mut unclean = 0usize;
     for (chip, kind, res) in suite_fanout(options) {
         match res {
@@ -730,11 +893,7 @@ fn chaos_trial(seed: u64, t: usize, chips: &[GeneratedChip]) -> Result<TrialRepo
     let mut layout = base.layout.clone();
     fault::seal_random_cells(&mut layout, trial_seed, 2);
     fault::seal_random_terminals(&mut layout, trial_seed.wrapping_add(1), 2);
-    let options = FlowOptions {
-        salvage: true,
-        verify: true,
-        ..FlowOptions::default()
-    };
+    let options = FlowOptions::new().salvage(true).verify(true);
     let result = run_flow(FlowKind::OverCell, options, &layout, &base.placement)?;
     let report = result
         .verify
@@ -752,20 +911,12 @@ fn chaos_trial(seed: u64, t: usize, chips: &[GeneratedChip]) -> Result<TrialRepo
 }
 
 fn chaos(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags("chaos", &args[1..], &["--seed", "--trials"], &[])?;
+    let flags = CHAOS_SPEC.parse(&args[1..])?;
     if !flags.positionals.is_empty() {
         return Err("chaos: takes no chip file (trials run over the suite)".into());
     }
-    let seed: u64 = flags
-        .value("--seed")
-        .map(|s| s.parse().map_err(|e| format!("chaos: bad --seed: {e}")))
-        .transpose()?
-        .unwrap_or(1);
-    let trials: usize = flags
-        .value("--trials")
-        .map(|s| s.parse().map_err(|e| format!("chaos: bad --trials: {e}")))
-        .transpose()?
-        .unwrap_or(8);
+    let seed: u64 = flags.parsed_or("--seed", 1)?;
+    let trials: usize = flags.parsed_or("--trials", 8)?;
     if trials == 0 {
         return Err("chaos: --trials must be at least 1".into());
     }
@@ -837,20 +988,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     use overcell_router::serve::{
         manifest_jobs, run_jobs, serve, JobStatus, ServeConfig, SpoolIntake,
     };
-    let flags = parse_flags(
-        "serve",
-        &args[1..],
-        &[
-            "--spool",
-            "--manifest",
-            "--out",
-            "--max-total-steps",
-            "--max-concurrent",
-            "--quantum",
-            "--poll-ms",
-        ],
-        &["--drain"],
-    )?;
+    let flags = SERVE_SPEC.parse(&args[1..])?;
     if let Some(stray) = flags.positionals.first() {
         return Err(format!("serve: unexpected argument `{stray}`"));
     }
@@ -859,31 +997,10 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     if spool.is_none() && manifest.is_none() {
         return Err("serve: nothing to serve (pass --spool and/or --manifest)".into());
     }
-    let max_total_steps: Option<u64> = flags
-        .value("--max-total-steps")
-        .map(|s| {
-            s.parse()
-                .map_err(|e| format!("serve: bad --max-total-steps: {e}"))
-        })
-        .transpose()?;
-    let max_concurrent: usize = flags
-        .value("--max-concurrent")
-        .map(|s| {
-            s.parse()
-                .map_err(|e| format!("serve: bad --max-concurrent: {e}"))
-        })
-        .transpose()?
-        .unwrap_or(2);
-    let quantum: u64 = flags
-        .value("--quantum")
-        .map(|s| s.parse().map_err(|e| format!("serve: bad --quantum: {e}")))
-        .transpose()?
-        .unwrap_or(256);
-    let poll_ms: u64 = flags
-        .value("--poll-ms")
-        .map(|s| s.parse().map_err(|e| format!("serve: bad --poll-ms: {e}")))
-        .transpose()?
-        .unwrap_or(200);
+    let max_total_steps: Option<u64> = flags.parsed("--max-total-steps")?;
+    let max_concurrent: usize = flags.parsed_or("--max-concurrent", 2)?;
+    let quantum: u64 = flags.parsed_or("--quantum", 256)?;
+    let poll_ms: u64 = flags.parsed_or("--poll-ms", 200)?;
     if flags.has("--drain") && spool.is_none() {
         return Err("serve: --drain requires --spool (a manifest is one-shot already)".into());
     }
@@ -932,7 +1049,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn stats(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags("stats", &args[1..], &[], &[])?;
+    let flags = STATS_SPEC.parse(&args[1..])?;
     let path = *flags
         .positionals
         .first()
@@ -953,7 +1070,10 @@ fn stats(args: &[String]) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_flags;
+    use super::{
+        parse_order, run, OrderChoice, CHAOS_SPEC, GENERATE_SPEC, ROUTE_SPEC, SERVE_SPEC,
+        VERIFY_SPEC,
+    };
 
     fn argv(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()
@@ -962,22 +1082,22 @@ mod tests {
     #[test]
     fn unknown_flags_are_usage_errors() {
         let args = argv(&["chip.ocr", "--bogus"]);
-        let err = parse_flags("route", &args, &["--flow"], &[]).unwrap_err();
-        assert!(err.contains("unknown flag `--bogus`"), "{err}");
+        let err = ROUTE_SPEC.parse(&args).unwrap_err();
+        assert_eq!(err, "route: unknown flag `--bogus`");
     }
 
     #[test]
     fn value_flags_require_a_value() {
         for args in [argv(&["chip.ocr", "--flow"]), argv(&["--flow", "--svg"])] {
-            let err = parse_flags("route", &args, &["--flow", "--svg"], &[]).unwrap_err();
-            assert!(err.contains("`--flow` requires a value"), "{err}");
+            let err = ROUTE_SPEC.parse(&args).unwrap_err();
+            assert_eq!(err, "route: flag `--flow` requires a value");
         }
     }
 
     #[test]
     fn flags_values_switches_and_positionals_parse() {
         let args = argv(&["chip.ocr", "--flow", "channel2", "--strict"]);
-        let flags = parse_flags("verify", &args, &["--flow"], &["--strict"]).expect("parses");
+        let flags = VERIFY_SPEC.parse(&args).expect("parses");
         assert_eq!(flags.positionals, vec!["chip.ocr"]);
         assert_eq!(flags.value("--flow"), Some("channel2"));
         assert!(flags.has("--strict"));
@@ -987,7 +1107,113 @@ mod tests {
     #[test]
     fn dash_is_a_legal_value() {
         let args = argv(&["-o", "-"]);
-        let flags = parse_flags("generate", &args, &["-o"], &[]).expect("parses");
+        let flags = GENERATE_SPEC.parse(&args).expect("parses");
         assert_eq!(flags.value("-o"), Some("-"));
+    }
+
+    /// Golden strings: every subcommand reports a bad numeric value with
+    /// the same normalized `"{command}: bad {flag}: {cause}"` shape the
+    /// hand-rolled loops used to produce.
+    #[test]
+    fn bad_value_errors_keep_their_exact_strings() {
+        let cause = "x".parse::<u64>().unwrap_err().to_string();
+        let cases: &[(&[&str], &str)] = &[
+            (
+                &["generate", "ami33", "--seed", "x"],
+                "generate: bad --seed:",
+            ),
+            (&["chaos", "--seed", "x"], "chaos: bad --seed:"),
+            (&["chaos", "--trials", "x"], "chaos: bad --trials:"),
+            (
+                &["serve", "--spool", "nowhere", "--quantum", "x"],
+                "serve: bad --quantum:",
+            ),
+            (
+                &["serve", "--spool", "nowhere", "--max-concurrent", "x"],
+                "serve: bad --max-concurrent:",
+            ),
+        ];
+        for (args, prefix) in cases {
+            let err = run(&argv(args)).unwrap_err();
+            assert_eq!(err, format!("{prefix} {cause}"), "args {args:?}");
+        }
+    }
+
+    #[test]
+    fn route_flag_parse_errors_come_from_the_shared_helper() {
+        // `route` loads the chip before parsing run-control values, so
+        // drive the typed getter directly against the route spec.
+        let args = argv(&["chip.ocr", "--max-steps", "x"]);
+        let flags = ROUTE_SPEC.parse(&args).expect("parses");
+        let cause = "x".parse::<u64>().unwrap_err().to_string();
+        let err = flags.parsed::<u64>("--max-steps").unwrap_err();
+        assert_eq!(err, format!("route: bad --max-steps: {cause}"));
+        let ok = argv(&["chip.ocr", "--max-steps", "12"]);
+        let flags = ROUTE_SPEC.parse(&ok).expect("parses");
+        assert_eq!(flags.parsed::<u64>("--max-steps"), Ok(Some(12)));
+        assert_eq!(flags.parsed_or::<u64>("--deadline-ms", 7), Ok(7));
+    }
+
+    #[test]
+    fn every_spec_parses_its_own_flags() {
+        for spec in [
+            GENERATE_SPEC,
+            ROUTE_SPEC,
+            VERIFY_SPEC,
+            CHAOS_SPEC,
+            SERVE_SPEC,
+        ] {
+            for name in spec.value_flags {
+                let args = argv(&[name, "1"]);
+                let flags = spec.parse(&args).unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_eq!(flags.value(name), Some("1"), "{name}");
+            }
+            for name in spec.switch_flags {
+                let args = argv(&[name]);
+                let flags = spec.parse(&args).unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert!(flags.has(name), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_flag_parses_strategies_and_portfolio() {
+        assert!(matches!(
+            parse_order("portfolio"),
+            Ok(OrderChoice::Portfolio(4))
+        ));
+        assert!(matches!(
+            parse_order("portfolio:7"),
+            Ok(OrderChoice::Portfolio(7))
+        ));
+        for name in ["longest", "congestion", "criticality", "shuffle:3"] {
+            assert!(matches!(parse_order(name), Ok(OrderChoice::Strategy(_))));
+        }
+        for bad in ["portfolio:0", "portfolio:x", "portfolio:", "fastest"] {
+            assert!(parse_order(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn order_flag_combinations_are_validated() {
+        let err = run(&argv(&["route", "--suite", "--order", "portfolio"])).unwrap_err();
+        assert_eq!(
+            err,
+            "route: --order applies to a single-chip route, not --suite"
+        );
+        let err = run(&argv(&[
+            "route",
+            "chip.ocr",
+            "--order",
+            "portfolio",
+            "--max-steps",
+            "9",
+        ]))
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "route: --max-steps cannot be combined with --order portfolio \
+             (the racer runs its own controls)"
+        );
     }
 }

@@ -66,11 +66,7 @@ fn storm_chip(seed: u64) -> overcell_router::gen::GeneratedChip {
 fn storm_chips_degrade_but_stay_oracle_clean_and_exhaustive() {
     for seed in [1u64, 7, 23] {
         let chip = storm_chip(seed);
-        let options = FlowOptions {
-            salvage: true,
-            verify: true,
-            ..FlowOptions::default()
-        };
+        let options = FlowOptions::new().salvage(true).verify(true);
         let result = FlowKind::OverCell
             .build_with(options)
             .run(&chip.layout, &chip.placement)
@@ -103,11 +99,7 @@ fn storm_chips_degrade_but_stay_oracle_clean_and_exhaustive() {
 #[test]
 fn route_net_panics_degrade_as_poisoned_and_the_rest_survives() {
     let chip = small_random(8, 3, 4, 16, 5);
-    let options = FlowOptions {
-        salvage: true,
-        verify: true,
-        ..FlowOptions::default()
-    };
+    let options = FlowOptions::new().salvage(true).verify(true);
     let plan = fault::plan(3).panic_at("level_b.route_net", 0.5, 3).build();
     let result = fault::with_plan(&plan, || {
         FlowKind::OverCell

@@ -1,0 +1,149 @@
+//! Ordering-strategy contract (DESIGN.md §12): every `ocr-order-v1`
+//! strategy is a pure permutation that keeps the flow oracle-clean, and
+//! the portfolio racer is deterministic —
+//!
+//! * `--order portfolio` output is byte-identical at any `OCR_THREADS`,
+//! * the portfolio result is exactly the winning strategy's standalone
+//!   result (cancelled losers leave no residue in the design), and
+//! * by the winner rule it is never worse in unrouted-net count than
+//!   `longest`, the paper's default, on any suite chip.
+
+use overcell_router::core::{
+    ordering_from_name, FlowKind, FlowOptions, LongestDistance, NetOrdering, OverCellFlow,
+    PortfolioReport,
+};
+use overcell_router::exec::with_threads;
+use overcell_router::gen::suite;
+use overcell_router::io::write_routes;
+use overcell_router::netlist::validate_routed_design;
+
+/// Routes one suite chip with an explicit ordering and salvage on, so
+/// an ordering that strands nets reports them instead of erroring.
+fn route_with(chip: &overcell_router::gen::GeneratedChip, ordering: NetOrdering) -> String {
+    let result = FlowKind::OverCell
+        .build_with_ordering(FlowOptions::new().salvage(true), Some(ordering))
+        .run(&chip.layout, &chip.placement)
+        .expect("flow");
+    write_routes(&result.layout, &result.design)
+}
+
+fn race(chip: &overcell_router::gen::GeneratedChip, k: usize) -> (String, PortfolioReport) {
+    let flow = OverCellFlow {
+        options: FlowOptions::new().salvage(true),
+        ..OverCellFlow::default()
+    };
+    let (result, report) = flow
+        .run_portfolio(&chip.layout, &chip.placement, k)
+        .expect("portfolio");
+    (write_routes(&result.layout, &result.design), report)
+}
+
+#[test]
+fn longest_distance_strategy_matches_the_default_flow() {
+    for chip in suite::all() {
+        let default = FlowKind::OverCell
+            .build_with(FlowOptions::new().salvage(true))
+            .run(&chip.layout, &chip.placement)
+            .expect("default flow");
+        let explicit = route_with(&chip, NetOrdering::strategy(LongestDistance));
+        assert_eq!(
+            write_routes(&default.layout, &default.design),
+            explicit,
+            "{}: the `longest` strategy must preserve the default order",
+            chip.spec.name
+        );
+    }
+}
+
+#[test]
+fn every_strategy_stays_oracle_clean_across_the_suite() {
+    for chip in suite::all() {
+        for name in [
+            "longest",
+            "shortest",
+            "congestion",
+            "criticality",
+            "shuffle:3",
+        ] {
+            let ordering = ordering_from_name(name).expect(name);
+            let result = FlowKind::OverCell
+                .build_with_ordering(
+                    FlowOptions::new().salvage(true).verify(true),
+                    Some(ordering),
+                )
+                .run(&chip.layout, &chip.placement)
+                .unwrap_or_else(|e| panic!("{} under {name}: {e}", chip.spec.name));
+            let report = result.verify.expect("verify report attached");
+            assert!(
+                report.is_clean(),
+                "{} under {name}: {report}",
+                chip.spec.name
+            );
+            let errors = validate_routed_design(&result.layout, &result.design);
+            assert!(
+                errors.is_empty(),
+                "{} under {name}: {errors:?}",
+                chip.spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn portfolio_is_byte_identical_across_thread_counts() {
+    let chip = suite::ami33_like();
+    let (seq_routes, seq_report) = with_threads(1, || race(&chip, 4));
+    let (par_routes, par_report) = with_threads(4, || race(&chip, 4));
+    assert_eq!(
+        seq_routes, par_routes,
+        "portfolio routes must not depend on OCR_THREADS"
+    );
+    assert_eq!(
+        seq_report, par_report,
+        "the per-strategy report must not depend on OCR_THREADS"
+    );
+}
+
+#[test]
+fn portfolio_result_is_the_winners_standalone_run() {
+    // Cancelled losers must leave no occupancy residue: the merged
+    // design is bit-equal to routing with the winning strategy alone.
+    let chip = suite::ami33_like();
+    let (routes, report) = race(&chip, 4);
+    let winner =
+        ordering_from_name(report.winner_name()).expect("winner names round-trip the registry");
+    assert_eq!(
+        routes,
+        route_with(&chip, winner),
+        "portfolio winner {} (index {}) must equal its standalone run",
+        report.winner_name(),
+        report.winner
+    );
+}
+
+#[test]
+fn portfolio_is_never_worse_than_longest_on_the_suite() {
+    for chip in suite::all() {
+        let longest = FlowKind::OverCell
+            .build_with_ordering(
+                FlowOptions::new().salvage(true),
+                Some(NetOrdering::LongestFirst),
+            )
+            .run(&chip.layout, &chip.placement)
+            .expect("longest flow");
+        let unrouted = longest.stats.as_ref().map_or(0, |s| s.nets_failed);
+        let (_, report) = race(&chip, 4);
+        assert!(
+            report.winner_unrouted <= unrouted,
+            "{}: portfolio {} unrouted vs longest {unrouted}",
+            chip.spec.name,
+            report.winner_unrouted
+        );
+        assert_eq!(
+            report.outcomes.len(),
+            4,
+            "{}: four strategies raced",
+            chip.spec.name
+        );
+    }
+}

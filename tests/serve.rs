@@ -10,7 +10,7 @@
 //! * Per-job faults (injected panics, bad specs, step caps) become
 //!   typed terminal statuses; every submission is answered.
 
-use overcell_router::core::{FlowKind, FlowOptions};
+use overcell_router::core::{ordering_from_name, FlowKind, FlowOptions};
 use overcell_router::exec::with_threads;
 use overcell_router::fault;
 use overcell_router::gen::random::small_random;
@@ -19,7 +19,8 @@ use overcell_router::io::ckpt::fnv1a_64;
 use overcell_router::io::job::{parse_results, write_jobs, JobSpec};
 use overcell_router::io::{write_chip, write_routes};
 use overcell_router::serve::{
-    run_jobs, serve, Intake, JobInput, JobStatus, LoadedChip, ServeConfig, ServeReport, SpoolIntake,
+    load_job, run_jobs, serve, Intake, JobInput, JobStatus, LoadedChip, ServeConfig, ServeReport,
+    SpoolIntake,
 };
 use std::path::PathBuf;
 
@@ -36,6 +37,7 @@ fn input(name: &str, chip: &GeneratedChip, kind: FlowKind, priority: i64) -> Job
         spec,
         load: Ok(LoadedChip {
             kind,
+            ordering: None,
             layout: chip.layout.clone(),
             placement: chip.placement.clone(),
             chip_hash: fnv1a_64(&write_chip(&chip.layout, &chip.placement)),
@@ -302,6 +304,40 @@ fn late_duplicate_name_never_clobbers_the_original_answer() {
     assert_eq!(records[0].status, "done");
     assert_eq!(records, report.records());
     let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn order_jobs_route_with_the_requested_strategy() {
+    let dir = scratch("order");
+    let chip = chip(42);
+    std::fs::write(
+        dir.join("chip.ocr"),
+        write_chip(&chip.layout, &chip.placement),
+    )
+    .expect("chip");
+    let mut ordered = JobSpec::new("crit", "chip.ocr");
+    ordered.order = Some("criticality".into());
+    let mut bogus = JobSpec::new("bogus", "chip.ocr");
+    bogus.order = Some("best".into());
+    let jobs = vec![load_job(ordered, &dir), load_job(bogus, &dir)];
+    let report = run_jobs(jobs, &ServeConfig::default()).expect("serves");
+    assert_eq!(report.jobs[0].status, JobStatus::Done);
+    assert_eq!(report.jobs[1].status, JobStatus::Rejected);
+    assert!(report.jobs[1].detail.contains("unknown ordering"));
+    // The job's routes are exactly a standalone `--order criticality`
+    // run — the ordering really reached the flow.
+    let direct = FlowKind::OverCell
+        .build_with_ordering(
+            FlowOptions::default(),
+            Some(ordering_from_name("criticality").expect("known ordering")),
+        )
+        .run(&chip.layout, &chip.placement)
+        .expect("direct run");
+    assert_eq!(
+        routes_of(&report, "crit"),
+        write_routes(&direct.layout, &direct.design)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A collision-free scratch directory for the on-disk spool test.

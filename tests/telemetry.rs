@@ -51,10 +51,7 @@ fn verify_report_is_identical_with_telemetry_on_and_off() {
             .expect("flow")
     };
     let plain = run(FlowOptions::verified());
-    let instrumented = run(FlowOptions {
-        telemetry: true,
-        ..FlowOptions::verified()
-    });
+    let instrumented = run(FlowOptions::verified().telemetry(true));
     assert_eq!(plain.verify, instrumented.verify);
 }
 
