@@ -30,11 +30,11 @@ fn main() {
             name(pst.start),
             pst.corners
         );
-        let mut vertices: Vec<_> = pst.vertices.iter().collect();
+        let mut vertices: Vec<_> = pst.iter().collect();
         vertices.sort_by_key(|(k, d)| (d.level, k.0.index(), k.1));
         for (k, data) in vertices {
-            let parents: Vec<String> = data.parents.iter().map(|&p| name(p)).collect();
-            let target = if pst.targets.contains(k) {
+            let parents: Vec<String> = data.parents().map(name).collect();
+            let target = if pst.targets.contains(&k) {
                 "  ← target"
             } else {
                 ""
@@ -42,7 +42,7 @@ fn main() {
             println!(
                 "  level {}: {} (run {}..{}){}{}",
                 data.level,
-                name(*k),
+                name(k),
                 data.run.0 + 1,
                 data.run.1 + 1,
                 if parents.is_empty() {

@@ -18,6 +18,51 @@
 
 use ocr_geom::{Coord, Dir, Point};
 use ocr_grid::GridModel;
+use std::fmt;
+
+/// A rejected [`CostWeights`] configuration.
+///
+/// Values are carried as formatted text so the error stays `Eq` (and so
+/// a NaN compares equal to itself inside [`crate::RouteError`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WeightsError {
+    /// A weight is NaN or infinite — it would poison every path cost
+    /// and break the selection sort's total order.
+    NonFinite {
+        /// The offending field (`"w1"`, `"w21"`, …).
+        field: &'static str,
+        /// The rejected value, formatted.
+        value: String,
+    },
+    /// A weights spec named a key that is not a weight.
+    UnknownKey(String),
+    /// A weights spec value failed to parse as a number.
+    BadValue {
+        /// The key whose value was rejected.
+        key: String,
+        /// The unparsable text.
+        value: String,
+    },
+}
+
+impl fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightsError::NonFinite { field, value } => {
+                write!(f, "weight {field} must be finite, got {value}")
+            }
+            WeightsError::UnknownKey(key) => write!(
+                f,
+                "unknown weight `{key}` (known: w1, w21, w22, w23, w24, radius)"
+            ),
+            WeightsError::BadValue { key, value } => {
+                write!(f, "weight {key} has unparsable value `{value}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightsError {}
 
 /// Weights of the cost function.
 ///
@@ -79,6 +124,68 @@ impl CostWeights {
             w23: 0.0,
             ..CostWeights::default()
         }
+    }
+
+    /// Rejects non-finite weights. Run at config load
+    /// ([`crate::level_b::LevelBRouter::new`]) so a NaN or infinity from
+    /// user configuration becomes a typed error instead of a panic in
+    /// the path-selection sort mid-net.
+    pub fn validate(&self) -> Result<(), WeightsError> {
+        for (field, value) in [
+            ("w1", self.w1),
+            ("w21", self.w21),
+            ("w22", self.w22),
+            ("w23", self.w23),
+            ("w24", self.w24),
+        ] {
+            if !value.is_finite() {
+                return Err(WeightsError::NonFinite {
+                    field,
+                    value: format!("{value}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a weights spec: a preset name (`default`, `dense`,
+    /// `length-only`) or a comma-separated `key=value` list over the
+    /// default weights (`w1=2,w23=0.5,radius=5`). The result is
+    /// [`validate`](CostWeights::validate)d, so specs spelling out NaN
+    /// or infinity (`w1=nan` — `f64` parses those!) are rejected here,
+    /// not deep inside a route.
+    pub fn parse(spec: &str) -> Result<CostWeights, WeightsError> {
+        let mut w = match spec.trim() {
+            "default" => return Ok(CostWeights::default()),
+            "dense" => return Ok(CostWeights::dense()),
+            "length-only" | "length_only" => return Ok(CostWeights::length_only()),
+            _ => CostWeights::default(),
+        };
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(WeightsError::UnknownKey(part.to_string()));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let bad = || WeightsError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            match key {
+                "w1" => w.w1 = value.parse::<f64>().map_err(|_| bad())?,
+                "w21" => w.w21 = value.parse::<f64>().map_err(|_| bad())?,
+                "w22" => w.w22 = value.parse::<f64>().map_err(|_| bad())?,
+                "w23" => w.w23 = value.parse::<f64>().map_err(|_| bad())?,
+                "w24" => w.w24 = value.parse::<f64>().map_err(|_| bad())?,
+                "radius" => w.radius = value.parse::<usize>().map_err(|_| bad())?,
+                _ => return Err(WeightsError::UnknownKey(key.to_string())),
+            }
+        }
+        w.validate()?;
+        Ok(w)
     }
 }
 
@@ -308,6 +415,73 @@ mod tests {
             Point::new(100, 100),
         ]);
         assert!(short < long);
+    }
+
+    #[test]
+    fn parse_accepts_presets_and_overrides() {
+        assert_eq!(CostWeights::parse("default"), Ok(CostWeights::default()));
+        assert_eq!(CostWeights::parse("dense"), Ok(CostWeights::dense()));
+        assert_eq!(
+            CostWeights::parse("length-only"),
+            Ok(CostWeights::length_only())
+        );
+        let w = CostWeights::parse("w1=2.5, w24=0.5,radius=7").unwrap();
+        assert_eq!(w.w1, 2.5);
+        assert_eq!(w.w24, 0.5);
+        assert_eq!(w.radius, 7);
+        // Untouched keys keep the defaults.
+        assert_eq!(w.w21, CostWeights::default().w21);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_values() {
+        assert_eq!(
+            CostWeights::parse("w99=1"),
+            Err(WeightsError::UnknownKey("w99".into()))
+        );
+        assert_eq!(
+            CostWeights::parse("w1"),
+            Err(WeightsError::UnknownKey("w1".into()))
+        );
+        assert_eq!(
+            CostWeights::parse("w1=fast"),
+            Err(WeightsError::BadValue {
+                key: "w1".into(),
+                value: "fast".into()
+            })
+        );
+        assert_eq!(
+            CostWeights::parse("radius=-1"),
+            Err(WeightsError::BadValue {
+                key: "radius".into(),
+                value: "-1".into()
+            })
+        );
+    }
+
+    #[test]
+    fn parse_and_validate_reject_non_finite_weights() {
+        // f64's FromStr happily parses these; validate() must not.
+        for spec in ["w1=nan", "w21=inf", "w23=-inf", "w24=NaN"] {
+            let err = CostWeights::parse(spec).unwrap_err();
+            assert!(
+                matches!(err, WeightsError::NonFinite { .. }),
+                "{spec}: {err:?}"
+            );
+        }
+        let w = CostWeights {
+            w22: f64::NAN,
+            ..CostWeights::default()
+        };
+        assert_eq!(
+            w.validate(),
+            Err(WeightsError::NonFinite {
+                field: "w22",
+                value: "NaN".into()
+            })
+        );
+        assert!(CostWeights::default().validate().is_ok());
+        assert!(CostWeights::dense().validate().is_ok());
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub enum RouteError {
     /// A checkpoint could not be written, or a resume file's contents
     /// are inconsistent with the run being resumed.
     Checkpoint(String),
+    /// The configured [`crate::cost::CostWeights`] are unusable (e.g. a
+    /// non-finite weight). Rejected at router construction, before any
+    /// net is attempted, so a bad config can never silently reorder the
+    /// candidate ranking mid-run.
+    InvalidWeights(crate::cost::WeightsError),
 }
 
 impl fmt::Display for RouteError {
@@ -65,6 +70,7 @@ impl fmt::Display for RouteError {
             ),
             RouteError::Interrupted => f.write_str("routing interrupted by run control"),
             RouteError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            RouteError::InvalidWeights(e) => write!(f, "invalid cost weights: {e}"),
         }
     }
 }
@@ -73,6 +79,7 @@ impl std::error::Error for RouteError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RouteError::LevelA(e) => Some(e),
+            RouteError::InvalidWeights(e) => Some(e),
             _ => None,
         }
     }

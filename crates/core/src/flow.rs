@@ -281,6 +281,22 @@ impl FlowKind {
         }
     }
 
+    /// Builds the flow with the given shared options and, for the
+    /// over-cell flow, a full Level B configuration (cost weights,
+    /// ordering, window policy, …). Channel flows have no Level B stage,
+    /// so `level_b` is ignored for them — callers that must reject the
+    /// combination validate before building.
+    pub fn build_with_level_b(self, options: FlowOptions, level_b: LevelBConfig) -> Box<dyn Flow> {
+        match self {
+            FlowKind::OverCell => Box::new(OverCellFlow {
+                options,
+                level_b,
+                ..OverCellFlow::default()
+            }),
+            kind => kind.build_with(options),
+        }
+    }
+
     /// Builds the flow with default configuration and the given shared
     /// options.
     pub fn build_with(self, options: FlowOptions) -> Box<dyn Flow> {

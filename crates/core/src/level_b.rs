@@ -14,7 +14,7 @@ use crate::config::LevelBConfig;
 use crate::cost::CostEvaluator;
 use crate::degrade::{Degradation, DegradeReason, NetDegradation};
 use crate::error::RouteError;
-use crate::mbfs::{search_min_corner_paths, SearchWindow};
+use crate::mbfs::{search_min_corner_paths_with, SearchScratch, SearchWindow};
 use crate::pst::{select_best_path, CandidatePath};
 use crate::stats::RoutingStats;
 use crate::steiner::SteinerAccumulator;
@@ -76,6 +76,9 @@ pub struct LevelBRouter<'a> {
     /// The run control of the active `route_all_with` call, consulted by
     /// the search internals to charge deterministic steps.
     control: Option<RunControl>,
+    /// Reusable MBFS state (PST arenas, free-run cache, frontier
+    /// buffers), threaded through every window attempt.
+    scratch: SearchScratch,
     stats: RoutingStats,
 }
 
@@ -96,6 +99,12 @@ impl<'a> LevelBRouter<'a> {
         nets: &[NetId],
         config: LevelBConfig,
     ) -> Result<Self, RouteError> {
+        // Non-finite weights would poison every cost comparison, so they
+        // are a hard configuration error even under salvage mode.
+        config
+            .weights
+            .validate()
+            .map_err(RouteError::InvalidWeights)?;
         let mut builder = GridBuilder::new(layout);
         if let Some(p) = config.pitch {
             builder = builder.pitch(p);
@@ -178,6 +187,7 @@ impl<'a> LevelBRouter<'a> {
             doomed_nets,
             pre_degraded,
             control: None,
+            scratch: SearchScratch::new(),
             stats: RoutingStats {
                 doomed_terminals,
                 ..RoutingStats::default()
@@ -924,7 +934,26 @@ impl<'a> LevelBRouter<'a> {
             .filter(|&&n| n != net)
             .map(|n| n.0)
             .collect();
-        for attempt in 0..=self.config.max_window_expansions {
+        let mut attempt = 0usize;
+        let mut prev_window: Option<SearchWindow> = None;
+        while attempt <= self.config.max_window_expansions {
+            let tig = Tig::new(&self.grid);
+            let last = attempt == self.config.max_window_expansions;
+            let window = if last {
+                SearchWindow::full(&tig)
+            } else {
+                SearchWindow::around(&tig, a, b, margin)
+            };
+            // Window saturation: once margin doubling has clipped the
+            // window to the full grid — equivalently, reproduced the
+            // previous attempt's window — re-searching the identical
+            // window cannot succeed. Jump straight to the final
+            // full-window attempt instead of burning RunControl steps
+            // and MBFS passes on byte-identical searches.
+            if !last && (window == SearchWindow::full(&tig) || Some(window) == prev_window) {
+                attempt = self.config.max_window_expansions;
+                continue;
+            }
             // One deterministic step per search-window attempt. On a
             // trip the caller unwinds this net's attempt entirely, so a
             // resumed run re-attempts (and re-charges) it from scratch.
@@ -939,17 +968,14 @@ impl<'a> LevelBRouter<'a> {
                 margin = margin.saturating_mul(2).max(1);
                 self.stats.window_expansions += 1;
                 ocr_obs::count("level_b.window_expansions", 1);
+                attempt += 1;
                 continue;
             }
-            let tig = Tig::new(&self.grid);
-            let window = if attempt == self.config.max_window_expansions {
-                SearchWindow::full(&tig)
-            } else {
-                SearchWindow::around(&tig, a, b, margin)
-            };
-            let outcome = search_min_corner_paths(&tig, net.0, a, b, &window);
+            let outcome =
+                search_min_corner_paths_with(&tig, net.0, a, b, &window, &mut self.scratch);
             self.stats.expanded_vertices += outcome.expanded;
             ocr_obs::count("level_b.expanded_vertices", outcome.expanded as u64);
+            let mut found = None;
             if outcome.corners.is_some() {
                 let ev = CostEvaluator::new(
                     &self.grid,
@@ -958,14 +984,18 @@ impl<'a> LevelBRouter<'a> {
                     self.layout.rules.over_cell_pitch(),
                 )
                 .with_sensitive_nets(&sensitive);
-                if let Some(best) = select_best_path(&tig, net.0, &outcome, from, to, &ev) {
-                    self.stats.candidates_examined += 1;
-                    return Ok(best);
-                }
+                found = select_best_path(&tig, net.0, &outcome, from, to, &ev);
             }
+            self.scratch.reclaim(outcome);
+            if let Some(best) = found {
+                self.stats.candidates_examined += 1;
+                return Ok(best);
+            }
+            prev_window = Some(window);
             margin = margin.saturating_mul(2).max(1);
             self.stats.window_expansions += 1;
             ocr_obs::count("level_b.window_expansions", 1);
+            attempt += 1;
         }
         Err(RouteError::Unroutable { net })
     }
@@ -1088,6 +1118,7 @@ fn maze_points(grid: &GridModel, path: &ocr_maze::MazePath) -> Vec<Point> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::CostWeights;
     use ocr_geom::{LayerSet, Rect};
     use ocr_netlist::{validate_routed_design, NetClass, Obstacle};
 
@@ -1440,6 +1471,126 @@ mod tests {
         assert_eq!(res.stats.nets_failed, 0);
         assert!(res.stats.window_expansions > 0, "window had to grow");
         assert!(validate_routed_design(&l, &res.design).is_empty());
+    }
+
+    #[test]
+    fn saturated_window_skips_byte_identical_reattempts() {
+        // A wall seals both planes across the full width, so the net is
+        // unroutable at any window. The terminals sit close enough to
+        // the region corners that the *first* clipped window already
+        // covers the whole grid — every further margin doubling would
+        // re-search a byte-identical window. The router must detect the
+        // saturation, jump straight to the final full-window attempt,
+        // and charge exactly one RunControl step instead of
+        // max_window_expansions + 1.
+        let (mut l, nets) = layout_with_nets(&[&[Point::new(20, 20), Point::new(380, 380)]]);
+        l.add_obstacle(Obstacle::new(
+            Rect::new(-5, 195, 405, 205),
+            LayerSet::level_b(),
+        ));
+        let mut r = LevelBRouter::new(
+            &l,
+            &nets,
+            LevelBConfig {
+                rip_up_budget: 0,
+                ..LevelBConfig::default()
+            },
+        )
+        .expect("router");
+        let session = RunSession::with_control(RunControl::new());
+        let res = r.route_all_with(Some(&session)).expect("route_all");
+        assert_eq!(res.stats.nets_failed, 1);
+        assert_eq!(
+            session.control.steps(),
+            1,
+            "one step: the single full-window attempt"
+        );
+        assert_eq!(
+            res.stats.window_expansions, 1,
+            "only the searched attempt counts, not the skipped ones"
+        );
+    }
+
+    #[test]
+    fn unsaturated_windows_still_charge_each_attempt() {
+        // Same sealed wall, but terminals hugging the left edge: the
+        // tight windows genuinely grow sideways for a while before
+        // saturating, and each *distinct* window must still charge its
+        // step and count its expansion.
+        let (mut l, nets) = layout_with_nets(&[&[Point::new(20, 20), Point::new(20, 380)]]);
+        l.add_obstacle(Obstacle::new(
+            Rect::new(-5, 195, 405, 205),
+            LayerSet::level_b(),
+        ));
+        let mut r = LevelBRouter::new(
+            &l,
+            &nets,
+            LevelBConfig {
+                rip_up_budget: 0,
+                window_margin: 1,
+                ..LevelBConfig::default()
+            },
+        )
+        .expect("router");
+        let session = RunSession::with_control(RunControl::new());
+        let res = r.route_all_with(Some(&session)).expect("route_all");
+        assert_eq!(res.stats.nets_failed, 1);
+        assert!(
+            res.stats.window_expansions > 1,
+            "growing windows are real attempts"
+        );
+        assert_eq!(
+            session.control.steps(),
+            res.stats.window_expansions as u64,
+            "every searched window charges exactly one step"
+        );
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_at_construction() {
+        let (l, nets) = layout_with_nets(&[&[Point::new(20, 30), Point::new(300, 200)]]);
+        for (field, weights) in [
+            (
+                "w1",
+                CostWeights {
+                    w1: f64::NAN,
+                    ..CostWeights::default()
+                },
+            ),
+            (
+                "w23",
+                CostWeights {
+                    w23: f64::INFINITY,
+                    ..CostWeights::default()
+                },
+            ),
+        ] {
+            // Salvage must not downgrade a poisoned config to per-net
+            // failures: the whole run is rejected before any net runs.
+            for salvage in [false, true] {
+                let err = LevelBRouter::new(
+                    &l,
+                    &nets,
+                    LevelBConfig {
+                        weights,
+                        salvage,
+                        ..LevelBConfig::default()
+                    },
+                )
+                .err()
+                .unwrap_or_else(|| panic!("{field} salvage={salvage}: must be rejected"));
+                assert!(
+                    matches!(
+                        err,
+                        RouteError::InvalidWeights(crate::cost::WeightsError::NonFinite {
+                            field: f,
+                            ..
+                        }) if f == field
+                    ),
+                    "{field}: {err:?}"
+                );
+            }
+        }
     }
 
     #[test]

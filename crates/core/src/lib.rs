@@ -63,7 +63,7 @@ pub mod tig;
 
 pub use ckpt::{resume_from_doc, CheckpointSpec, LevelBResume, RunSession};
 pub use config::LevelBConfig;
-pub use cost::CostWeights;
+pub use cost::{CostWeights, WeightsError};
 pub use degrade::{Degradation, DegradeReason, NetDegradation};
 pub use error::RouteError;
 pub use flow::{

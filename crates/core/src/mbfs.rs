@@ -19,21 +19,141 @@
 
 use crate::tig::Tig;
 use ocr_geom::Dir;
-use std::collections::HashMap;
 
 /// A TIG vertex: a physical routing track.
 pub type VertexKey = (Dir, usize);
 
-/// Per-vertex data recorded by one MBFS.
-#[derive(Clone, Debug)]
-pub struct VertexData {
+/// Dense arena index of a TIG vertex: vertical track `k` ↔ slot `k`,
+/// horizontal track `k` ↔ slot `nv + k`.
+pub(crate) type Slot = u32;
+
+/// One arena slot of a [`PstStore`]. A slot belongs to the current
+/// search iff `gen` equals the store's generation; stale slots need no
+/// clearing (their `parents` capacity is reused on the next claim).
+#[derive(Clone, Debug, Default)]
+struct SlotData {
+    gen: u32,
+    level: u32,
+    run_lo: u32,
+    run_hi: u32,
+    parents: Vec<Slot>,
+}
+
+/// Dense per-search vertex arena backing a [`Pst`].
+///
+/// Replaces the former `HashMap<VertexKey, VertexData>`: lookups become
+/// direct indexing by track id, and the arena is reusable across nets
+/// without clearing via generation stamps — `begin` bumps the
+/// generation, instantly invalidating every slot, and each slot's
+/// `parents` vector keeps its allocation for the search that next
+/// claims it.
+#[derive(Clone, Debug, Default)]
+pub struct PstStore {
+    nv: u32,
+    slots: Vec<SlotData>,
+    cur_gen: u32,
+}
+
+impl PstStore {
+    /// An empty store; sized lazily by the first search.
+    pub fn new() -> Self {
+        PstStore::default()
+    }
+
+    /// Starts a new search generation over an `nv × nh` grid.
+    fn begin(&mut self, nv: usize, nh: usize) {
+        let n = nv + nh;
+        if self.slots.len() < n {
+            self.slots.resize_with(n, SlotData::default);
+        }
+        self.nv = nv as u32;
+        if self.cur_gen == u32::MAX {
+            for s in &mut self.slots {
+                s.gen = 0;
+            }
+            self.cur_gen = 1;
+        } else {
+            self.cur_gen += 1;
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: VertexKey) -> Slot {
+        match key.0 {
+            Dir::Vertical => key.1 as Slot,
+            Dir::Horizontal => self.nv + key.1 as Slot,
+        }
+    }
+
+    #[inline]
+    fn key_of(&self, slot: Slot) -> VertexKey {
+        if slot < self.nv {
+            (Dir::Vertical, slot as usize)
+        } else {
+            (Dir::Horizontal, (slot - self.nv) as usize)
+        }
+    }
+
+    #[inline]
+    fn is_live(&self, slot: Slot) -> bool {
+        self.slots[slot as usize].gen == self.cur_gen
+    }
+
+    #[inline]
+    fn level_of(&self, slot: Slot) -> usize {
+        self.slots[slot as usize].level as usize
+    }
+
+    #[inline]
+    fn run_of(&self, slot: Slot) -> (usize, usize) {
+        let d = &self.slots[slot as usize];
+        (d.run_lo as usize, d.run_hi as usize)
+    }
+
+    #[inline]
+    fn parents_of(&self, slot: Slot) -> &[Slot] {
+        &self.slots[slot as usize].parents
+    }
+
+    /// Claims `slot` for the current generation (lazily clearing its
+    /// previous parents) and records its discovery level and free run.
+    #[inline]
+    fn insert(&mut self, slot: Slot, level: usize, run: (usize, usize)) {
+        let gen = self.cur_gen;
+        let d = &mut self.slots[slot as usize];
+        d.gen = gen;
+        d.level = level as u32;
+        d.run_lo = run.0 as u32;
+        d.run_hi = run.1 as u32;
+        d.parents.clear();
+    }
+
+    #[inline]
+    fn push_parent(&mut self, slot: Slot, parent: Slot) {
+        self.slots[slot as usize].parents.push(parent);
+    }
+}
+
+/// A read view of one visited vertex of a [`Pst`] (the arena-backed
+/// replacement for the former public `VertexData`).
+#[derive(Clone, Copy, Debug)]
+pub struct PstVertex<'a> {
     /// BFS level = number of corners on any path reaching this vertex.
     pub level: usize,
     /// The free run (cross-index interval) of the track reachable within
     /// the window, recorded at first discovery.
     pub run: (usize, usize),
-    /// All predecessors one level up (the Path Selection Tree edges).
-    pub parents: Vec<VertexKey>,
+    parents: &'a [Slot],
+    store: &'a PstStore,
+}
+
+impl<'a> PstVertex<'a> {
+    /// All predecessors one level up (the Path Selection Tree edges), in
+    /// discovery order.
+    pub fn parents(&self) -> impl Iterator<Item = VertexKey> + 'a {
+        let store = self.store;
+        self.parents.iter().map(move |&s| store.key_of(s))
+    }
 }
 
 /// The outcome of one MBFS: a Path Selection Tree rooted at `start`.
@@ -41,8 +161,6 @@ pub struct VertexData {
 pub struct Pst {
     /// The start vertex (one of terminal 1's two tracks).
     pub start: VertexKey,
-    /// Visited vertices.
-    pub vertices: HashMap<VertexKey, VertexData>,
     /// Target vertices reached at the minimum level (each is a track of
     /// terminal 2 whose run covers the terminal).
     pub targets: Vec<VertexKey>,
@@ -50,6 +168,170 @@ pub struct Pst {
     pub corners: Option<usize>,
     /// Vertices expanded (performance counter for the maze comparison).
     pub expanded: usize,
+    /// The vertex arena of this search.
+    store: PstStore,
+}
+
+impl Pst {
+    /// The recorded data of a visited vertex, if the search reached it.
+    pub fn get(&self, key: VertexKey) -> Option<PstVertex<'_>> {
+        let n = match key.0 {
+            Dir::Vertical => self.store.nv as usize,
+            Dir::Horizontal => self
+                .store
+                .slots
+                .len()
+                .saturating_sub(self.store.nv as usize),
+        };
+        if key.1 >= n {
+            return None;
+        }
+        let slot = self.store.slot_of(key);
+        self.store.is_live(slot).then(|| PstVertex {
+            level: self.store.level_of(slot),
+            run: self.store.run_of(slot),
+            parents: self.store.parents_of(slot),
+            store: &self.store,
+        })
+    }
+
+    /// Iterates every visited vertex in slot order (vertical tracks
+    /// first, then horizontal).
+    pub fn iter(&self) -> impl Iterator<Item = (VertexKey, PstVertex<'_>)> {
+        (0..self.store.slots.len() as Slot)
+            .filter(|&slot| self.store.is_live(slot))
+            .map(move |slot| {
+                (
+                    self.store.key_of(slot),
+                    PstVertex {
+                        level: self.store.level_of(slot),
+                        run: self.store.run_of(slot),
+                        parents: self.store.parents_of(slot),
+                        store: &self.store,
+                    },
+                )
+            })
+    }
+
+    #[inline]
+    pub(crate) fn slot_of(&self, key: VertexKey) -> Slot {
+        self.store.slot_of(key)
+    }
+
+    #[inline]
+    pub(crate) fn key_of(&self, slot: Slot) -> VertexKey {
+        self.store.key_of(slot)
+    }
+
+    #[inline]
+    pub(crate) fn live(&self, slot: Slot) -> bool {
+        self.store.is_live(slot)
+    }
+
+    #[inline]
+    pub(crate) fn parents_of(&self, slot: Slot) -> &[Slot] {
+        self.store.parents_of(slot)
+    }
+}
+
+/// Memoized free-run lookups for one `(net, window)` search.
+///
+/// Within one [`search_min_corner_paths_with`] call the grid is
+/// immutable and both MBFS passes share the net and window, so a track's
+/// maximal free run through any cross-index inside it is the same run —
+/// the second pass (and re-discoveries within a pass) can reuse the
+/// first's scans. Runs are stored per track slot under a generation
+/// stamp; `begin` invalidates everything in O(1). Impassable
+/// through-cells (`None` results) are deliberately not cached: they are
+/// cheap (one bit probe plus one enum load) and would need a separate
+/// representation.
+#[derive(Clone, Debug, Default)]
+pub struct FreeRunCache {
+    gen: Vec<u32>,
+    runs: Vec<Vec<(u32, u32)>>,
+    cur_gen: u32,
+}
+
+impl FreeRunCache {
+    /// Invalidates the cache for a new `(net, window)` search over
+    /// `nslots` track slots.
+    fn begin(&mut self, nslots: usize) {
+        if self.gen.len() < nslots {
+            self.gen.resize(nslots, 0);
+            self.runs.resize_with(nslots, Vec::new);
+        }
+        if self.cur_gen == u32::MAX {
+            self.gen.iter_mut().for_each(|g| *g = 0);
+            self.cur_gen = 1;
+        } else {
+            self.cur_gen += 1;
+        }
+    }
+
+    /// [`Tig::free_run`] through the cache. `slot` must be the track's
+    /// arena slot id ([`PstStore`] numbering).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn free_run(
+        &mut self,
+        tig: &Tig<'_>,
+        net: u32,
+        dir: Dir,
+        track: usize,
+        slot: Slot,
+        through: usize,
+        win_lo: usize,
+        win_hi: usize,
+    ) -> Option<(usize, usize)> {
+        let s = slot as usize;
+        if self.gen[s] == self.cur_gen {
+            if let Some(&(lo, hi)) = self.runs[s]
+                .iter()
+                .find(|r| r.0 as usize <= through && through <= r.1 as usize)
+            {
+                return Some((lo as usize, hi as usize));
+            }
+        }
+        let run = tig.free_run(net, dir, track, through, win_lo, win_hi)?;
+        if self.gen[s] != self.cur_gen {
+            self.gen[s] = self.cur_gen;
+            self.runs[s].clear();
+        }
+        self.runs[s].push((run.0 as u32, run.1 as u32));
+        Some(run)
+    }
+}
+
+/// Reusable per-router search state: the two PST arenas, the free-run
+/// cache and the MBFS frontier buffers.
+///
+/// A [`crate::level_b::LevelBRouter`] holds one of these and threads it
+/// through every window attempt via [`search_min_corner_paths_with`];
+/// after consuming a [`SearchOutcome`] it hands the arenas back with
+/// [`SearchScratch::reclaim`] so their allocations carry over to the
+/// next net.
+#[derive(Clone, Debug, Default)]
+pub struct SearchScratch {
+    store_v: PstStore,
+    store_h: PstStore,
+    cache: FreeRunCache,
+    frontier: Vec<Slot>,
+    next: Vec<Slot>,
+}
+
+impl SearchScratch {
+    /// Empty scratch; buffers grow to the working set of the first
+    /// searches and are then reused.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// Takes the PST arenas back from a finished search, keeping their
+    /// allocations for the next one.
+    pub fn reclaim(&mut self, outcome: SearchOutcome) {
+        self.store_v = outcome.from_v.store;
+        self.store_h = outcome.from_h.store;
+    }
 }
 
 /// Inclusive index window bounding one search (the paper's rectangular
@@ -117,6 +399,10 @@ impl SearchWindow {
 /// Terminals are grid indices `(i, j)` (vertical track, horizontal
 /// track). Returns the Path Selection Tree; `corners` is `None` when no
 /// path exists within the window.
+///
+/// Allocates fresh search state; the router's hot loop goes through
+/// [`search_min_corner_paths_with`] instead, which reuses a
+/// [`SearchScratch`] across nets.
 pub fn mbfs(
     tig: &Tig<'_>,
     net: u32,
@@ -125,26 +411,58 @@ pub fn mbfs(
     term2: (usize, usize),
     window: &SearchWindow,
 ) -> Pst {
+    let mut scratch = SearchScratch::new();
+    scratch.cache.begin(tig.grid().nv() + tig.grid().nh());
+    mbfs_in(
+        tig,
+        net,
+        start_dir,
+        term1,
+        term2,
+        window,
+        std::mem::take(&mut scratch.store_v),
+        &mut scratch.cache,
+        &mut scratch.frontier,
+        &mut scratch.next,
+    )
+}
+
+/// The MBFS worker: runs one pass using a caller-provided arena, cache
+/// and frontier buffers, and moves the arena into the returned [`Pst`].
+#[allow(clippy::too_many_arguments)]
+fn mbfs_in(
+    tig: &Tig<'_>,
+    net: u32,
+    start_dir: Dir,
+    term1: (usize, usize),
+    term2: (usize, usize),
+    window: &SearchWindow,
+    mut store: PstStore,
+    cache: &mut FreeRunCache,
+    frontier: &mut Vec<Slot>,
+    next: &mut Vec<Slot>,
+) -> Pst {
     let start_track = match start_dir {
         Dir::Horizontal => term1.1,
         Dir::Vertical => term1.0,
     };
     let start: VertexKey = (start_dir, start_track);
+    store.begin(tig.grid().nv(), tig.grid().nh());
     let mut pst = Pst {
         start,
-        vertices: HashMap::new(),
         targets: Vec::new(),
         corners: None,
         expanded: 0,
+        store,
     };
 
-    // The two target tracks of terminal 2.
-    let target_v: VertexKey = (Dir::Vertical, term2.0);
-    let target_h: VertexKey = (Dir::Horizontal, term2.1);
-    let covers_term2 = |key: VertexKey, run: (usize, usize)| -> bool {
-        if key == target_v {
+    // The two target track slots of terminal 2.
+    let target_v = pst.store.slot_of((Dir::Vertical, term2.0));
+    let target_h = pst.store.slot_of((Dir::Horizontal, term2.1));
+    let covers_term2 = |slot: Slot, run: (usize, usize)| -> bool {
+        if slot == target_v {
             run.0 <= term2.1 && term2.1 <= run.1
-        } else if key == target_h {
+        } else if slot == target_h {
             run.0 <= term2.0 && term2.0 <= run.1
         } else {
             false
@@ -159,31 +477,35 @@ pub fn mbfs(
         return pst;
     }
     let (wlo, whi) = window.cross_bounds(start_dir);
-    let Some(run0) = tig.free_run(net, start_dir, start_track, through1, wlo, whi) else {
+    let start_slot = pst.store.slot_of(start);
+    let Some(run0) = cache.free_run(
+        tig,
+        net,
+        start_dir,
+        start_track,
+        start_slot,
+        through1,
+        wlo,
+        whi,
+    ) else {
         return pst;
     };
-    pst.vertices.insert(
-        start,
-        VertexData {
-            level: 0,
-            run: run0,
-            parents: Vec::new(),
-        },
-    );
-    if covers_term2(start, run0) {
+    pst.store.insert(start_slot, 0, run0);
+    if covers_term2(start_slot, run0) {
         pst.targets.push(start);
         pst.corners = Some(0);
         return pst;
     }
 
-    let mut frontier: Vec<VertexKey> = vec![start];
+    frontier.clear();
+    frontier.push(start_slot);
     let mut level = 0usize;
     while !frontier.is_empty() {
-        let mut next: Vec<VertexKey> = Vec::new();
-        for &u in &frontier {
+        next.clear();
+        for &u_slot in frontier.iter() {
             pst.expanded += 1;
-            let (u_dir, u_track) = u;
-            let run = pst.vertices[&u].run;
+            let (u_dir, u_track) = pst.store.key_of(u_slot);
+            let run = pst.store.run_of(u_slot);
             let perp = u_dir.perp();
             for k in run.0..=run.1 {
                 // Corner cell between track u and perpendicular track k.
@@ -198,46 +520,43 @@ pub fn mbfs(
                 if !window.track_in(v) {
                     continue;
                 }
-                match pst.vertices.get_mut(&v) {
-                    Some(data) => {
-                        if data.level == level + 1 && !data.parents.contains(&u) {
-                            data.parents.push(u);
-                        }
+                let v_slot = pst.store.slot_of(v);
+                if pst.store.is_live(v_slot) {
+                    if pst.store.level_of(v_slot) == level + 1 {
+                        // Each (u, v) pair is examined at most once per
+                        // search: u expands each cross-index of its run
+                        // once, and u itself entered the frontier once.
+                        debug_assert!(!pst.store.parents_of(v_slot).contains(&u_slot));
+                        pst.store.push_parent(v_slot, u_slot);
                     }
-                    None => {
-                        let (plo, phi) = window.cross_bounds(perp);
-                        let through = match perp {
-                            Dir::Horizontal => ci,
-                            Dir::Vertical => cj,
-                        };
-                        let Some(vrun) = tig.free_run(net, perp, k, through, plo, phi) else {
-                            continue;
-                        };
-                        pst.vertices.insert(
-                            v,
-                            VertexData {
-                                level: level + 1,
-                                run: vrun,
-                                parents: vec![u],
-                            },
-                        );
-                        next.push(v);
-                    }
+                } else {
+                    let (plo, phi) = window.cross_bounds(perp);
+                    let through = match perp {
+                        Dir::Horizontal => ci,
+                        Dir::Vertical => cj,
+                    };
+                    let Some(vrun) = cache.free_run(tig, net, perp, k, v_slot, through, plo, phi)
+                    else {
+                        continue;
+                    };
+                    pst.store.insert(v_slot, level + 1, vrun);
+                    pst.store.push_parent(v_slot, u_slot);
+                    next.push(v_slot);
                 }
             }
         }
         // Level `level + 1` is now complete (all parents recorded):
         // check for targets.
-        for &v in &next {
-            if covers_term2(v, pst.vertices[&v].run) {
-                pst.targets.push(v);
+        for &v_slot in next.iter() {
+            if covers_term2(v_slot, pst.store.run_of(v_slot)) {
+                pst.targets.push(pst.store.key_of(v_slot));
             }
         }
         if !pst.targets.is_empty() {
             pst.corners = Some(level + 1);
             break;
         }
-        frontier = next;
+        std::mem::swap(frontier, next);
         level += 1;
     }
     pst
@@ -258,7 +577,8 @@ pub struct SearchOutcome {
     pub expanded: usize,
 }
 
-/// Runs both MBFS passes for one two-terminal connection.
+/// Runs both MBFS passes for one two-terminal connection with fresh
+/// search state (tests, benches, one-off callers).
 pub fn search_min_corner_paths(
     tig: &Tig<'_>,
     net: u32,
@@ -266,8 +586,49 @@ pub fn search_min_corner_paths(
     term2: (usize, usize),
     window: &SearchWindow,
 ) -> SearchOutcome {
-    let from_v = mbfs(tig, net, Dir::Vertical, term1, term2, window);
-    let from_h = mbfs(tig, net, Dir::Horizontal, term1, term2, window);
+    let mut scratch = SearchScratch::new();
+    search_min_corner_paths_with(tig, net, term1, term2, window, &mut scratch)
+}
+
+/// Runs both MBFS passes reusing `scratch` (arenas, free-run cache,
+/// frontier buffers). The arenas travel inside the returned PSTs; hand
+/// them back with [`SearchScratch::reclaim`] once the outcome has been
+/// consumed. The free-run cache is shared by the two passes — they see
+/// the same net, window and (immutable) grid — and invalidated here, at
+/// the start of every search.
+pub fn search_min_corner_paths_with(
+    tig: &Tig<'_>,
+    net: u32,
+    term1: (usize, usize),
+    term2: (usize, usize),
+    window: &SearchWindow,
+    scratch: &mut SearchScratch,
+) -> SearchOutcome {
+    scratch.cache.begin(tig.grid().nv() + tig.grid().nh());
+    let from_v = mbfs_in(
+        tig,
+        net,
+        Dir::Vertical,
+        term1,
+        term2,
+        window,
+        std::mem::take(&mut scratch.store_v),
+        &mut scratch.cache,
+        &mut scratch.frontier,
+        &mut scratch.next,
+    );
+    let from_h = mbfs_in(
+        tig,
+        net,
+        Dir::Horizontal,
+        term1,
+        term2,
+        window,
+        std::mem::take(&mut scratch.store_h),
+        &mut scratch.cache,
+        &mut scratch.frontier,
+        &mut scratch.next,
+    );
     let corners = match (from_v.corners, from_h.corners) {
         (Some(a), Some(b)) => Some(a.min(b)),
         (a, b) => a.or(b),
@@ -371,8 +732,9 @@ mod tests {
         assert_eq!(pst.corners, Some(1));
         // All 11 vertical tracks become level-1 vertices; the target v10
         // has exactly one parent (h0).
-        let t = &pst.vertices[&(Dir::Vertical, 10)];
-        assert_eq!(t.parents, vec![(Dir::Horizontal, 0)]);
+        let t = pst.get((Dir::Vertical, 10)).expect("visited");
+        assert_eq!(t.level, 1);
+        assert_eq!(t.parents().collect::<Vec<_>>(), vec![(Dir::Horizontal, 0)]);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! re-validated against the grid before costing.
 
 use crate::cost::CostEvaluator;
-use crate::mbfs::{Pst, SearchOutcome, VertexKey};
+use crate::mbfs::{Pst, SearchOutcome, Slot, VertexKey};
 use crate::tig::Tig;
 use ocr_geom::{Dir, Point};
 
@@ -103,18 +103,20 @@ pub fn enumerate_paths(
 ) -> Vec<CandidatePath> {
     let mut out: Vec<CandidatePath> = Vec::new();
     let mut best = f64::INFINITY;
+    let start_slot = pst.slot_of(pst.start);
 
-    // DFS stack entries: path-so-far from target back toward start.
+    // DFS stack entries: arena-slot path-so-far from target back toward
+    // start (slots are u32s, so partial-path clones stay cheap).
     for &target in &pst.targets {
-        let mut stack: Vec<Vec<VertexKey>> = vec![vec![target]];
+        let mut stack: Vec<Vec<Slot>> = vec![vec![pst.slot_of(target)]];
         while let Some(rev_path) = stack.pop() {
             if out.len() >= cap {
                 break;
             }
             let last = *rev_path.last().expect("non-empty");
-            if last == pst.start {
-                let mut tracks = rev_path.clone();
-                tracks.reverse();
+            if last == start_slot {
+                let tracks: Vec<VertexKey> =
+                    rev_path.iter().rev().map(|&s| pst.key_of(s)).collect();
                 if let Some(points) = realize(tig, net, &tracks, term1, term2) {
                     let cost = evaluator.path_cost(&points);
                     if cost < best {
@@ -129,17 +131,17 @@ pub fn enumerate_paths(
                 }
                 continue;
             }
-            let Some(data) = pst.vertices.get(&last) else {
+            if !pst.live(last) {
                 continue;
-            };
-            for &parent in &data.parents {
+            }
+            for &parent in pst.parents_of(last) {
                 // Bounding: partial wire length from terminal 2 through
                 // the corners so far, plus the straight-line remainder,
                 // must stay below the best complete cost.
                 let mut partial = rev_path.clone();
                 partial.push(parent);
                 if best.is_finite() {
-                    let lb = lower_bound(tig, net, &partial, term1, term2, evaluator);
+                    let lb = lower_bound(tig, pst, &partial, term1, term2, evaluator);
                     if lb > best {
                         continue;
                     }
@@ -148,15 +150,18 @@ pub fn enumerate_paths(
             }
         }
     }
-    out.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+    // Total order even under non-finite costs (a NaN never panics the
+    // sort and never outranks a finite cost): cost, then corner count,
+    // then original candidate index (sort_by is stable).
+    out.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.corners.cmp(&b.corners)));
     out
 }
 
-/// Wire-length lower bound of a partial (reversed) path.
+/// Wire-length lower bound of a partial (reversed) slot path.
 fn lower_bound(
     tig: &Tig<'_>,
-    _net: u32,
-    rev_partial: &[VertexKey],
+    pst: &Pst,
+    rev_partial: &[Slot],
     term1: Point,
     term2: Point,
     evaluator: &CostEvaluator<'_>,
@@ -165,8 +170,8 @@ fn lower_bound(
     let grid = tig.grid();
     let mut pts = vec![term2];
     for w in rev_partial.windows(2) {
-        let (da, ta) = w[0];
-        let (_, tb) = w[1];
+        let (da, ta) = pst.key_of(w[0]);
+        let (_, tb) = pst.key_of(w[1]);
         let (i, j) = match da {
             Dir::Horizontal => (tb, ta),
             Dir::Vertical => (ta, tb),
@@ -200,7 +205,13 @@ pub fn select_best_path(
         }
         let cands = enumerate_paths(tig, net, pst, term1, term2, evaluator, 256);
         for c in cands {
-            if best.as_ref().map(|b| c.cost < b.cost).unwrap_or(true) {
+            // total_cmp keeps the earlier candidate on ties and never
+            // lets a NaN cost displace a finite one.
+            if best
+                .as_ref()
+                .map(|b| c.cost.total_cmp(&b.cost).is_lt())
+                .unwrap_or(true)
+            {
                 best = Some(c);
             }
         }

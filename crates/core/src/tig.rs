@@ -56,6 +56,14 @@ impl<'g> Tig<'g> {
         }
     }
 
+    /// `true` if the whole closed cross-index range `[lo, hi]` of track
+    /// `track` (plane `dir`) is passable for `net`, via the grid's
+    /// word-packed occupancy.
+    #[inline]
+    pub fn run_passable(&self, net: u32, dir: Dir, track: usize, lo: usize, hi: usize) -> bool {
+        self.grid.run_is_free(dir, track, lo, hi, net)
+    }
+
     /// `true` if the intersection `(i, j)` is a usable TIG edge for
     /// `net`: a corner (metal3↔metal4 via) can be placed there.
     #[inline]
@@ -69,7 +77,11 @@ impl<'g> Tig<'g> {
     /// itself is impassable.
     ///
     /// For a horizontal track `j = track`, cross-indices are vertical
-    /// track indices `i`; vice versa for vertical tracks.
+    /// track indices `i`; vice versa for vertical tracks. Expansion is
+    /// delegated to the grid's word-packed occupancy bitset
+    /// ([`GridModel::free_run`]), which scans 64 cells per word instead
+    /// of one enum match per cell.
+    #[inline]
     pub fn free_run(
         &self,
         net: u32,
@@ -79,22 +91,7 @@ impl<'g> Tig<'g> {
         win_lo: usize,
         win_hi: usize,
     ) -> Option<(usize, usize)> {
-        let pass = |k: usize| match dir {
-            Dir::Horizontal => self.passable(net, Dir::Horizontal, k, track),
-            Dir::Vertical => self.passable(net, Dir::Vertical, track, k),
-        };
-        if !pass(through) || through < win_lo || through > win_hi {
-            return None;
-        }
-        let mut lo = through;
-        while lo > win_lo && pass(lo - 1) {
-            lo -= 1;
-        }
-        let mut hi = through;
-        while hi < win_hi && pass(hi + 1) {
-            hi += 1;
-        }
-        Some((lo, hi))
+        self.grid.free_run(net, dir, track, through, win_lo, win_hi)
     }
 
     /// Enumerates all maximal free runs of a track for `net` within the

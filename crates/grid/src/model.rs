@@ -44,6 +44,116 @@ impl fmt::Display for CellState {
     }
 }
 
+/// One plane's occupancy as a packed bitset: bit = 1 ⇔ the cell is
+/// [`CellState::Free`].
+///
+/// Rows are that plane's *own* tracks (horizontal plane: horizontal
+/// track `j`; vertical plane: vertical track `i`) and the bits within a
+/// row are the cross-indices a wire sweeps along the track, so a free
+/// run is a contiguous stretch of set bits inside one row and expands
+/// with word-level scans instead of per-cell enum matches. Tail bits
+/// past `cross` in a row's last word are kept clear (= not free) so
+/// scans can never run off the end of a row.
+#[derive(Clone, Debug)]
+struct BitPlane {
+    words: Vec<u64>,
+    words_per_row: usize,
+}
+
+/// Low 64 bits with positions `0..=b` set (`b < 64`).
+#[inline]
+fn mask_le(b: usize) -> u64 {
+    debug_assert!(b < 64);
+    if b == 63 {
+        !0
+    } else {
+        (1u64 << (b + 1)) - 1
+    }
+}
+
+/// Low 64 bits with positions `b..=63` set (`b < 64`).
+#[inline]
+fn mask_ge(b: usize) -> u64 {
+    debug_assert!(b < 64);
+    !0u64 << b
+}
+
+impl BitPlane {
+    /// All-free plane of `rows` tracks × `cross` cells per track.
+    fn new(rows: usize, cross: usize) -> Self {
+        let words_per_row = cross.div_ceil(64);
+        let mut words = vec![!0u64; rows * words_per_row];
+        let tail = cross % 64;
+        if tail != 0 {
+            for r in 0..rows {
+                words[r * words_per_row + words_per_row - 1] = mask_le(tail - 1);
+            }
+        }
+        BitPlane {
+            words,
+            words_per_row,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, k: usize, free: bool) {
+        let w = &mut self.words[row * self.words_per_row + k / 64];
+        let bit = 1u64 << (k % 64);
+        if free {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+    }
+
+    #[inline]
+    fn is_free(&self, row: usize, k: usize) -> bool {
+        self.words[row * self.words_per_row + k / 64] & (1u64 << (k % 64)) != 0
+    }
+
+    /// Largest `k` in `[lo, from]` whose bit is clear (not free), found
+    /// by scanning whole words towards `lo`.
+    fn prev_not_free(&self, row: usize, from: usize, lo: usize) -> Option<usize> {
+        debug_assert!(lo <= from);
+        let base = row * self.words_per_row;
+        let mut w_idx = from / 64;
+        let mut word = !self.words[base + w_idx] & mask_le(from % 64);
+        let lo_word = lo / 64;
+        loop {
+            if word != 0 {
+                let k = w_idx * 64 + (63 - word.leading_zeros() as usize);
+                return if k < lo { None } else { Some(k) };
+            }
+            if w_idx == lo_word {
+                return None;
+            }
+            w_idx -= 1;
+            word = !self.words[base + w_idx];
+        }
+    }
+
+    /// Smallest `k` in `[from, hi]` whose bit is clear (not free), found
+    /// by scanning whole words towards `hi`.
+    fn next_not_free(&self, row: usize, from: usize, hi: usize) -> Option<usize> {
+        debug_assert!(from <= hi);
+        let base = row * self.words_per_row;
+        let mut w_idx = from / 64;
+        let mut word = !self.words[base + w_idx] & mask_ge(from % 64);
+        let hi_word = hi / 64;
+        loop {
+            if word != 0 {
+                let k = w_idx * 64 + word.trailing_zeros() as usize;
+                return if k > hi { None } else { Some(k) };
+            }
+            if w_idx == hi_word {
+                return None;
+            }
+            w_idx += 1;
+            word = !self.words[base + w_idx];
+        }
+    }
+}
+
 /// The grid model of the paper's Level B routing surface.
 ///
 /// An array of intersections defined by `nv` vertical × `nh` horizontal
@@ -52,6 +162,13 @@ impl fmt::Display for CellState {
 /// the paper's Section 3.4 requires, and updating after a connection is
 /// `O(t), t = max(h, v)` since a two-terminal connection touches at most
 /// a constant number of tracks.
+///
+/// A word-packed free/not-free bitset per plane ([`BitPlane`]) is kept
+/// in lockstep with the `CellState` array by [`GridModel::set_state`]
+/// (the single mutation point); [`GridModel::free_run`] uses it to
+/// expand maximal free runs with word-level scans, falling back to the
+/// enum only at non-free boundary cells to let a net pass through its
+/// own wiring.
 #[derive(Clone, Debug)]
 pub struct GridModel {
     region: Rect,
@@ -60,17 +177,27 @@ pub struct GridModel {
     /// Occupancy, indexed `[dir][j * nv + i]` where `i` is the vertical
     /// track index (x) and `j` the horizontal track index (y).
     state: [Vec<CellState>; 2],
+    /// Free-bit view of `state`, one plane each, row-major along each
+    /// plane's own tracks.
+    bits: [BitPlane; 2],
 }
 
 impl GridModel {
     /// Creates a grid over `region` with the given track sets.
     pub fn new(region: Rect, h: TrackSet, v: TrackSet) -> Self {
         let n = h.len() * v.len();
+        // Dir::Horizontal.index() == 0: rows are horizontal tracks (nh),
+        // cross-bits are vertical track indices (nv); vice versa for 1.
+        let bits = [
+            BitPlane::new(h.len(), v.len()),
+            BitPlane::new(v.len(), h.len()),
+        ];
         GridModel {
             region,
             h,
             v,
             state: [vec![CellState::Free; n], vec![CellState::Free; n]],
+            bits,
         }
     }
 
@@ -151,6 +278,11 @@ impl GridModel {
     pub fn set_state(&mut self, dir: Dir, i: usize, j: usize, s: CellState) {
         let idx = self.idx(i, j);
         self.state[dir.index()][idx] = s;
+        let (row, k) = match dir {
+            Dir::Horizontal => (j, i),
+            Dir::Vertical => (i, j),
+        };
+        self.bits[dir.index()].set(row, k, s.is_free());
     }
 
     /// `true` if `(i, j)` is free on plane `dir`.
@@ -232,22 +364,123 @@ impl GridModel {
         }
     }
 
+    /// `true` if cross-index `k` of track `track` on plane `dir` is
+    /// passable for `net`: free, or used by `net` itself.
+    #[inline]
+    pub fn cell_passable(&self, net: u32, dir: Dir, track: usize, k: usize) -> bool {
+        let (i, j) = match dir {
+            Dir::Horizontal => (k, track),
+            Dir::Vertical => (track, k),
+        };
+        match self.state(dir, i, j) {
+            CellState::Free => true,
+            CellState::Used(n) => n == net,
+            CellState::Blocked => false,
+        }
+    }
+
     /// `true` if every intersection of the run is free on plane `dir`,
     /// except that intersections already used by `net` itself are
     /// allowed (a net may reuse its own wiring, e.g. Steiner trunks).
     pub fn run_is_free(&self, dir: Dir, track: usize, from: usize, to: usize, net: u32) -> bool {
         let (lo, hi) = (from.min(to), from.max(to));
-        (lo..=hi).all(|k| {
-            let (i, j) = match dir {
-                Dir::Horizontal => (k, track),
-                Dir::Vertical => (track, k),
-            };
-            match self.state(dir, i, j) {
-                CellState::Free => true,
-                CellState::Used(n) => n == net,
-                CellState::Blocked => false,
+        debug_assert!(hi < self.cross_len(dir) && track < self.track_count(dir));
+        // Word-scan the free bitset; only non-free cells need the enum
+        // (they pass exactly when used by `net` itself).
+        let plane = &self.bits[dir.index()];
+        let mut k = lo;
+        while let Some(z) = plane.next_not_free(track, k, hi) {
+            if !self.cell_passable(net, dir, track, z) {
+                return false;
             }
-        })
+            if z == hi {
+                return true;
+            }
+            k = z + 1;
+        }
+        true
+    }
+
+    /// Number of cross-indices along a track of plane `dir` (the run
+    /// axis length: `nv` for horizontal tracks, `nh` for vertical).
+    #[inline]
+    pub fn cross_len(&self, dir: Dir) -> usize {
+        match dir {
+            Dir::Horizontal => self.nv(),
+            Dir::Vertical => self.nh(),
+        }
+    }
+
+    /// Number of tracks on plane `dir`.
+    #[inline]
+    pub fn track_count(&self, dir: Dir) -> usize {
+        match dir {
+            Dir::Horizontal => self.nh(),
+            Dir::Vertical => self.nv(),
+        }
+    }
+
+    /// The maximal passable run for `net` along track `track` of plane
+    /// `dir` through cross-index `through`, clipped to the closed window
+    /// `[win_lo, win_hi]`. Returns `None` if the through-cell itself is
+    /// impassable or outside the window.
+    ///
+    /// Free stretches are expanded a 64-cell word at a time over the
+    /// plane's bitset; the per-cell [`CellState`] is consulted only at
+    /// each non-free boundary, to pass through cells used by `net`
+    /// itself. Semantics are cell-for-cell identical to a per-cell scan.
+    pub fn free_run(
+        &self,
+        net: u32,
+        dir: Dir,
+        track: usize,
+        through: usize,
+        win_lo: usize,
+        win_hi: usize,
+    ) -> Option<(usize, usize)> {
+        if through < win_lo || through > win_hi {
+            return None;
+        }
+        debug_assert!(win_hi < self.cross_len(dir) && track < self.track_count(dir));
+        let plane = &self.bits[dir.index()];
+        if !plane.is_free(track, through) && !self.cell_passable(net, dir, track, through) {
+            return None;
+        }
+        let mut lo = through;
+        while lo > win_lo {
+            match plane.prev_not_free(track, lo - 1, win_lo) {
+                None => {
+                    lo = win_lo;
+                    break;
+                }
+                Some(z) => {
+                    if self.cell_passable(net, dir, track, z) {
+                        lo = z; // own wiring: keep scanning below it
+                    } else {
+                        lo = z + 1;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut hi = through;
+        while hi < win_hi {
+            match plane.next_not_free(track, hi + 1, win_hi) {
+                None => {
+                    hi = win_hi;
+                    break;
+                }
+                Some(z) => {
+                    if self.cell_passable(net, dir, track, z) {
+                        hi = z; // own wiring: keep scanning past it
+                    } else {
+                        hi = z - 1;
+                        break;
+                    }
+                }
+            }
+        }
+        Some((lo, hi))
     }
 
     /// Number of used grid points (either plane) within the closed index
@@ -394,5 +627,127 @@ mod tests {
     fn distance_uses_physical_offsets() {
         let g = grid5();
         assert_eq!(g.distance((0, 0), (2, 3)), 20 + 30);
+    }
+
+    /// Per-cell reference implementation of [`GridModel::free_run`].
+    fn free_run_ref(
+        g: &GridModel,
+        net: u32,
+        dir: Dir,
+        track: usize,
+        through: usize,
+        win_lo: usize,
+        win_hi: usize,
+    ) -> Option<(usize, usize)> {
+        let pass = |k: usize| g.cell_passable(net, dir, track, k);
+        if !pass(through) || through < win_lo || through > win_hi {
+            return None;
+        }
+        let mut lo = through;
+        while lo > win_lo && pass(lo - 1) {
+            lo -= 1;
+        }
+        let mut hi = through;
+        while hi < win_hi && pass(hi + 1) {
+            hi += 1;
+        }
+        Some((lo, hi))
+    }
+
+    /// A ~150×3 grid (several words per row) with a deterministic mix of
+    /// blocked cells and two nets' wiring.
+    fn grid_multiword() -> GridModel {
+        let mut g = GridModel::new(
+            Rect::new(0, 0, 1490, 20),
+            TrackSet::from_pitch(Interval::new(0, 20), 10),
+            TrackSet::from_pitch(Interval::new(0, 1490), 10),
+        );
+        assert_eq!(g.nv(), 150);
+        for i in 0..150usize {
+            for j in 0..3usize {
+                match (i * 7 + j * 13) % 11 {
+                    0 => g.set_state(Dir::Horizontal, i, j, CellState::Blocked),
+                    1 | 5 => g.set_state(Dir::Horizontal, i, j, CellState::Used(1)),
+                    2 => g.set_state(Dir::Horizontal, i, j, CellState::Used(2)),
+                    _ => {}
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn word_scan_free_run_matches_per_cell_reference() {
+        let g = grid_multiword();
+        for net in [1u32, 2, 9] {
+            for track in 0..3 {
+                for through in 0..150 {
+                    for (lo, hi) in [(0, 149), (0, 63), (64, 149), (30, 100), (through, through)] {
+                        assert_eq!(
+                            g.free_run(net, Dir::Horizontal, track, through, lo, hi),
+                            free_run_ref(&g, net, Dir::Horizontal, track, through, lo, hi),
+                            "net={net} track={track} through={through} win=[{lo},{hi}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_scan_run_is_free_matches_per_cell_reference() {
+        let g = grid_multiword();
+        let reference = |net: u32, track: usize, lo: usize, hi: usize| {
+            (lo..=hi).all(|k| g.cell_passable(net, Dir::Horizontal, track, k))
+        };
+        for net in [1u32, 2, 9] {
+            for track in 0..3 {
+                for lo in (0..150).step_by(7) {
+                    for hi in (lo..150).step_by(13) {
+                        assert_eq!(
+                            g.run_is_free(Dir::Horizontal, track, lo, hi, net),
+                            reference(net, track, lo, hi),
+                            "net={net} track={track} run=[{lo},{hi}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_planes_track_cell_state_through_mutation() {
+        let mut g = grid_multiword();
+        g.block_rect(&Rect::new(205, 0, 355, 20), Dir::Vertical);
+        g.occupy_run(Dir::Vertical, 70, 0, 2, 5);
+        g.occupy_run(Dir::Horizontal, 1, 100, 140, 5);
+        // Clearing back to Free must set the bit again.
+        g.set_state(Dir::Horizontal, 120, 1, CellState::Free);
+        for dir in [Dir::Horizontal, Dir::Vertical] {
+            for i in 0..g.nv() {
+                for j in 0..g.nh() {
+                    let (row, k) = match dir {
+                        Dir::Horizontal => (j, i),
+                        Dir::Vertical => (i, j),
+                    };
+                    assert_eq!(
+                        g.bits[dir.index()].is_free(row, k),
+                        g.state(dir, i, j).is_free(),
+                        "{dir:?} cell ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitplane_tail_bits_are_not_free() {
+        // 70 cross cells: the second word has 6 live bits and 58 tail
+        // bits that must never read as free.
+        let p = BitPlane::new(2, 70);
+        assert!(p.is_free(1, 69));
+        assert_eq!(p.words[2 * p.words_per_row - 1], mask_le(5));
+        assert_eq!(p.next_not_free(0, 0, 69), None);
+        assert_eq!(p.prev_not_free(1, 69, 0), None);
     }
 }

@@ -4,9 +4,10 @@
 //!
 //! ```text
 //! obs-check <stats.json> [--min-chips N]
+//! obs-check <bench.json> --bench <name>
 //! ```
 //!
-//! Checks:
+//! Stats-mode checks:
 //!
 //! * the document parses and declares `"schema": "ocr-stats-v1"`;
 //! * `runs` is a non-empty array, every run labeled with chip + flow;
@@ -16,6 +17,15 @@
 //!   `level_b.rips` and `level_b.retries` counters;
 //! * every chip in the document has an `overcell` run;
 //! * with `--min-chips N`, at least N distinct chips appear.
+//!
+//! With `--bench <name>` the file is instead validated as a committed
+//! `BENCH_<name>.json` snapshot:
+//!
+//! * the document parses and declares `"schema": "ocr-bench-v1"`;
+//! * its `bench` field equals `<name>` (a snapshot renamed on disk or
+//!   written by the wrong benchmark is stale, not merely mislabeled);
+//! * at least one top-level field is a non-empty array of objects (the
+//!   measurement rows).
 //!
 //! Exits 0 when all checks pass, 1 (with a message) otherwise.
 
@@ -40,6 +50,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<String, String> {
     let mut path: Option<&str> = None;
     let mut min_chips: usize = 0;
+    let mut bench: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +63,10 @@ fn run(args: &[String]) -> Result<String, String> {
                 min_chips = v;
                 i += 2;
             }
+            "--bench" => {
+                bench = Some(args.get(i + 1).ok_or("--bench requires a name")?);
+                i += 2;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             positional => {
                 if path.replace(positional).is_some() {
@@ -61,10 +76,13 @@ fn run(args: &[String]) -> Result<String, String> {
             }
         }
     }
-    let path = path.ok_or("usage: obs-check <stats.json> [--min-chips N]")?;
+    let path = path.ok_or("usage: obs-check <stats.json> [--min-chips N] | --bench <name>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    check(&doc, min_chips)
+    match bench {
+        Some(name) => check_bench(&doc, name),
+        None => check(&doc, min_chips),
+    }
 }
 
 fn span_total(run: &Value, name: &str) -> Option<u64> {
@@ -83,6 +101,44 @@ fn has_counter(run: &Value, name: &str) -> bool {
             cs.iter()
                 .any(|c| c.get("name").and_then(Value::as_str) == Some(name))
         })
+}
+
+/// Validates a committed `BENCH_<name>.json` snapshot: right schema,
+/// right bench name, and at least one non-empty array of measurement
+/// rows (benchmarks differ in what they call it — `rows`, `area_sweep`,
+/// … — so any top-level array of objects qualifies).
+fn check_bench(doc: &Value, name: &str) -> Result<String, String> {
+    if doc.get("schema").and_then(Value::as_str) != Some("ocr-bench-v1") {
+        return Err("missing or unexpected `schema` (want \"ocr-bench-v1\")".into());
+    }
+    match doc.get("bench").and_then(Value::as_str) {
+        Some(b) if b == name => {}
+        Some(b) => return Err(format!("`bench` is \"{b}\", expected \"{name}\"")),
+        None => return Err("missing `bench` name".into()),
+    }
+    let Value::Obj(members) = doc else {
+        return Err("document is not an object".into());
+    };
+    let mut rows = 0usize;
+    let mut tables = 0usize;
+    for (key, value) in members {
+        if let Value::Arr(items) = value {
+            if items.is_empty() {
+                return Err(format!("`{key}` is an empty array — no measurements"));
+            }
+            if let Some(bad) = items.iter().position(|r| !matches!(r, Value::Obj(_))) {
+                return Err(format!("`{key}[{bad}]` is not a row object"));
+            }
+            rows += items.len();
+            tables += 1;
+        }
+    }
+    if tables == 0 {
+        return Err("no measurement array in the snapshot".into());
+    }
+    Ok(format!(
+        "bench `{name}`: {rows} row(s) in {tables} table(s) OK"
+    ))
 }
 
 fn check(doc: &Value, min_chips: usize) -> Result<String, String> {
@@ -211,5 +267,52 @@ mod tests {
     fn wrong_schema_fails() {
         let bad = GOOD.replace("ocr-stats-v1", "ocr-stats-v0");
         assert!(check(&doc(&bad), 1).is_err());
+    }
+
+    const GOOD_BENCH: &str = r#"{"schema":"ocr-bench-v1","bench":"inner_loop","runs":5,
+        "rows":[{"chip":"ami33","expanded":10262,"level_b_ns":7,"vertices_per_sec":1.0}]}"#;
+
+    #[test]
+    fn clean_bench_snapshot_passes() {
+        let ok = check_bench(&doc(GOOD_BENCH), "inner_loop").unwrap();
+        assert!(ok.contains("1 row(s)"), "{ok}");
+    }
+
+    #[test]
+    fn bench_name_mismatch_fails() {
+        let err = check_bench(&doc(GOOD_BENCH), "par_speedup").unwrap_err();
+        assert!(err.contains("par_speedup"), "{err}");
+    }
+
+    #[test]
+    fn bench_schema_mismatch_fails() {
+        let bad = GOOD_BENCH.replace("ocr-bench-v1", "ocr-stats-v1");
+        assert!(check_bench(&doc(&bad), "inner_loop").is_err());
+    }
+
+    #[test]
+    fn bench_without_rows_fails() {
+        let bad = GOOD_BENCH.replace(
+            r#""rows":[{"chip":"ami33","expanded":10262,"level_b_ns":7,"vertices_per_sec":1.0}]"#,
+            r#""rows":[]"#,
+        );
+        let err = check_bench(&doc(&bad), "inner_loop").unwrap_err();
+        assert!(err.contains("empty array"), "{err}");
+        let none = check_bench(
+            &doc(r#"{"schema":"ocr-bench-v1","bench":"inner_loop","runs":5}"#),
+            "inner_loop",
+        )
+        .unwrap_err();
+        assert!(none.contains("no measurement array"), "{none}");
+    }
+
+    #[test]
+    fn bench_with_non_object_rows_fails() {
+        let bad = GOOD_BENCH.replace(
+            r#"[{"chip":"ami33","expanded":10262,"level_b_ns":7,"vertices_per_sec":1.0}]"#,
+            "[1, 2, 3]",
+        );
+        let err = check_bench(&doc(&bad), "inner_loop").unwrap_err();
+        assert!(err.contains("not a row object"), "{err}");
     }
 }

@@ -131,6 +131,26 @@ cmp "$SV_DIR/out-1/serve.log" "$SV_DIR/out-par/serve.log"
 cmp "$SV_DIR/out-1/results.txt" "$SV_DIR/out-par/results.txt"
 rm -rf "$SV_DIR"
 
+echo "==> bench snapshots (inner_loop smoke + validate committed BENCH_*.json)"
+# The inner-loop benchmark must run end to end (quick mode: one
+# measurement run per chip) and emit a valid ocr-bench-v1 document, and
+# every committed BENCH_*.json snapshot must still parse with the right
+# schema and bench name — a stale or hand-mangled snapshot fails CI, as
+# does a missing BENCH_inner_loop.json.
+BN_DIR="$(mktemp -d)"
+OCR_BENCH_QUICK=1 ./target/release/inner_loop --json "$BN_DIR/inner_loop.json" >/dev/null
+./target/release/obs-check "$BN_DIR/inner_loop.json" --bench inner_loop
+rm -rf "$BN_DIR"
+[ -f BENCH_inner_loop.json ] || {
+    echo "ci: BENCH_inner_loop.json snapshot is missing" >&2
+    exit 1
+}
+for snap in BENCH_*.json; do
+    name="${snap#BENCH_}"
+    name="${name%.json}"
+    ./target/release/obs-check "$snap" --bench "$name"
+done
+
 echo "==> no panicking macros reachable from external input (crates/io)"
 # The parsers take untrusted text; their non-test code must contain no
 # unwrap/expect/panic!. (Everything before the #[cfg(test)] marker.)

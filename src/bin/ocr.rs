@@ -16,8 +16,8 @@
 //! ```
 
 use overcell_router::core::{
-    ordering_from_name, resume_from_doc, CheckpointSpec, FlowKind, FlowOptions, FlowResult,
-    NetOrdering, OverCellFlow, RunSession,
+    ordering_from_name, resume_from_doc, CheckpointSpec, CostWeights, FlowKind, FlowOptions,
+    FlowResult, LevelBConfig, NetOrdering, OverCellFlow, RunSession,
 };
 use overcell_router::exec::RunControl;
 use overcell_router::fault;
@@ -42,6 +42,7 @@ USAGE:
                        [--order longest|shortest|congestion|criticality|
                                 shuffle[:SEED]|portfolio[:K]]
                        [--svg FILE] [--routes FILE] [--salvage]
+                       [--weights default|dense|length-only|k=v,...]
                        [--stats] [--stats-json FILE] [--trace-out FILE]
                        [--max-steps N] [--deadline-ms MS]
                        [--checkpoint-out FILE [--checkpoint-every N]]
@@ -59,6 +60,11 @@ USAGE:
       and never worse in unrouted nets than --order longest. The racer
       manages its own run controls, so portfolio cannot be combined
       with --max-steps/--deadline-ms/--checkpoint-out/--resume.
+      --weights sets the Level B cost function (overcell flow only):
+      a preset name (default, dense, length-only) or comma-separated
+      overrides of the defaults (w1, w21, w22, w23, w24, radius —
+      e.g. `--weights w1=2.0,w24=0.5`). Non-finite values are rejected
+      before routing starts.
       --salvage degrades gracefully instead of aborting: Level B setup
       errors and per-net panics fail only the affected net, and the
       result carries a per-net degradation report.
@@ -173,6 +179,7 @@ const ROUTE_SPEC: ArgSpec = ArgSpec {
         "--checkpoint-out",
         "--checkpoint-every",
         "--resume",
+        "--weights",
     ],
     switch_flags: &["--suite", "--stats", "--salvage"],
 };
@@ -563,6 +570,7 @@ fn route(args: &[String]) -> Result<(), String> {
             "--checkpoint-out",
             "--checkpoint-every",
             "--resume",
+            "--weights",
         ] {
             if flags.value(f).is_some() {
                 return Err(format!(
@@ -604,6 +612,20 @@ fn route(args: &[String]) -> Result<(), String> {
             kind.name()
         ));
     }
+    let weights = flags
+        .value("--weights")
+        .map(|spec| CostWeights::parse(spec).map_err(|e| format!("route: bad --weights: {e}")))
+        .transpose()?;
+    if weights.is_some() && kind != FlowKind::OverCell {
+        return Err(format!(
+            "route: --weights applies to the overcell flow, not `{}`",
+            kind.name()
+        ));
+    }
+    let mut level_b = LevelBConfig::default();
+    if let Some(w) = weights {
+        level_b.weights = w;
+    }
     let options = FlowOptions::new()
         .telemetry(telemetry.wanted())
         // A checkpointed salvage run resumes as a salvage run even if
@@ -611,8 +633,11 @@ fn route(args: &[String]) -> Result<(), String> {
         .salvage(flags.has("--salvage") || session.resume.as_ref().is_some_and(|r| r.salvage));
     let (result, portfolio) = match order {
         Some(OrderChoice::Portfolio(k)) => {
+            // The racer clones `level_b` per strategy, so CLI weights
+            // apply to every raced ordering.
             let flow = OverCellFlow {
                 options,
+                level_b,
                 ..OverCellFlow::default()
             };
             let (result, report) = flow
@@ -621,15 +646,16 @@ fn route(args: &[String]) -> Result<(), String> {
             (result, Some(report))
         }
         Some(OrderChoice::Strategy(ordering)) => {
+            level_b.ordering = ordering;
             let result = kind
-                .build_with_ordering(options, Some(ordering))
+                .build_with_level_b(options, level_b)
                 .run_controlled(&layout, &placement, &session)
                 .map_err(|e| e.to_string())?;
             (result, None)
         }
         None => {
             let result = kind
-                .build_with(options)
+                .build_with_level_b(options, level_b)
                 .run_controlled(&layout, &placement, &session)
                 .map_err(|e| e.to_string())?;
             (result, None)

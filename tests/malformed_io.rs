@@ -130,6 +130,36 @@ fn parse_results_never_panics_on_mutated_inputs() {
 }
 
 #[test]
+fn weights_specs_never_panic_and_never_smuggle_non_finite_weights() {
+    // `--weights` specs come from the command line, so the parser gets
+    // the same treatment as the file grammars: every mutation of a
+    // valid spec must parse or return a typed error — never panic —
+    // and every *accepted* spec must survive validation (no NaN or
+    // infinity sneaking into the cost function through creative
+    // spellings like `w1=nan` or `w21=-inf`).
+    use overcell_router::core::CostWeights;
+
+    let base = "w1=2.5,w21=0.75,w22=1,w23=0.5,w24=0.25,radius=5";
+    CostWeights::parse(base).expect("base weights spec parses");
+    for i in 0..TRIALS {
+        let seed = 0x3e16e75 ^ i as u64;
+        let mutated = corrupt_text(base, seed, 1 + i % 8);
+        let outcome = catch_unwind(AssertUnwindSafe(|| CostWeights::parse(&mutated)));
+        match outcome {
+            Ok(Ok(w)) => assert_eq!(
+                w.validate(),
+                Ok(()),
+                "accepted spec produced invalid weights (seed {seed}, input {mutated:?})"
+            ),
+            Ok(Err(_)) => {}
+            Err(_) => {
+                panic!("CostWeights::parse panicked on mutation seed {seed} (input {mutated:?})")
+            }
+        }
+    }
+}
+
+#[test]
 fn parse_checkpoint_never_panics_on_mutated_inputs() {
     // The fuzz base is a *real* mid-run checkpoint — routed geometry,
     // failure reasons, pending queue, stats — so mutations hit every
