@@ -419,8 +419,7 @@ fn write_header_checkpoint(
         steps: session.control.steps(),
         ..CheckpointDoc::default()
     };
-    std::fs::write(&spec.path, write_checkpoint(layout, &doc))
-        .map_err(|e| RouteError::Checkpoint(format!("cannot write {}: {e}", spec.path.display())))
+    crate::level_b::write_checkpoint_text(&spec.path, &write_checkpoint(layout, &doc))
 }
 
 /// The result of a flow run whose control tripped before any wiring was

@@ -601,9 +601,7 @@ impl<'a> LevelBRouter<'a> {
             retries: retry_pairs,
         };
         let text = write_checkpoint(self.layout, &doc);
-        std::fs::write(&spec.path, text).map_err(|e| {
-            RouteError::Checkpoint(format!("cannot write {}: {e}", spec.path.display()))
-        })
+        write_checkpoint_text(&spec.path, &text)
     }
 
     /// Removes a route's wiring from the grid (rip-up or failed-net
@@ -1081,6 +1079,20 @@ impl<'a> LevelBRouter<'a> {
                 .push(Via::new(attach, Layer::Metal3, Layer::Metal4));
         }
     }
+}
+
+/// Commits checkpoint text durably: atomic replace (temp + fsync +
+/// rename) with bounded retry, so a crash mid-write leaves the previous
+/// checkpoint intact instead of a torn file. The `ckpt.write` fault
+/// site injects transient failures ahead of the real write.
+pub(crate) fn write_checkpoint_text(path: &std::path::Path, text: &str) -> Result<(), RouteError> {
+    ocr_io::retry_io(|| {
+        if ocr_fault::point("ckpt.write") {
+            return Err(std::io::Error::other("injected transient write failure"));
+        }
+        ocr_io::atomic_write(path, text)
+    })
+    .map_err(|e| RouteError::Checkpoint(format!("cannot write {}: {e}", path.display())))
 }
 
 fn path_wl(points: &[Point]) -> i64 {

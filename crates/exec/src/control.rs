@@ -192,11 +192,21 @@ impl RunControl {
         self.tripped()
     }
 
-    /// The trip reason, if the control has tripped. Polls the deadline
-    /// lazily, so merely asking can trip an expired control.
+    /// The trip reason, if the control has tripped. Polls the budget
+    /// and deadline lazily, so merely asking can trip the control.
     pub fn tripped(&self) -> Option<TripReason> {
         if let Some(reason) = decode(self.inner.tripped.load(Ordering::Acquire)) {
             return Some(reason);
+        }
+        // A resumed run can preload more steps than this slice's budget
+        // (after a crash the checkpoint on disk may be ahead of the
+        // journaled grant); the overdraft trips on the first poll,
+        // exactly as the charge that crossed the budget would have.
+        if let Some(budget) = self.inner.budget {
+            if self.steps() > budget {
+                self.trip(TripReason::BudgetExceeded);
+                return decode(self.inner.tripped.load(Ordering::Acquire));
+            }
         }
         if let Some(deadline) = self.inner.deadline {
             if Instant::now() >= deadline {
@@ -348,6 +358,17 @@ mod tests {
         let c = RunControl::new().with_step_budget(10).resumed_at(9);
         assert_eq!(c.charge(1), None);
         assert_eq!(c.charge(1), Some(TripReason::BudgetExceeded));
+    }
+
+    #[test]
+    fn overdrawn_resume_trips_on_first_poll() {
+        // A checkpoint written after the tripping charge can preload
+        // more steps than the slice's budget; the poll must trip
+        // without waiting for a charge.
+        let c = RunControl::new().with_step_budget(10).resumed_at(12);
+        assert_eq!(c.tripped(), Some(TripReason::BudgetExceeded));
+        let exact = RunControl::new().with_step_budget(10).resumed_at(10);
+        assert_eq!(exact.tripped(), None, "steps == budget is not over");
     }
 
     #[test]

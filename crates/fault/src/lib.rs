@@ -89,6 +89,11 @@ pub struct FaultRule {
     pub probability: f64,
     /// Cap on total fires of this rule (`u64::MAX` for unlimited).
     pub max_fires: u64,
+    /// Hits to let pass quietly before the rule starts drawing: hit
+    /// indices below this never fire. With `probability: 1.0` and
+    /// `max_fires: 1` this pins a fire to one exact hit — the seeded
+    /// kill-point primitive for crash-recovery tests.
+    pub after_hits: u64,
     /// What a fire does.
     pub action: FaultAction,
 }
@@ -160,6 +165,9 @@ impl FaultPlan {
             .enumerate()
             .find(|(_, r)| r.matches(site))?;
         let hit = self.inner.hits[i].fetch_add(1, Ordering::Relaxed);
+        if hit < rule.after_hits {
+            return None;
+        }
         let mut rng = Rng::seed_from_u64(mix(self.inner.seed, site_hash(site), hit));
         if !rng.gen_bool(rule.probability) {
             return None;
@@ -195,6 +203,20 @@ impl FaultPlanBuilder {
             site: site.into(),
             probability,
             max_fires,
+            after_hits: 0,
+            action: FaultAction::Panic,
+        })
+    }
+
+    /// Adds a rule that panics exactly once, at the `hit`-th match of
+    /// `site` (0-based) — a seeded kill point for crash-recovery
+    /// tests: the process dies at a precise, reproducible moment.
+    pub fn kill_at(self, site: impl Into<String>, hit: u64) -> Self {
+        self.rule(FaultRule {
+            site: site.into(),
+            probability: 1.0,
+            max_fires: 1,
+            after_hits: hit,
             action: FaultAction::Panic,
         })
     }
@@ -211,6 +233,7 @@ impl FaultPlanBuilder {
             site: site.into(),
             probability,
             max_fires,
+            after_hits: 0,
             action: FaultAction::DelayMicros(micros),
         })
     }
@@ -221,6 +244,7 @@ impl FaultPlanBuilder {
             site: site.into(),
             probability,
             max_fires,
+            after_hits: 0,
             action: FaultAction::Fire,
         })
     }
@@ -545,6 +569,36 @@ mod tests {
         let fires = with_plan(&p, || (0..10).filter(|_| point("capped")).count());
         assert_eq!(fires, 2);
         assert_eq!(p.total_fires(), 2);
+    }
+
+    #[test]
+    fn kill_at_fires_exactly_at_the_chosen_hit() {
+        let p = plan(11)
+            .rule(FaultRule {
+                site: "kill.site".into(),
+                probability: 1.0,
+                max_fires: 1,
+                after_hits: 3,
+                action: FaultAction::Fire,
+            })
+            .build();
+        let fires = with_plan(&p, || {
+            (0..6).map(|_| point("kill.site")).collect::<Vec<bool>>()
+        });
+        assert_eq!(fires, [false, false, false, true, false, false]);
+        // The builder form panics at the same precise hit.
+        let p = plan(11).kill_at("kill.site", 2).build();
+        with_plan(&p, || {
+            assert!(!point("kill.site"));
+            assert!(!point("kill.site"));
+        });
+        let err = std::panic::catch_unwind(|| with_plan(&p, || point("kill.site")))
+            .expect_err("third hit must panic");
+        assert!(payload_message(err.as_ref()).contains("kill.site"));
+        assert!(
+            !with_plan(&p, || point("kill.site")),
+            "single fire is spent"
+        );
     }
 
     #[test]

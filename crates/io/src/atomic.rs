@@ -1,0 +1,152 @@
+//! Durable write primitives: crash-atomic file replacement and a
+//! bounded retry wrapper for transient I/O errors.
+//!
+//! [`atomic_write`] stages the contents in a uniquely named temporary
+//! file in the target's own directory, fsyncs it, and renames it over
+//! the target — a reader (or a restart after SIGKILL) sees either the
+//! old bytes or the new bytes, never a torn mixture. [`retry_io`]
+//! retries an operation a bounded number of times with a short
+//! backoff, counting each retry on the `io.retries` telemetry counter,
+//! so a transient failure (interrupted syscall, momentary EBUSY) does
+//! not abort a long batch run.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes the temp files of concurrent writers in one process.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Replaces `path` atomically: the contents are written to a unique
+/// temporary file in the same directory, fsynced, and renamed over
+/// `path`; the directory entry is then fsynced best-effort so the
+/// rename itself survives a crash. A crash at any point leaves either
+/// the old file or the new file — never a torn mixture.
+///
+/// # Errors
+///
+/// Any underlying I/O error; the temporary file is removed on failure.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let dir: PathBuf = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    let tmp = dir.join(format!(
+        ".{stem}.tmp-{}-{}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let staged = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if staged.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return staged;
+    }
+    // The rename is already atomic; syncing the directory entry makes
+    // it durable. Filesystems that cannot fsync a directory still did
+    // the atomic replace, so a failure here is not an error.
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Total attempts [`retry_io`] makes (one initial try plus retries).
+pub const IO_ATTEMPTS: u32 = 3;
+
+/// Runs `op`, retrying a failure with a short backoff (1ms, then 5ms)
+/// up to [`IO_ATTEMPTS`] attempts in total. Every retry counts one
+/// `io.retries` on the installed telemetry collector.
+///
+/// # Errors
+///
+/// The last attempt's error when every attempt fails.
+pub fn retry_io<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..IO_ATTEMPTS {
+        if attempt > 0 {
+            ocr_obs::count("io.retries", 1);
+            let backoff = if attempt == 1 { 1 } else { 5 };
+            std::thread::sleep(std::time::Duration::from_millis(backoff));
+        }
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("no attempt ran")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ocr-atomic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn atomic_write_creates_and_replaces() {
+        let dir = scratch("replace");
+        let path = dir.join("file.txt");
+        atomic_write(&path, "first\n").expect("create");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "first\n");
+        atomic_write(&path, "second\n").expect("replace");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "second\n");
+        // No temp litter is left behind.
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok().map(|e| e.file_name()))
+            .collect();
+        assert_eq!(entries.len(), 1, "{entries:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_fails_cleanly_without_a_directory() {
+        let dir = scratch("nodir");
+        let path = dir.join("missing").join("file.txt");
+        assert!(atomic_write(&path, "x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_io_retries_and_counts() {
+        let collector = ocr_obs::Collector::new();
+        let mut calls = 0;
+        let result = ocr_obs::with_collector(&collector, || {
+            retry_io(|| {
+                calls += 1;
+                if calls < 3 {
+                    Err(std::io::Error::other("transient"))
+                } else {
+                    Ok(calls)
+                }
+            })
+        });
+        assert_eq!(result.expect("third attempt succeeds"), 3);
+        assert_eq!(collector.snapshot().counter("io.retries"), Some(2));
+    }
+
+    #[test]
+    fn retry_io_gives_up_after_the_cap() {
+        let mut calls = 0;
+        let result: std::io::Result<()> = retry_io(|| {
+            calls += 1;
+            Err(std::io::Error::other("permanent"))
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, IO_ATTEMPTS);
+    }
+}

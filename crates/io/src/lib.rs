@@ -41,8 +41,12 @@
 //! # Ok::<(), ocr_io::ParseError>(())
 //! ```
 
+mod atomic;
 pub mod ckpt;
 pub mod job;
+pub mod journal;
+
+pub use atomic::{atomic_write, retry_io, IO_ATTEMPTS};
 
 use ocr_geom::{Coord, Layer, LayerSet, Point, Rect};
 use ocr_netlist::{

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! obs-check <stats.json> [--min-chips N]
+//! obs-check <stats.json> --service [--require COUNTER]...
 //! obs-check <bench.json> --bench <name>
 //! ```
 //!
@@ -17,6 +18,15 @@
 //!   `level_b.rips` and `level_b.retries` counters;
 //! * every chip in the document has an `overcell` run;
 //! * with `--min-chips N`, at least N distinct chips appear.
+//!
+//! With `--service` the file is instead validated as service telemetry
+//! (as written by `ocr serve` to `serve-stats.json`), where runs are
+//! counter documents, not per-chip flow timings:
+//!
+//! * the document parses and declares `"schema": "ocr-stats-v1"`;
+//! * `runs` is a non-empty array, every run labeled with chip + flow;
+//! * every counter named by a `--require` flag (repeatable) is declared
+//!   in at least one run.
 //!
 //! With `--bench <name>` the file is instead validated as a committed
 //! `BENCH_<name>.json` snapshot:
@@ -51,6 +61,8 @@ fn run(args: &[String]) -> Result<String, String> {
     let mut path: Option<&str> = None;
     let mut min_chips: usize = 0;
     let mut bench: Option<&str> = None;
+    let mut service = false;
+    let mut require: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -67,6 +79,14 @@ fn run(args: &[String]) -> Result<String, String> {
                 bench = Some(args.get(i + 1).ok_or("--bench requires a name")?);
                 i += 2;
             }
+            "--service" => {
+                service = true;
+                i += 1;
+            }
+            "--require" => {
+                require.push(args.get(i + 1).ok_or("--require requires a counter name")?);
+                i += 2;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             positional => {
                 if path.replace(positional).is_some() {
@@ -76,12 +96,22 @@ fn run(args: &[String]) -> Result<String, String> {
             }
         }
     }
-    let path = path.ok_or("usage: obs-check <stats.json> [--min-chips N] | --bench <name>")?;
+    if !require.is_empty() && !service {
+        return Err("--require only applies to --service".into());
+    }
+    if service && bench.is_some() {
+        return Err("--service and --bench are mutually exclusive".into());
+    }
+    let path = path.ok_or(
+        "usage: obs-check <stats.json> [--min-chips N] | --service [--require C]... \
+         | --bench <name>",
+    )?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    match bench {
-        Some(name) => check_bench(&doc, name),
-        None => check(&doc, min_chips),
+    match (bench, service) {
+        (Some(name), _) => check_bench(&doc, name),
+        (None, true) => check_service(&doc, &require),
+        (None, false) => check(&doc, min_chips),
     }
 }
 
@@ -138,6 +168,42 @@ fn check_bench(doc: &Value, name: &str) -> Result<String, String> {
     }
     Ok(format!(
         "bench `{name}`: {rows} row(s) in {tables} table(s) OK"
+    ))
+}
+
+/// Validates service telemetry (`ocr serve`'s `serve-stats.json`):
+/// right schema, labeled non-empty runs, and every `--require`d counter
+/// declared in at least one run. Service runs carry counters (journal
+/// appends, replays, recoveries, I/O retries), not per-chip flow
+/// timings, so the per-flow span checks of stats mode do not apply.
+fn check_service(doc: &Value, require: &[&str]) -> Result<String, String> {
+    if doc.get("schema").and_then(Value::as_str) != Some("ocr-stats-v1") {
+        return Err("missing or unexpected `schema` (want \"ocr-stats-v1\")".into());
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("`runs` missing or not an array")?;
+    if runs.is_empty() {
+        return Err("`runs` is empty".into());
+    }
+    for (k, run) in runs.iter().enumerate() {
+        run.get("chip")
+            .and_then(Value::as_str)
+            .ok_or(format!("run {k}: missing `chip`"))?;
+        run.get("flow")
+            .and_then(Value::as_str)
+            .ok_or(format!("run {k}: missing `flow`"))?;
+    }
+    for &counter in require {
+        if !runs.iter().any(|run| has_counter(run, counter)) {
+            return Err(format!("required counter `{counter}` missing"));
+        }
+    }
+    Ok(format!(
+        "service telemetry: {} run(s), {} required counter(s) present",
+        runs.len(),
+        require.len()
     ))
 }
 
@@ -267,6 +333,48 @@ mod tests {
     fn wrong_schema_fails() {
         let bad = GOOD.replace("ocr-stats-v1", "ocr-stats-v0");
         assert!(check(&doc(&bad), 1).is_err());
+    }
+
+    const GOOD_SERVICE: &str = r#"{"schema":"ocr-stats-v1","runs":[
+        {"chip":"serve","flow":"service",
+         "spans":[{"name":"serve.run","count":1,"total_ns":10,"min_ns":10,"max_ns":10}],
+         "counters":[{"name":"journal.append","value":9},
+                     {"name":"journal.replayed","value":0},
+                     {"name":"recover.jobs_resumed","value":0},
+                     {"name":"io.retries","value":0}]}
+    ]}"#;
+
+    #[test]
+    fn clean_service_document_passes() {
+        let ok = check_service(
+            &doc(GOOD_SERVICE),
+            &["journal.append", "journal.replayed", "io.retries"],
+        )
+        .unwrap();
+        assert!(ok.contains("3 required counter(s)"), "{ok}");
+    }
+
+    #[test]
+    fn missing_required_counter_fails() {
+        let err = check_service(&doc(GOOD_SERVICE), &["recover.nope"]).unwrap_err();
+        assert!(err.contains("recover.nope"), "{err}");
+    }
+
+    #[test]
+    fn service_mode_skips_flow_phase_checks() {
+        // The same document fails stats mode (no overcell run, no phase
+        // spans) but is valid service telemetry.
+        assert!(check(&doc(GOOD_SERVICE), 0).is_err());
+        assert!(check_service(&doc(GOOD_SERVICE), &[]).is_ok());
+    }
+
+    #[test]
+    fn service_mode_requires_labeled_runs() {
+        let bad = GOOD_SERVICE.replace(r#""chip":"serve","#, "");
+        let err = check_service(&doc(&bad), &[]).unwrap_err();
+        assert!(err.contains("missing `chip`"), "{err}");
+        let empty = r#"{"schema":"ocr-stats-v1","runs":[]}"#;
+        assert!(check_service(&doc(empty), &[]).is_err());
     }
 
     const GOOD_BENCH: &str = r#"{"schema":"ocr-bench-v1","bench":"inner_loop","runs":5,

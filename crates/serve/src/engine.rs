@@ -2,6 +2,7 @@
 //! model). Everything the engine logs or returns is a pure function of
 //! (job set, budgets): step counts, never wall clock.
 
+use crate::journal::{JobJournal, RecoveredJob};
 use crate::{record_of, JobInput, JobStatus, LoadedChip, ServeConfig, ServeError};
 use ocr_core::{resume_from_doc, CheckpointSpec, FlowOptions, FlowResult, RunSession};
 use ocr_exec::{RunControl, TaskOutcome, TripReason};
@@ -23,6 +24,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub trait Intake {
     /// The next batch of submissions, or `None` once closed.
     fn poll(&mut self, idle: bool) -> Option<Vec<JobInput>>;
+
+    /// Called once the engine has durably accepted the last polled
+    /// batch (journaled and fsynced). An intake backed by consumable
+    /// sources (spool files) deletes them here, so a crash between
+    /// poll and acknowledge redelivers the batch instead of losing
+    /// it. The default does nothing.
+    fn ack(&mut self) {}
 }
 
 /// An intake with nothing to add: the engine runs exactly the jobs it
@@ -152,6 +160,13 @@ pub fn serve(
         path: out.clone(),
         message: e.to_string(),
     })?;
+    let journal = match &config.journal {
+        Some(dir) => {
+            let (journal, recovered, warnings) = JobJournal::open(dir)?;
+            Some((journal, recovered, warnings))
+        }
+        None => None,
+    };
     let mut engine = Engine {
         config,
         out,
@@ -162,8 +177,18 @@ pub fn serve(
         used_steps: 0,
         rounds: 0,
         peak_queue: 0,
+        journal: None,
+        recovered: Vec::new(),
     };
-    let result = engine.run(initial, intake);
+    let result = match journal {
+        Some((journal, recovered, warnings)) => {
+            engine.journal = Some(journal);
+            engine
+                .recover(recovered, warnings)
+                .and_then(|()| engine.run(initial, intake))
+        }
+        None => engine.run(initial, intake),
+    };
     if scratch {
         let _ = std::fs::remove_dir_all(&engine.out);
     }
@@ -225,6 +250,7 @@ fn run_slice(task: &SliceTask<'_>) -> SliceOut {
     // named job without racing on a global hit index.
     ocr_fault::point(&format!("serve.job.{}", task.name));
     let kind = task.loaded.kind;
+    let mut resumed = task.resumed;
     let resume = match &task.resume_text {
         Some(text) => {
             let doc = match parse_checkpoint(&task.loaded.layout, text) {
@@ -238,6 +264,15 @@ fn run_slice(task: &SliceTask<'_>) -> SliceOut {
                     }
                 }
             };
+            // The checkpoint is the authority on progress: after a
+            // crash the on-disk checkpoint can be *ahead* of the
+            // journaled step count (the slice ran past its last
+            // journaled preemption before dying). Resuming at the
+            // checkpoint's own step count reproduces the uninterrupted
+            // schedule; if it already overdraws this slice's budget the
+            // control trips on its first poll and the slice re-emits
+            // the identical preemption.
+            resumed = doc.steps;
             match resume_from_doc(doc) {
                 Ok(r) => Some(r),
                 Err(e) => {
@@ -254,7 +289,7 @@ fn run_slice(task: &SliceTask<'_>) -> SliceOut {
     };
     let control = RunControl::new()
         .with_step_budget(task.budget)
-        .resumed_at(task.resumed);
+        .resumed_at(resumed);
     let session = RunSession {
         control: control.clone(),
         checkpoint: Some(CheckpointSpec {
@@ -284,6 +319,23 @@ fn run_slice(task: &SliceTask<'_>) -> SliceOut {
     }
 }
 
+/// One journal-recovered job the engine still tracks for redelivery
+/// deduplication: a submission arriving with a spec equal to an
+/// unconsumed recovered one is the *same* job, redelivered by a source
+/// the crash prevented from being acknowledged.
+struct Recovered {
+    spec: JobSpec,
+    seq: usize,
+    /// Journaled progress, applied when a redelivery supplies the chip.
+    steps: u64,
+    preempts: u64,
+    /// Still waiting for a redelivery to supply the chip (the journal
+    /// recorded no reload base).
+    awaiting: bool,
+    /// A redelivered submission already matched this entry.
+    consumed: bool,
+}
+
 struct Engine<'a> {
     config: &'a ServeConfig,
     out: PathBuf,
@@ -294,6 +346,8 @@ struct Engine<'a> {
     used_steps: u64,
     rounds: u64,
     peak_queue: usize,
+    journal: Option<JobJournal>,
+    recovered: Vec<Recovered>,
 }
 
 impl Engine<'_> {
@@ -304,7 +358,12 @@ impl Engine<'_> {
             if !closed {
                 match intake.poll(self.queue.is_empty()) {
                     None => closed = true,
-                    Some(batch) => self.enqueue(batch)?,
+                    Some(batch) => {
+                        self.enqueue(batch)?;
+                        // The batch is journaled and fsynced: the
+                        // source may consume its files now.
+                        intake.ack();
+                    }
                 }
             }
             if self.exhausted() {
@@ -312,12 +371,220 @@ impl Engine<'_> {
             }
             if self.queue.is_empty() {
                 if closed {
+                    self.resolve_awaiting()?;
                     return Ok(());
                 }
                 continue;
             }
             self.round()?;
         }
+    }
+
+    /// Answers every recovered job still waiting for a redelivered
+    /// chip once the intake has closed — nothing can supply it now,
+    /// and every accepted job must be answered.
+    fn resolve_awaiting(&mut self) -> Result<(), ServeError> {
+        let waiting: Vec<usize> = self
+            .recovered
+            .iter()
+            .filter(|r| r.awaiting && !r.consumed)
+            .map(|r| r.seq)
+            .collect();
+        for seq in waiting {
+            if self.states[seq].report.is_none() {
+                self.reject(
+                    seq,
+                    "recovered from the journal but its chip was never redelivered".to_string(),
+                )?;
+            }
+        }
+        if let Some(journal) = self.journal.as_mut() {
+            journal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds scheduler state from the replayed journal: terminal
+    /// jobs with intact answers are adopted as-is, everything else is
+    /// requeued — preempted jobs from their checkpoints, jobs whose
+    /// answers the crash tore from scratch or their last checkpoint.
+    fn recover(
+        &mut self,
+        recovered: Vec<RecoveredJob>,
+        warnings: Vec<String>,
+    ) -> Result<(), ServeError> {
+        self.log.extend(warnings);
+        for job in recovered {
+            let seq = self.states.len();
+            let duplicate = self.states.iter().any(|s| s.spec.name == job.spec.name);
+            let ckpt_path = job
+                .ckpt
+                .clone()
+                .unwrap_or_else(|| self.out.join(&job.spec.name).join("job.ckpt"));
+            self.states.push(JobState {
+                spec: job.spec.clone(),
+                duplicate,
+                loaded: None,
+                steps: 0,
+                slices: 0,
+                preempts: 0,
+                ckpt_text: None,
+                ckpt_path,
+                last: None,
+                report: None,
+            });
+            self.recovered.push(Recovered {
+                spec: job.spec.clone(),
+                seq,
+                steps: job.steps,
+                preempts: job.preempts,
+                awaiting: false,
+                consumed: false,
+            });
+            match &job.end {
+                Some(record) if self.trusted(seq, record) => self.adopt(seq, record),
+                end => {
+                    if let Some(record) = end {
+                        self.log.push(format!(
+                            "recover {}: journaled {} but its answer files are missing; \
+                             re-running",
+                            job.spec.name, record.status
+                        ));
+                    }
+                    if self.states[seq].duplicate {
+                        self.reject(seq, "duplicate job name".to_string())?;
+                    } else {
+                        match &job.base {
+                            Some(base) => {
+                                let input = crate::intake::load_job(job.spec.clone(), base);
+                                self.attach_load(seq, input, job.steps, job.preempts)?;
+                            }
+                            None => {
+                                // Nothing on record to reload the chip
+                                // from: hold the seat until the source
+                                // redelivers it (or the intake closes).
+                                self.recovered[seq].awaiting = true;
+                                self.log.push(format!(
+                                    "recover {}: waiting for its chip to be redelivered",
+                                    job.spec.name
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(journal) = self.journal.as_mut() {
+            journal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// `true` when a journaled terminal record can be adopted without
+    /// re-running the job: its answer files (written *before* the `end`
+    /// record) are present and agree with it. Rejections never produced
+    /// answers, so the record alone is the answer.
+    fn trusted(&self, seq: usize, record: &JobRecord) -> bool {
+        if record.status == JobStatus::Rejected.name() {
+            return true;
+        }
+        let s = &self.states[seq];
+        if s.duplicate || !self.persist || !valid_job_name(&s.spec.name) {
+            return true;
+        }
+        let dir = self.out.join(&s.spec.name);
+        let status = match std::fs::read_to_string(dir.join("status")) {
+            Ok(text) => text,
+            Err(_) => return false,
+        };
+        if status.split_whitespace().next() != Some(record.status.as_str()) {
+            return false;
+        }
+        let answered =
+            record.status == JobStatus::Done.name() || record.status == JobStatus::Salvaged.name();
+        !answered || dir.join("routes.txt").exists()
+    }
+
+    /// Adopts a trusted journaled terminal record: the job keeps its
+    /// on-disk answers and is reported without re-running.
+    fn adopt(&mut self, seq: usize, record: &JobRecord) {
+        let status = JobStatus::from_name(&record.status).unwrap_or(JobStatus::Failed);
+        self.used_steps += record.steps;
+        let s = &mut self.states[seq];
+        s.steps = record.steps;
+        s.preempts = record.preempts;
+        let report = JobReport {
+            name: s.spec.name.clone(),
+            flow: s.spec.flow.clone(),
+            status,
+            steps: record.steps,
+            routed: record.routed,
+            degraded: record.degraded,
+            preempts: record.preempts,
+            detail: record.detail.clone(),
+            routes: None,
+            stats: None,
+        };
+        s.report = Some(report);
+        self.log
+            .push(format!("recover {}: {status} (journaled)", record.name));
+    }
+
+    /// Installs a (re)loaded chip on a recovered job and requeues it,
+    /// resuming from its last committed checkpoint when one survives.
+    fn attach_load(
+        &mut self,
+        seq: usize,
+        input: JobInput,
+        steps: u64,
+        preempts: u64,
+    ) -> Result<(), ServeError> {
+        let loaded = match input.load {
+            Err(reason) => return self.reject(seq, reason),
+            Ok(loaded) => loaded,
+        };
+        let name = self.states[seq].spec.name.clone();
+        let mut steps = steps;
+        let mut preempts = preempts;
+        let mut ckpt_text = None;
+        if preempts > 0 {
+            let path = self.states[seq].ckpt_path.clone();
+            match std::fs::read_to_string(&path) {
+                Ok(text) => match parse_checkpoint(&loaded.layout, &text) {
+                    Ok(_) => ckpt_text = Some(text),
+                    Err(e) => self.log.push(format!(
+                        "recover {name}: checkpoint unusable ({e}); restarting from scratch"
+                    )),
+                },
+                Err(e) => self.log.push(format!(
+                    "recover {name}: checkpoint unreadable ({e}); restarting from scratch"
+                )),
+            }
+            if ckpt_text.is_none() {
+                steps = 0;
+                preempts = 0;
+            }
+        }
+        self.used_steps += steps;
+        let s = &mut self.states[seq];
+        s.loaded = Some(loaded);
+        s.ckpt_text = ckpt_text;
+        s.steps = steps;
+        s.preempts = preempts;
+        // Mirrors the uninterrupted run's slice count at this point, so
+        // the admit/resume log split and a later global-budget drain
+        // settle the job exactly as they would have.
+        s.slices = preempts;
+        ocr_obs::count("recover.jobs_resumed", 1);
+        if preempts > 0 {
+            self.log.push(format!(
+                "recover {name}: resuming at {steps} steps after {preempts} preempt(s)"
+            ));
+        } else {
+            self.log.push(format!("recover {name}: restarting"));
+        }
+        self.queue.push(seq);
+        Ok(())
     }
 
     /// `true` once the global step budget has drained.
@@ -328,7 +595,26 @@ impl Engine<'_> {
     }
 
     fn enqueue(&mut self, batch: Vec<JobInput>) -> Result<(), ServeError> {
+        let journaling = self.journal.is_some() && !batch.is_empty();
         for input in batch {
+            // A submission spec-equal to an unconsumed recovered job is
+            // that job, redelivered by a source the crash prevented from
+            // being acknowledged — not a new (duplicate) submission.
+            if let Some(pos) = self
+                .recovered
+                .iter()
+                .position(|r| !r.consumed && r.spec == input.spec)
+            {
+                let r = &mut self.recovered[pos];
+                r.consumed = true;
+                let (seq, steps, preempts, awaiting) = (r.seq, r.steps, r.preempts, r.awaiting);
+                if awaiting && self.states[seq].report.is_none() {
+                    self.log
+                        .push(format!("recover {}: chip redelivered", input.spec.name));
+                    self.attach_load(seq, input, steps, preempts)?;
+                }
+                continue;
+            }
             let seq = self.states.len();
             let duplicate = self.states.iter().any(|s| s.spec.name == input.spec.name);
             let ckpt_path = self.out.join(&input.spec.name).join("job.ckpt");
@@ -344,6 +630,10 @@ impl Engine<'_> {
                 last: None,
                 report: None,
             });
+            if let Some(journal) = self.journal.as_mut() {
+                let s = &self.states[seq];
+                journal.accept(seq, &s.spec, input.base.as_deref())?;
+            }
             if duplicate {
                 self.reject(seq, "duplicate job name".to_string())?;
                 continue;
@@ -359,12 +649,22 @@ impl Engine<'_> {
                 }
             }
         }
+        if journaling {
+            if let Some(journal) = self.journal.as_mut() {
+                journal.sync()?;
+            }
+            // Accepts are durable; the run loop acknowledges the intake
+            // next. A kill here redelivers the batch on restart, where
+            // redelivery dedup recognizes every job.
+            ocr_fault::point("serve.kill.accept");
+        }
         Ok(())
     }
 
     /// One barrier round: sort, admit under the global budget, run the
     /// batch isolated on the pool, then settle outcomes in queue order.
     fn round(&mut self) -> Result<(), ServeError> {
+        ocr_fault::point("serve.kill.round");
         self.rounds += 1;
         let round = self.rounds;
         ocr_obs::count("serve.rounds", 1);
@@ -421,6 +721,9 @@ impl Engine<'_> {
                     "round {round}: admit {} slice {slice} (priority {})",
                     s.spec.name, s.spec.priority
                 ));
+                if let Some(journal) = self.journal.as_mut() {
+                    journal.start(i)?;
+                }
                 self.ensure_job_dir(i)?;
             } else {
                 ocr_obs::count("serve.jobs.resumed", 1);
@@ -450,6 +753,9 @@ impl Engine<'_> {
             .collect();
         let outcomes = ocr_exec::parallel_map_isolated(&tasks, run_slice);
         drop(tasks);
+        // The slices ran (checkpoints may be ahead on disk) but nothing
+        // is settled or journaled yet — the canonical torn-round kill.
+        ocr_fault::point("serve.kill.settle");
         for ((&i, &budget), outcome) in batch.iter().zip(&budgets).zip(outcomes) {
             match outcome {
                 TaskOutcome::Poisoned { message } => {
@@ -489,6 +795,15 @@ impl Engine<'_> {
                                             "round {round}: preempt {} at {} steps",
                                             self.states[i].spec.name, value.steps
                                         ));
+                                        if let Some(journal) = self.journal.as_mut() {
+                                            let s = &self.states[i];
+                                            journal.preempt(
+                                                i,
+                                                s.steps,
+                                                s.preempts,
+                                                &s.ckpt_path,
+                                            )?;
+                                        }
                                         self.queue.push(i);
                                     }
                                     None => {
@@ -507,6 +822,11 @@ impl Engine<'_> {
                     }
                 }
             }
+        }
+        if let Some(journal) = self.journal.as_mut() {
+            // The round's settlement — preemptions and terminal records
+            // — commits as one durable unit at the barrier.
+            journal.sync()?;
         }
         Ok(())
     }
@@ -608,6 +928,13 @@ impl Engine<'_> {
         if !self.states[i].duplicate {
             self.write_job_files(&report)?;
         }
+        // Answer files first, then the terminal record: a journaled
+        // `end` always has its answers on disk. A kill in between
+        // re-runs the job deterministically on restart.
+        ocr_fault::point("serve.kill.finish");
+        if let Some(journal) = self.journal.as_mut() {
+            journal.end(i, &record_of(&report))?;
+        }
         self.states[i].last = None;
         self.states[i].report = Some(report);
         Ok(())
@@ -622,6 +949,7 @@ impl Engine<'_> {
     /// never got a slice end `rejected`.
     fn finalize_queue(&mut self) -> Result<(), ServeError> {
         let queue = std::mem::take(&mut self.queue);
+        let drained = !queue.is_empty();
         for i in queue {
             if self.states[i].slices > 0 {
                 self.finish(
@@ -632,6 +960,11 @@ impl Engine<'_> {
                 )?;
             } else {
                 self.reject(i, "global step budget exhausted".to_string())?;
+            }
+        }
+        if drained {
+            if let Some(journal) = self.journal.as_mut() {
+                journal.sync()?;
             }
         }
         Ok(())
@@ -654,27 +987,22 @@ impl Engine<'_> {
             path: dir.clone(),
             message: e.to_string(),
         })?;
-        let write = |file: &str, text: &str| -> Result<(), ServeError> {
-            let path = dir.join(file);
-            std::fs::write(&path, text).map_err(|e| ServeError::Io {
-                path,
-                message: e.to_string(),
-            })
-        };
         let mut status = report.status.name().to_string();
         if !report.detail.is_empty() {
             status.push(' ');
             status.push_str(&report.detail);
         }
         status.push('\n');
-        write("status", &status)?;
+        // Answers first, `status` last: each write is atomic, so a
+        // crash can tear *between* files but never inside one, and a
+        // `status` that exists always points at complete answers.
         if let Some(routes) = &report.routes {
-            write("routes.txt", routes)?;
+            durable_write(&dir.join("routes.txt"), routes)?;
         }
         if let Some(stats) = &report.stats {
-            write("stats.json", stats)?;
+            durable_write(&dir.join("stats.json"), stats)?;
         }
-        Ok(())
+        durable_write(&dir.join("status"), &status)
     }
 
     /// Appends the summary line and writes the service-level files.
@@ -709,21 +1037,39 @@ impl Engine<'_> {
             total_steps: self.used_steps,
             rounds: self.rounds,
         };
+        if let Some(journal) = self.journal.as_mut() {
+            journal.sync()?;
+        }
+        // Everything is settled and journaled; only the service-level
+        // summary files remain. A kill here loses nothing a restart
+        // cannot republish from the journal.
+        ocr_fault::point("serve.kill.final");
         if self.persist {
-            let write = |file: &str, text: &str| -> Result<(), ServeError> {
-                let path = self.out.join(file);
-                std::fs::write(&path, text).map_err(|e| ServeError::Io {
-                    path,
-                    message: e.to_string(),
-                })
-            };
             let mut log_text = report.log.join("\n");
             log_text.push('\n');
-            write("serve.log", &log_text)?;
-            write("results.txt", &write_results(&report.records()))?;
+            durable_write(&self.out.join("serve.log"), &log_text)?;
+            durable_write(
+                &self.out.join("results.txt"),
+                &write_results(&report.records()),
+            )?;
         }
         Ok(report)
     }
+}
+
+/// A durable service-file write: atomic (temp + fsync + rename), with
+/// bounded retries around the injectable `answers.write` fault site.
+fn durable_write(path: &std::path::Path, text: &str) -> Result<(), ServeError> {
+    ocr_io::retry_io(|| {
+        if ocr_fault::point("answers.write") {
+            return Err(std::io::Error::other("injected transient write failure"));
+        }
+        ocr_io::atomic_write(path, text)
+    })
+    .map_err(|e| ServeError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })
 }
 
 fn flow_label(state: &JobState) -> &str {

@@ -21,7 +21,11 @@ use std::path::{Path, PathBuf};
 /// as `rejected` rather than dropping the submission.
 pub fn load_job(spec: JobSpec, base: &Path) -> JobInput {
     let load = resolve(&spec, base);
-    JobInput { spec, load }
+    JobInput {
+        spec,
+        load,
+        base: Some(base.to_path_buf()),
+    }
 }
 
 fn resolve(spec: &JobSpec, base: &Path) -> Result<LoadedChip, String> {
@@ -107,18 +111,22 @@ pub fn manifest_jobs(path: &Path) -> Result<Vec<JobInput>, ServeError> {
 ///
 /// [`ServeError::Io`] when the directory itself cannot be read.
 pub fn scan_spool(dir: &Path) -> Result<Vec<JobInput>, ServeError> {
-    scan_spool_sticky(dir, &mut BTreeSet::new())
+    let mut sticky = BTreeSet::new();
+    let (mut jobs, files) = scan_spool_collect(dir, &sticky)?;
+    jobs.extend(consume_files(&files, &mut sticky));
+    Ok(jobs)
 }
 
-/// [`scan_spool`] with a memory: files recorded in `sticky` are skipped,
-/// and a file whose jobs were submitted but which could not be removed
-/// is added to it. A long-lived intake passes the same set every scan,
-/// so an unremovable file (read-only spool, permission change) is
-/// surfaced as one rejection instead of resubmitting its jobs forever.
-fn scan_spool_sticky(
+/// The read half of a spool scan: resolves the jobs of every `*.job`
+/// file not recorded in `sticky`, *without* deleting anything, and
+/// returns the scanned files alongside the batch. Deletion is deferred
+/// to [`consume_files`] so a crash-safe engine can journal the batch
+/// first — a crash between scan and consume redelivers the files
+/// instead of losing them.
+fn scan_spool_collect(
     dir: &Path,
-    sticky: &mut BTreeSet<PathBuf>,
-) -> Result<Vec<JobInput>, ServeError> {
+    sticky: &BTreeSet<PathBuf>,
+) -> Result<(Vec<JobInput>, Vec<PathBuf>), ServeError> {
     let entries = std::fs::read_dir(dir).map_err(|e| ServeError::Io {
         path: dir.to_path_buf(),
         message: e.to_string(),
@@ -126,14 +134,12 @@ fn scan_spool_sticky(
     let mut files: Vec<PathBuf> = entries
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|ext| ext == "job"))
+        .filter(|p| !sticky.contains(p))
         .collect();
     files.sort();
     let mut jobs = Vec::new();
-    for file in files {
-        if sticky.contains(&file) {
-            continue;
-        }
-        let batch = std::fs::read_to_string(&file)
+    for file in &files {
+        let batch = std::fs::read_to_string(file)
             .map_err(|e| e.to_string())
             .and_then(|text| parse_jobs(&text).map_err(|e| e.to_string()));
         match batch {
@@ -152,21 +158,31 @@ fn scan_spool_sticky(
                 jobs.push(JobInput {
                     spec: JobSpec::new(stem, ""),
                     load: Err(format!("{}: {message}", file.display())),
+                    base: None,
                 });
             }
         }
-        // Consume the file so the job runs exactly once. A file that
-        // cannot be removed is remembered in `sticky` and surfaced as a
-        // rejection, rather than resubmitting on every rescan.
-        if let Err(e) = std::fs::remove_file(&file) {
-            jobs.push(JobInput {
+    }
+    Ok((jobs, files))
+}
+
+/// The delete half of a spool scan: consumes the scanned files so their
+/// jobs run exactly once. A file that cannot be removed is remembered
+/// in `sticky` — skipped by later scans instead of resubmitting its
+/// jobs forever — and surfaced as a rejected pseudo-job.
+fn consume_files(files: &[PathBuf], sticky: &mut BTreeSet<PathBuf>) -> Vec<JobInput> {
+    let mut failures = Vec::new();
+    for file in files {
+        if let Err(e) = std::fs::remove_file(file) {
+            failures.push(JobInput {
                 spec: JobSpec::new("spool-remove-failed", ""),
                 load: Err(format!("{}: cannot consume: {e}", file.display())),
+                base: None,
             });
-            sticky.insert(file);
+            sticky.insert(file.clone());
         }
     }
-    Ok(jobs)
+    failures
 }
 
 /// A spool-directory [`crate::Intake`]: polls the directory for `*.job`
@@ -180,6 +196,13 @@ pub struct SpoolIntake {
     scanned: bool,
     closing: bool,
     sticky: BTreeSet<PathBuf>,
+    /// Files delivered by the last scan but not yet acknowledged —
+    /// still on disk, so a crash before the engine journals the batch
+    /// redelivers them on restart.
+    pending: Vec<PathBuf>,
+    /// Consume failures discovered at acknowledge time, delivered as
+    /// rejected pseudo-jobs with the next batch.
+    consume_failures: Vec<JobInput>,
     error: Option<ServeError>,
 }
 
@@ -194,6 +217,8 @@ impl SpoolIntake {
             scanned: false,
             closing: false,
             sticky: BTreeSet::new(),
+            pending: Vec::new(),
+            consume_failures: Vec::new(),
             error: None,
         }
     }
@@ -209,6 +234,10 @@ impl crate::Intake for SpoolIntake {
         if self.closing || (self.drain && self.scanned) {
             return None;
         }
+        // A caller that never acknowledges (direct polling, no
+        // journal) still consumes each batch before the next scan, so
+        // a rescan cannot resubmit delivered jobs.
+        self.ack();
         if self.scanned && idle {
             // Nothing queued and nothing new last time: sleep before
             // rescanning instead of spinning on the directory.
@@ -216,8 +245,8 @@ impl crate::Intake for SpoolIntake {
         }
         let stop = self.dir.join("stop");
         let stopping = stop.exists();
-        let batch = match scan_spool_sticky(&self.dir, &mut self.sticky) {
-            Ok(batch) => batch,
+        let (scanned, files) = match scan_spool_collect(&self.dir, &self.sticky) {
+            Ok(scan) => scan,
             Err(e) => {
                 // The spool went away: close the intake so the engine
                 // drains and reports, instead of erroring mid-flight.
@@ -225,6 +254,9 @@ impl crate::Intake for SpoolIntake {
                 return None;
             }
         };
+        self.pending = files;
+        let mut batch = std::mem::take(&mut self.consume_failures);
+        batch.extend(scanned);
         self.scanned = true;
         if stopping {
             // The sentinel is consumed now, so the decision to close
@@ -233,10 +265,19 @@ impl crate::Intake for SpoolIntake {
             let _ = std::fs::remove_file(&stop);
             self.closing = true;
             if batch.is_empty() {
+                // Nothing to deliver and no poll will follow: consume
+                // what the final scan picked up (e.g. empty job files).
+                self.ack();
                 return None;
             }
         }
         Some(batch)
+    }
+
+    fn ack(&mut self) {
+        let files = std::mem::take(&mut self.pending);
+        let mut failures = consume_files(&files, &mut self.sticky);
+        self.consume_failures.append(&mut failures);
     }
 }
 
@@ -347,9 +388,37 @@ mod tests {
         std::fs::write(dir.join("x.job"), "not a jobs file").expect("job");
         let mut sticky = BTreeSet::new();
         sticky.insert(dir.join("x.job"));
-        let jobs = scan_spool_sticky(&dir, &mut sticky).expect("scan");
+        let (jobs, files) = scan_spool_collect(&dir, &sticky).expect("scan");
         assert!(jobs.is_empty(), "sticky files are not resubmitted");
+        assert!(files.is_empty(), "sticky files are not rescanned");
         assert!(dir.join("x.job").exists(), "sticky files are left alone");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_defers_consumption_until_ack() {
+        use crate::Intake;
+        let dir = scratch("ack");
+        let chip = ocr_gen::random::small_random(4, 2, 3, 8, 7);
+        std::fs::write(
+            dir.join("chip.ocr"),
+            write_chip(&chip.layout, &chip.placement),
+        )
+        .expect("chip");
+        std::fs::write(
+            dir.join("a.job"),
+            write_jobs(&[JobSpec::new("alpha", "chip.ocr")]),
+        )
+        .expect("job");
+        let mut intake = SpoolIntake::new(&dir, 1, false);
+        let batch = intake.poll(true).expect("scan");
+        assert_eq!(batch.len(), 1);
+        assert!(
+            dir.join("a.job").exists(),
+            "the file survives until the engine acknowledges the batch"
+        );
+        intake.ack();
+        assert!(!dir.join("a.job").exists(), "ack consumes the file");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

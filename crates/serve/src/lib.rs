@@ -54,6 +54,7 @@
 
 mod engine;
 mod intake;
+mod journal;
 
 pub use engine::{run_jobs, serve, Intake, JobReport, ServeReport};
 pub use intake::{load_job, manifest_jobs, scan_spool, SpoolIntake};
@@ -82,6 +83,13 @@ pub struct ServeConfig {
     /// Base slice budget in steps. Doubles per preemption of a job so
     /// resumed searches always make progress. At least 1.
     pub quantum: u64,
+    /// Directory of the write-ahead job journal (`serve.journal`).
+    /// When set, every job state transition is journaled durably and a
+    /// restarted service replays the journal first: terminal jobs keep
+    /// their answers, preempted jobs resume from their checkpoints,
+    /// and jobs whose answers were torn by the crash re-run. `None`
+    /// keeps no journal (a crash loses the queue).
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +99,7 @@ impl Default for ServeConfig {
             max_total_steps: None,
             max_concurrent: 2,
             quantum: 256,
+            journal: None,
         }
     }
 }
@@ -122,6 +131,11 @@ pub struct JobInput {
     pub spec: ocr_io::job::JobSpec,
     /// The loaded chip, or why loading failed.
     pub load: Result<LoadedChip, String>,
+    /// Directory the spec's chip path resolves against (the spool or
+    /// manifest directory) — journaled so a crashed daemon can reload
+    /// the chip on restart. `None` for in-memory submissions; such
+    /// jobs recover only if the submitter redelivers them.
+    pub base: Option<PathBuf>,
 }
 
 /// Typed terminal status of a batch job (see the crate docs for the
@@ -149,6 +163,19 @@ impl JobStatus {
             JobStatus::Preempted => "preempted",
             JobStatus::Rejected => "rejected",
             JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Parses an `ocr-results-v1` status token (the inverse of
+    /// [`JobStatus::name`]).
+    pub fn from_name(name: &str) -> Option<JobStatus> {
+        match name {
+            "done" => Some(JobStatus::Done),
+            "salvaged" => Some(JobStatus::Salvaged),
+            "preempted" => Some(JobStatus::Preempted),
+            "rejected" => Some(JobStatus::Rejected),
+            "failed" => Some(JobStatus::Failed),
+            _ => None,
         }
     }
 }

@@ -131,6 +131,69 @@ cmp "$SV_DIR/out-1/serve.log" "$SV_DIR/out-par/serve.log"
 cmp "$SV_DIR/out-1/results.txt" "$SV_DIR/out-par/results.txt"
 rm -rf "$SV_DIR"
 
+echo "==> crash-recovery smoke (kill -9 a journaled daemon, restart, diff vs uninterrupted)"
+# A journaled daemon SIGKILLed mid-batch and restarted with the same
+# --journal must answer every job byte-identically to a never-killed
+# run (results.txt, per-job routes and status), log its recovery, and
+# export the durability counters through obs-check --service. serve.log
+# is deliberately not compared: the restarted run carries extra
+# `recover ...` lines. Sequential and pooled.
+KR_DIR="$(mktemp -d)"
+for chip in ami33 xerox ex3; do
+    ./target/release/ocr generate "$chip" -o "$KR_DIR/$chip.ocr"
+done
+for threads in 1 ""; do (
+    [ -n "$threads" ] && export OCR_THREADS="$threads"
+    tag="${threads:-par}"
+    for mode in ref killed; do
+        mkdir -p "$KR_DIR/spool-$mode-$tag"
+        cp "$KR_DIR"/*.ocr "$KR_DIR/spool-$mode-$tag/"
+        {
+            echo "ocr-jobs-v1"
+            for chip in ami33 xerox ex3; do
+                echo "job $chip $chip.ocr flow overcell"
+            done
+        } > "$KR_DIR/spool-$mode-$tag/batch.job"
+    done
+    ./target/release/ocr serve --spool "$KR_DIR/spool-ref-$tag" \
+        --out "$KR_DIR/out-ref-$tag" --journal "$KR_DIR/wal-ref-$tag" \
+        --quantum 64 --max-concurrent 2 --drain >/dev/null
+    ./target/release/ocr serve --spool "$KR_DIR/spool-killed-$tag" \
+        --out "$KR_DIR/out-killed-$tag" --journal "$KR_DIR/wal-killed-$tag" \
+        --quantum 64 --max-concurrent 2 >/dev/null 2>&1 &
+    pid=$!
+    # Let the daemon journal at least the batch admission before the
+    # kill, so the restart genuinely recovers instead of starting cold.
+    i=0
+    while [ ! -s "$KR_DIR/wal-killed-$tag/serve.journal" ] && [ "$i" -lt 100 ]; do
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -s "$KR_DIR/wal-killed-$tag/serve.journal" ] || {
+        echo "ci: crash smoke: journal never appeared" >&2
+        exit 1
+    }
+    sleep 1
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    ./target/release/ocr serve --spool "$KR_DIR/spool-killed-$tag" \
+        --out "$KR_DIR/out-killed-$tag" --journal "$KR_DIR/wal-killed-$tag" \
+        --quantum 64 --max-concurrent 2 --drain >/dev/null
+    grep -q "recover " "$KR_DIR/out-killed-$tag/serve.log" || {
+        echo "ci: crash smoke expected recovery lines in serve.log" >&2
+        exit 1
+    }
+    cmp "$KR_DIR/out-ref-$tag/results.txt" "$KR_DIR/out-killed-$tag/results.txt"
+    for chip in ami33 xerox ex3; do
+        cmp "$KR_DIR/out-ref-$tag/$chip/routes.txt" "$KR_DIR/out-killed-$tag/$chip/routes.txt"
+        cmp "$KR_DIR/out-ref-$tag/$chip/status" "$KR_DIR/out-killed-$tag/$chip/status"
+    done
+    ./target/release/obs-check "$KR_DIR/out-killed-$tag/serve-stats.json" --service \
+        --require journal.append --require journal.replayed \
+        --require recover.jobs_resumed --require io.retries >/dev/null
+); done
+rm -rf "$KR_DIR"
+
 echo "==> bench snapshots (inner_loop smoke + validate committed BENCH_*.json)"
 # The inner-loop benchmark must run end to end (quick mode: one
 # measurement run per chip) and emit a valid ocr-bench-v1 document, and

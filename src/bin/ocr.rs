@@ -10,8 +10,8 @@
 //! ocr verify <chip.ocr> [--flow ...] [--routes in.txt] [--strict]
 //! ocr verify --suite [--strict]
 //! ocr chaos [--seed N] [--trials K]
-//! ocr serve [--spool DIR] [--manifest FILE] [--out DIR] [--drain]
-//!           [--max-total-steps N] [--max-concurrent N] [--quantum N]
+//! ocr serve [--spool DIR] [--manifest FILE] [--out DIR] [--journal DIR]
+//!           [--drain] [--max-total-steps N] [--max-concurrent N] [--quantum N]
 //! ocr stats <chip.ocr>
 //! ```
 
@@ -23,7 +23,7 @@ use overcell_router::exec::RunControl;
 use overcell_router::fault;
 use overcell_router::gen::{random::small_random, suite, GeneratedChip};
 use overcell_router::io::ckpt::{fnv1a_64, parse_checkpoint};
-use overcell_router::io::{parse_chip, parse_routes, write_chip, write_routes};
+use overcell_router::io::{atomic_write, parse_chip, parse_routes, write_chip, write_routes};
 use overcell_router::netlist::{
     validate_routed_design, ChipMetrics, Layout, NetClass, RowPlacement,
 };
@@ -111,7 +111,7 @@ USAGE:
       without aborting the run) and its salvaged result is checked by
       the ocr-verify oracle. Exits non-zero when any completed trial is
       oracle-unclean. Defaults: --seed 1, --trials 8.
-  ocr serve [--spool DIR] [--manifest FILE] [--out DIR]
+  ocr serve [--spool DIR] [--manifest FILE] [--out DIR] [--journal DIR]
             [--max-total-steps N] [--max-concurrent N] [--quantum N]
             [--poll-ms MS] [--drain]
       Batch routing service. Jobs come from an `ocr-jobs-v1` manifest
@@ -128,8 +128,19 @@ USAGE:
       jobs end `preempted` and queued ones `rejected`. Each job is
       answered under <out>/<name>/ with `status`, `routes.txt`,
       `stats.json` and its checkpoint, plus service-level `serve.log`
-      (deterministic: step counts, never wall clock) and `results.txt`
-      (`ocr-results-v1`). Exits non-zero when any job ends `failed`.
+      (deterministic: step counts, never wall clock), `results.txt`
+      (`ocr-results-v1`) and `serve-stats.json` (`ocr-stats-v1`
+      service telemetry). Exits non-zero when any job ends `failed`.
+      --journal keeps a crash-safe write-ahead job journal
+      (`ocr-journal-v1`, DIR/serve.journal): every accepted job and
+      every state transition is recorded durably before it takes
+      effect, and a restarted service replays the journal first —
+      finished jobs keep their answers, preempted jobs resume from
+      their checkpoints, and jobs whose answers were torn mid-write
+      re-run — so a killed daemon restarted with the same --journal,
+      --out and spool/manifest produces byte-identical routes and
+      results. A torn or corrupted journal tail is dropped with a
+      warning in serve.log, never an error.
       Defaults: --max-concurrent 2, --quantum 256, --poll-ms 200.
   ocr stats <chip.ocr>
       Print the chip's Table-1-style statistics.
@@ -202,6 +213,7 @@ const SERVE_SPEC: ArgSpec = ArgSpec {
         "--spool",
         "--manifest",
         "--out",
+        "--journal",
         "--max-total-steps",
         "--max-concurrent",
         "--quantum",
@@ -352,7 +364,7 @@ fn generate(args: &[String]) -> Result<(), String> {
     let text = write_chip(&chip.layout, &chip.placement);
     match flags.value("-o") {
         Some(path) => {
-            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            atomic_write(std::path::Path::new(path), &text).map_err(|e| format!("{path}: {e}"))?;
             eprintln!(
                 "wrote {path}: {} cells, {} nets, {} pins",
                 chip.layout.cells.len(),
@@ -434,12 +446,12 @@ impl<'a> TelemetryOut<'a> {
             .collect();
         if let Some(path) = self.stats_json {
             let text = ocr_obs::stats_json(&labeled);
-            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            atomic_write(std::path::Path::new(path), &text).map_err(|e| format!("{path}: {e}"))?;
             eprintln!("wrote {path}");
         }
         if let Some(path) = self.trace_out {
             let text = ocr_obs::chrome_trace(&labeled);
-            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            atomic_write(std::path::Path::new(path), &text).map_err(|e| format!("{path}: {e}"))?;
             eprintln!("wrote {path}");
         }
         Ok(())
@@ -728,12 +740,14 @@ fn route(args: &[String]) -> Result<(), String> {
     }
     if let Some(svg_path) = flags.value("--svg") {
         let svg = render_svg(&result.layout, &result.design);
-        std::fs::write(svg_path, svg).map_err(|e| format!("{svg_path}: {e}"))?;
+        atomic_write(std::path::Path::new(svg_path), &svg)
+            .map_err(|e| format!("{svg_path}: {e}"))?;
         eprintln!("wrote {svg_path}");
     }
     if let Some(routes_path) = flags.value("--routes") {
         let text = write_routes(&result.layout, &result.design);
-        std::fs::write(routes_path, text).map_err(|e| format!("{routes_path}: {e}"))?;
+        atomic_write(std::path::Path::new(routes_path), &text)
+            .map_err(|e| format!("{routes_path}: {e}"))?;
         eprintln!("wrote {routes_path}");
     }
     if telemetry.wanted() {
@@ -1035,6 +1049,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         max_total_steps,
         max_concurrent,
         quantum,
+        journal: flags.value("--journal").map(std::path::PathBuf::from),
     };
     let initial = match manifest {
         Some(path) => {
@@ -1042,18 +1057,41 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         }
         None => Vec::new(),
     };
-    let (report, intake_error) = match spool {
-        Some(dir) => {
-            let mut intake =
-                SpoolIntake::new(std::path::Path::new(dir), poll_ms, flags.has("--drain"));
-            let report = serve(initial, &mut intake, &config).map_err(|e| format!("serve: {e}"))?;
-            (report, intake.take_error())
+    // Service-level telemetry (journal/replay/retry counters and the
+    // run span) — written as `ocr-stats-v1` next to the results.
+    let collector = ocr_obs::Collector::new();
+    let served = ocr_obs::with_collector(&collector, || {
+        let _span = ocr_obs::span("serve.run");
+        // Declare the durability counters up front so `serve-stats.json`
+        // always carries them — 0 on a clean run, nonzero after a
+        // recovery or healed transient fault. `obs-check --service
+        // --require NAME` checks presence, not magnitude.
+        for name in [
+            "journal.append",
+            "journal.replayed",
+            "recover.jobs_resumed",
+            "io.retries",
+        ] {
+            ocr_obs::count(name, 0);
         }
-        None => (
-            run_jobs(initial, &config).map_err(|e| format!("serve: {e}"))?,
-            None,
-        ),
-    };
+        match spool {
+            Some(dir) => {
+                let mut intake =
+                    SpoolIntake::new(std::path::Path::new(dir), poll_ms, flags.has("--drain"));
+                let report = serve(initial, &mut intake, &config);
+                report.map(|r| (r, intake.take_error()))
+            }
+            None => run_jobs(initial, &config).map(|r| (r, None)),
+        }
+    });
+    let (report, intake_error) = served.map_err(|e| format!("serve: {e}"))?;
+    if let Some(out) = flags.value("--out") {
+        let snapshot = collector.snapshot();
+        let text = ocr_obs::stats_json(&[("serve", "service", &snapshot)]);
+        let path = std::path::Path::new(out).join("serve-stats.json");
+        overcell_router::io::atomic_write(&path, &text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
     // The engine drained and answered every job even if the spool went
     // away mid-run: print the admission log and per-job outcomes before
     // surfacing the intake error.

@@ -204,3 +204,123 @@ fn parse_checkpoint_never_panics_on_mutated_inputs() {
         );
     }
 }
+
+/// Writes a committed mid-run `ocr-ckpt-v1` checkpoint for a small
+/// random chip and returns `(chip, checkpoint text)`. Shared by the
+/// torn-file tests below.
+fn committed_checkpoint(tag: &str) -> (overcell_router::gen::GeneratedChip, String) {
+    use overcell_router::core::{CheckpointSpec, RunSession};
+    use overcell_router::exec::RunControl;
+    use overcell_router::io::ckpt::fnv1a_64;
+
+    let chip = small_random(6, 2, 3, 10, 42);
+    let path =
+        std::env::temp_dir().join(format!("ocr-torn-ckpt-{tag}-{}.ckpt", std::process::id()));
+    let session = RunSession {
+        control: RunControl::new().with_step_budget(6),
+        checkpoint: Some(CheckpointSpec {
+            path: path.clone(),
+            every: 1,
+            flow: FlowKind::OverCell.name().to_string(),
+            chip_hash: fnv1a_64(&write_chip(&chip.layout, &chip.placement)),
+        }),
+        resume: None,
+    };
+    FlowKind::OverCell
+        .build_with(FlowOptions::default())
+        .run_controlled(&chip.layout, &chip.placement, &session)
+        .expect("budgeted flow");
+    let text = std::fs::read_to_string(&path).expect("checkpoint written");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        text.lines().any(|l| l.starts_with("routed ")),
+        "fixture must contain committed routes"
+    );
+    (chip, text)
+}
+
+#[test]
+fn truncated_checkpoints_error_cleanly_at_every_byte_boundary() {
+    // A crash can tear a checkpoint at any byte. Whatever prefix
+    // survives, `parse_checkpoint` must return a typed `ParseError`
+    // (or, when the cut lands exactly on a record boundary, a valid
+    // shorter document) — never a panic. The `.ocr` family is ASCII,
+    // so every byte boundary is a char boundary.
+    use overcell_router::io::ckpt::parse_checkpoint;
+
+    let (chip, base) = committed_checkpoint("boundary");
+    assert!(base.is_ascii(), "checkpoint text must be ASCII");
+    let full = parse_checkpoint(&chip.layout, &base).expect("full checkpoint parses");
+
+    let mut errors = 0usize;
+    for cut in 0..base.len() {
+        let torn = &base[..cut];
+        let outcome = catch_unwind(AssertUnwindSafe(|| parse_checkpoint(&chip.layout, torn)));
+        let result = outcome.unwrap_or_else(|_| {
+            panic!(
+                "parse_checkpoint panicked at byte {cut} (tail: {:?})",
+                &torn[torn.len().saturating_sub(80)..]
+            )
+        });
+        if let Err(e) = result {
+            errors += 1;
+            let lines = torn.lines().count().max(1);
+            assert!(
+                e.line >= 1 && e.line <= lines,
+                "error at byte {cut} points outside the document: {e}"
+            );
+            assert!(!e.message.is_empty(), "error at byte {cut} has no message");
+        }
+    }
+    assert!(errors > 0, "some truncations must surface typed errors");
+    assert_eq!(
+        parse_checkpoint(&chip.layout, &base).expect("still parses"),
+        full,
+        "the untruncated document must stay valid"
+    );
+}
+
+#[test]
+fn resume_on_a_torn_checkpoint_reports_a_clean_diagnostic() {
+    // `ocr route --resume torn.ckpt` must exit non-zero with an
+    // `error:` diagnostic naming the checkpoint file — not a panic,
+    // and not a silent resume from corrupt state.
+    use overcell_router::io::ckpt::parse_checkpoint;
+
+    let (chip, base) = committed_checkpoint("cli");
+    // Deepest cut whose prefix no longer parses: a genuinely torn
+    // final record, not a clean record boundary.
+    let cut = (0..base.len())
+        .rev()
+        .find(|&cut| parse_checkpoint(&chip.layout, &base[..cut]).is_err())
+        .expect("some prefix fails to parse");
+
+    let dir = std::env::temp_dir().join(format!("ocr-torn-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let chip_path = dir.join("chip.ocr");
+    let torn_path = dir.join("torn.ckpt");
+    std::fs::write(&chip_path, write_chip(&chip.layout, &chip.placement)).expect("chip file");
+    std::fs::write(&torn_path, &base[..cut]).expect("torn checkpoint");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ocr"))
+        .arg("route")
+        .arg(&chip_path)
+        .arg("--resume")
+        .arg(&torn_path)
+        .output()
+        .expect("run ocr");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "resume from a torn checkpoint must fail (stderr: {stderr})"
+    );
+    assert!(
+        stderr.contains("error:") && stderr.contains("torn.ckpt"),
+        "diagnostic must name the torn checkpoint: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "diagnostic must be a clean error, not a panic: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -42,6 +42,7 @@ fn input(name: &str, chip: &GeneratedChip, kind: FlowKind, priority: i64) -> Job
             placement: chip.placement.clone(),
             chip_hash: fnv1a_64(&write_chip(&chip.layout, &chip.placement)),
         }),
+        base: None,
     }
 }
 
@@ -238,6 +239,7 @@ fn bad_submissions_are_answered_not_dropped() {
     jobs.push(JobInput {
         spec: JobSpec::new("broken", "missing.ocr"),
         load: Err("missing.ocr: no such chip".into()),
+        base: None,
     });
     jobs.push(input("a", &chip(3), FlowKind::OverCell, 0)); // duplicate name
     let report = run_jobs(jobs, &tight()).expect("serves");

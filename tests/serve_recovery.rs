@@ -1,0 +1,428 @@
+//! Crash-safety contract of `ocr serve` (DESIGN.md §15): a SIGKILLed
+//! daemon restarted on the same `--journal` and `--out` produces
+//! byte-identical answers to one that was never interrupted.
+//!
+//! * Kill sites cover every durability boundary — after the fsynced
+//!   accept, at the top of a round, after the slices ran but before
+//!   settlement, between a job's answer files and its terminal journal
+//!   record, and before the service-level files — at `OCR_THREADS=1`
+//!   and the default pool width.
+//! * A torn or checksum-corrupted journal tail is dropped with a typed
+//!   warning, never a panic, and never loses an accepted job.
+//! * Transient write failures at the `journal.append`, `ckpt.write`
+//!   and `answers.write` fault sites heal through the bounded retry
+//!   wrapper without changing a single answered byte.
+//! * A journaled `done` whose answer files are missing re-runs instead
+//!   of being trusted.
+//!
+//! The comparisons cover `results.txt` and the per-job `status` and
+//! `routes.txt` bytes. `stats.json` carries wall-clock timings and
+//! `serve.log` carries recovery lines, so neither is byte-compared.
+
+use overcell_router::exec::with_threads;
+use overcell_router::fault;
+use overcell_router::gen::random::small_random;
+use overcell_router::gen::GeneratedChip;
+use overcell_router::io::job::JobSpec;
+use overcell_router::io::write_chip;
+use overcell_router::serve::{load_job, run_jobs, JobInput, JobStatus, ServeConfig, ServeReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+const JOBS: [(&str, u64); 3] = [("alpha", 42), ("beta", 5), ("gamma", 7)];
+
+fn chip(seed: u64) -> GeneratedChip {
+    small_random(6, 2, 3, 10, seed)
+}
+
+/// A collision-free scratch directory.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ocr-serve-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Writes the test chips into `dir` and returns the job batch loaded
+/// against it (so `base` is journaled and a restart can reload chips).
+fn spool_batch(dir: &Path) -> Vec<JobInput> {
+    JOBS.iter()
+        .map(|&(name, seed)| {
+            let c = chip(seed);
+            let file = format!("{name}.ocr");
+            std::fs::write(dir.join(&file), write_chip(&c.layout, &c.placement)).expect("chip");
+            load_job(JobSpec::new(name, file), dir)
+        })
+        .collect()
+}
+
+/// A journaled service config over `root`: chips and results under
+/// `root/out`, the write-ahead journal under `root/wal`. The tight
+/// quantum forces several preemptions, so checkpoints and `preempt`
+/// records are really exercised.
+fn config(root: &Path) -> ServeConfig {
+    ServeConfig {
+        out: Some(root.join("out")),
+        quantum: 8,
+        max_concurrent: 2,
+        journal: Some(root.join("wal")),
+        ..ServeConfig::default()
+    }
+}
+
+/// The bytes a recovery run must reproduce: `results.txt` plus every
+/// job's `status` and `routes.txt`.
+fn answer_bytes(root: &Path) -> Vec<(String, String)> {
+    let out = root.join("out");
+    let mut files = vec!["results.txt".to_string()];
+    for (name, _) in JOBS {
+        files.push(format!("{name}/status"));
+        files.push(format!("{name}/routes.txt"));
+    }
+    files
+        .into_iter()
+        .map(|f| {
+            let text = std::fs::read_to_string(out.join(&f))
+                .unwrap_or_else(|e| panic!("{}: {e}", out.join(&f).display()));
+            (f, text)
+        })
+        .collect()
+}
+
+fn assert_all_done(report: &ServeReport) {
+    assert_eq!(report.jobs.len(), JOBS.len(), "{}", report.log.join("\n"));
+    for job in &report.jobs {
+        assert_eq!(job.status, JobStatus::Done, "{}: {}", job.name, job.detail);
+    }
+}
+
+/// The uninterrupted reference: same jobs, same budgets, no faults.
+fn reference(tag: &str) -> (PathBuf, Vec<(String, String)>) {
+    let root = scratch(tag);
+    let jobs = spool_batch(&root);
+    let report = run_jobs(jobs, &config(&root)).expect("reference serves");
+    assert_all_done(&report);
+    assert!(
+        report.jobs.iter().any(|j| j.preempts > 0),
+        "the tight quantum must preempt at least one job:\n{}",
+        report.log.join("\n")
+    );
+    let bytes = answer_bytes(&root);
+    (root, bytes)
+}
+
+/// Kills the service at `site`/`hit` (an injected panic stands in for
+/// SIGKILL: no destructor runs file cleanup, and `catch_unwind`
+/// abandons the engine mid-flight exactly where the kill landed), then
+/// restarts it on the same journal and asserts the recovered answers
+/// are byte-identical to the uninterrupted reference.
+fn kill_and_recover(tag: &str, site: &str, hit: u64, expected: &[(String, String)]) {
+    let root = scratch(tag);
+    let jobs = spool_batch(&root);
+    let cfg = config(&root);
+    let plan = fault::plan(1).kill_at(site, hit).build();
+    let killed = fault::with_plan(&plan, || {
+        catch_unwind(AssertUnwindSafe(|| run_jobs(jobs, &cfg)))
+    });
+    assert!(
+        killed.is_err(),
+        "{site} hit {hit}: the kill site must actually fire"
+    );
+    // The daemon is dead; restart it on the same journal. The intake is
+    // closed, so everything it answers comes from recovery.
+    let report = run_jobs(Vec::new(), &cfg).expect("restarted service serves");
+    assert_all_done(&report);
+    let recovered = answer_bytes(&root);
+    for ((file, bytes), (ref_file, ref_bytes)) in recovered.iter().zip(expected) {
+        assert_eq!(file, ref_file);
+        assert_eq!(
+            bytes, ref_bytes,
+            "{site} hit {hit}: `{file}` must match the uninterrupted run byte for byte"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Every kill site, at its first firing and (where the service lives
+/// long enough) a later one, at both pool widths.
+#[test]
+fn killed_and_restarted_service_answers_byte_identically() {
+    let scenarios: &[(&str, u64)] = &[
+        ("serve.kill.accept", 0),
+        ("serve.kill.round", 0),
+        ("serve.kill.round", 1),
+        ("serve.kill.settle", 0),
+        ("serve.kill.settle", 1),
+        ("serve.kill.finish", 0),
+        ("serve.kill.finish", 1),
+        ("serve.kill.final", 0),
+    ];
+    let (ref_root, expected) = reference("ref");
+    for (k, &(site, hit)) in scenarios.iter().enumerate() {
+        kill_and_recover(&format!("seq-{k}"), site, hit, &expected);
+        with_threads(1, || {
+            kill_and_recover(&format!("one-{k}"), site, hit, &expected);
+        });
+    }
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
+
+/// A second kill *during recovery* (after the first restart already
+/// replayed the journal) still converges to the reference bytes.
+#[test]
+fn a_crash_during_recovery_is_itself_recoverable() {
+    let (ref_root, expected) = reference("ref2");
+    let root = scratch("rekill");
+    let jobs = spool_batch(&root);
+    let cfg = config(&root);
+    let plan = fault::plan(1).kill_at("serve.kill.settle", 0).build();
+    let first = fault::with_plan(&plan, || {
+        catch_unwind(AssertUnwindSafe(|| run_jobs(jobs, &cfg)))
+    });
+    assert!(first.is_err());
+    let plan = fault::plan(2).kill_at("serve.kill.finish", 0).build();
+    let second = fault::with_plan(&plan, || {
+        catch_unwind(AssertUnwindSafe(|| run_jobs(Vec::new(), &cfg)))
+    });
+    assert!(second.is_err(), "the second kill must fire too");
+    let report = run_jobs(Vec::new(), &cfg).expect("third start serves");
+    assert_all_done(&report);
+    let recovered = answer_bytes(&root);
+    for ((file, bytes), (_, ref_bytes)) in recovered.iter().zip(&expected) {
+        assert_eq!(bytes, ref_bytes, "`{file}` after two crashes");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
+
+/// Tearing the journal's final record at any byte boundary is absorbed:
+/// the restart logs a typed warning, re-runs what the tail lost, and
+/// still reproduces the reference bytes.
+#[test]
+fn torn_journal_tail_recovers_with_a_warning_and_identical_bytes() {
+    let (ref_root, expected) = reference("ref3");
+    let journal = ref_root.join("wal").join("serve.journal");
+    let full = std::fs::read(&journal).expect("journal bytes");
+    let last_line = full[..full.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .expect("more than one record")
+        + 1;
+    // Every truncation point inside the final record, including the
+    // clean boundary just before it.
+    for cut in last_line..full.len() {
+        let root = scratch(&format!("torn-{cut}"));
+        let out_src = ref_root.join("out");
+        copy_tree(&out_src, &root.join("out"));
+        std::fs::create_dir_all(root.join("wal")).expect("wal dir");
+        std::fs::write(root.join("wal").join("serve.journal"), &full[..cut]).expect("torn");
+        spool_batch(&root); // the chips the recovered jobs reload
+        let report = run_jobs(Vec::new(), &config(&root)).expect("torn-tail restart serves");
+        assert_all_done(&report);
+        if cut > last_line {
+            assert!(
+                report.log.iter().any(|l| l.contains("journal")),
+                "cut {cut}: a torn record must leave a typed warning:\n{}",
+                report.log.join("\n")
+            );
+        }
+        let recovered = answer_bytes(&root);
+        for ((file, bytes), (_, ref_bytes)) in recovered.iter().zip(&expected) {
+            assert_eq!(bytes, ref_bytes, "cut {cut}: `{file}`");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
+
+/// A checksum-corrupted record mid-journal drops the damaged tail with
+/// a warning — never a panic — and every job still gets answered.
+#[test]
+fn corrupted_journal_record_warns_and_still_answers_every_job() {
+    let (ref_root, _) = reference("ref4");
+    let journal = ref_root.join("wal").join("serve.journal");
+    let full = std::fs::read(&journal).expect("journal bytes");
+    let root = scratch("corrupt");
+    copy_tree(&ref_root.join("out"), &root.join("out"));
+    std::fs::create_dir_all(root.join("wal")).expect("wal dir");
+    let mut bytes = full.clone();
+    // Flip a payload byte in the middle of the journal: the replay
+    // keeps the valid prefix and drops everything after the damage.
+    let mid = bytes.len() / 2;
+    let target = (mid..bytes.len())
+        .find(|&i| bytes[i].is_ascii_alphanumeric())
+        .expect("payload byte");
+    bytes[target] ^= 0x01;
+    std::fs::write(root.join("wal").join("serve.journal"), &bytes).expect("corrupt journal");
+    spool_batch(&root);
+    let report = run_jobs(Vec::new(), &config(&root)).expect("corrupted journal never panics");
+    assert!(
+        report.log.iter().any(|l| l.contains("journal")),
+        "corruption must be surfaced as a warning:\n{}",
+        report.log.join("\n")
+    );
+    for job in &report.jobs {
+        assert!(
+            job.status == JobStatus::Done || job.status == JobStatus::Rejected,
+            "{}: {} ({})",
+            job.name,
+            job.status,
+            job.detail
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
+
+/// A journaled `done` whose `routes.txt` disappeared is not trusted:
+/// the restart re-runs the job and restores the identical answer.
+#[test]
+fn journaled_done_with_missing_answers_is_rerun_not_trusted() {
+    let (root, expected) = reference("ref5");
+    let victim = root.join("out").join("alpha").join("routes.txt");
+    std::fs::remove_file(&victim).expect("remove answer");
+    let report = run_jobs(Vec::new(), &config(&root)).expect("restart serves");
+    assert_all_done(&report);
+    assert!(
+        report
+            .log
+            .iter()
+            .any(|l| l.contains("alpha") && l.contains("re-running")),
+        "the untrusted terminal must be logged:\n{}",
+        report.log.join("\n")
+    );
+    assert!(victim.exists(), "the re-run restores the answer file");
+    let recovered = answer_bytes(&root);
+    for ((file, bytes), (_, ref_bytes)) in recovered.iter().zip(&expected) {
+        assert_eq!(bytes, ref_bytes, "`{file}` after the re-run");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Transient write failures at every durable-write fault site heal
+/// through the bounded retry wrapper: the service completes, counts
+/// its retries, and answers the same bytes.
+#[test]
+fn transient_write_faults_heal_through_retries() {
+    let (ref_root, expected) = reference("ref6");
+    for (k, &site) in ["journal.append", "ckpt.write", "answers.write"]
+        .iter()
+        .enumerate()
+    {
+        let root = scratch(&format!("retry-{k}"));
+        let jobs = spool_batch(&root);
+        let collector = overcell_router::obs::Collector::new();
+        let plan = fault::plan(3).fire_at(site, 1.0, 2).build();
+        let report = overcell_router::obs::with_collector(&collector, || {
+            fault::with_plan(&plan, || run_jobs(jobs, &config(&root)))
+        })
+        .unwrap_or_else(|e| panic!("{site}: transient faults must heal: {e}"));
+        assert_all_done(&report);
+        // Service-level retries (journal, answer files) land on the
+        // ambient collector. Checkpoint retries happen inside a slice's
+        // own telemetry scope and are asserted by the flow-level test
+        // below; here the healed byte-identical answers are the proof.
+        if site != "ckpt.write" {
+            let retries = collector.snapshot().counter("io.retries").unwrap_or(0);
+            assert!(retries >= 2, "{site}: retries must be counted ({retries})");
+        }
+        let recovered = answer_bytes(&root);
+        for ((file, bytes), (_, ref_bytes)) in recovered.iter().zip(&expected) {
+            assert_eq!(bytes, ref_bytes, "{site}: `{file}`");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
+
+/// The recovery path reports itself through the obs counters the CI
+/// smoke asserts on: replayed records and resumed jobs.
+#[test]
+fn recovery_counters_are_observable() {
+    let root = scratch("counters");
+    let jobs = spool_batch(&root);
+    let cfg = config(&root);
+    let plan = fault::plan(1).kill_at("serve.kill.settle", 1).build();
+    let killed = fault::with_plan(&plan, || {
+        catch_unwind(AssertUnwindSafe(|| run_jobs(jobs, &cfg)))
+    });
+    assert!(killed.is_err());
+    let collector = overcell_router::obs::Collector::new();
+    let report = overcell_router::obs::with_collector(&collector, || run_jobs(Vec::new(), &cfg))
+        .expect("restart serves");
+    assert_all_done(&report);
+    let snapshot = collector.snapshot();
+    assert!(
+        snapshot.counter("journal.replayed").unwrap_or(0) > 0,
+        "the restart replayed journal records"
+    );
+    assert!(
+        snapshot.counter("recover.jobs_resumed").unwrap_or(0) > 0,
+        "at least one job was resumed by recovery"
+    );
+    assert!(
+        snapshot.counter("journal.append").unwrap_or(0) > 0,
+        "the restart appended its own records"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Transient checkpoint-write failures inside a controlled flow heal
+/// through the retry wrapper, count into the run's own telemetry, and
+/// leave the routed result untouched.
+#[test]
+fn checkpoint_write_retries_are_counted_in_flow_telemetry() {
+    use overcell_router::core::{CheckpointSpec, FlowKind, FlowOptions, RunSession};
+    use overcell_router::exec::RunControl;
+    use overcell_router::io::ckpt::fnv1a_64;
+
+    let c = chip(42);
+    let dir = scratch("ckpt-retry");
+    let session = |path: PathBuf| RunSession {
+        control: RunControl::new(),
+        checkpoint: Some(CheckpointSpec {
+            path,
+            every: 1,
+            flow: "overcell".into(),
+            chip_hash: fnv1a_64(&write_chip(&c.layout, &c.placement)),
+        }),
+        resume: None,
+    };
+    let plan = fault::plan(3).fire_at("ckpt.write", 1.0, 2).build();
+    let faulted = fault::with_plan(&plan, || {
+        FlowKind::OverCell
+            .build_with(FlowOptions::new().telemetry(true))
+            .run_controlled(&c.layout, &c.placement, &session(dir.join("a.ckpt")))
+    })
+    .expect("transient checkpoint faults must heal");
+    let retries = faulted
+        .telemetry
+        .as_ref()
+        .and_then(|t| t.counter("io.retries"))
+        .unwrap_or(0);
+    assert!(retries >= 2, "retries must be counted ({retries})");
+    let clean = FlowKind::OverCell
+        .build_with(FlowOptions::new())
+        .run_controlled(&c.layout, &c.placement, &session(dir.join("b.ckpt")))
+        .expect("clean run");
+    assert_eq!(
+        overcell_router::io::write_routes(&faulted.layout, &faulted.design),
+        overcell_router::io::write_routes(&clean.layout, &clean.design),
+        "healed writes must not change the routed result"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Minimal recursive copy for staging reference output trees.
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("copy dir");
+    for entry in std::fs::read_dir(src).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        let to = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy file");
+        }
+    }
+}
