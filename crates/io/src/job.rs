@@ -63,6 +63,12 @@ pub struct JobSpec {
     pub salvage: bool,
     /// Run the independent oracle on the result.
     pub verify: bool,
+    /// Billing/quota identity for submissions arriving over the
+    /// network front-end (same `[A-Za-z0-9._-]{1,64}` shape as a job
+    /// name). `None` means the anonymous tenant. Quotas are enforced
+    /// at admission, not by the scheduler, so the field is carried but
+    /// ignored by file-based intake.
+    pub tenant: Option<String>,
 }
 
 impl JobSpec {
@@ -78,6 +84,7 @@ impl JobSpec {
             max_steps: None,
             salvage: false,
             verify: false,
+            tenant: None,
         }
     }
 }
@@ -154,6 +161,9 @@ pub fn write_jobs(jobs: &[JobSpec]) -> String {
         }
         if job.verify {
             let _ = write!(out, " verify");
+        }
+        if let Some(tenant) = &job.tenant {
+            let _ = write!(out, " tenant {}", sanitize(tenant));
         }
         let _ = writeln!(out);
     }
@@ -269,6 +279,21 @@ pub fn parse_jobs(text: &str) -> Result<Vec<JobSpec>, ParseError> {
                 }
                 "salvage" => spec.salvage = true,
                 "verify" => spec.verify = true,
+                "tenant" => {
+                    let v = it.next().ok_or_else(|| err(n, "tenant: missing value"))?;
+                    if spec.tenant.is_some() {
+                        return Err(err(n, "repeated option `tenant`"));
+                    }
+                    if !valid_name(v) {
+                        return Err(err(
+                            n,
+                            format!(
+                                "bad tenant `{v}` (want [A-Za-z0-9._-]{{1,64}}, no leading dot)"
+                            ),
+                        ));
+                    }
+                    spec.tenant = Some(v.to_string());
+                }
                 other => return Err(err(n, format!("unknown job option `{other}`"))),
             }
         }
@@ -386,6 +411,7 @@ mod tests {
             },
             JobSpec {
                 order: Some("shuffle:7".into()),
+                tenant: Some("acme".into()),
                 ..JobSpec::new("gamma", "c.ocr")
             },
         ]
@@ -426,6 +452,12 @@ mod tests {
                 "repeated option `order`",
             ),
             ("ocr-jobs-v1\njob a a.ocr turbo\n", "unknown job option"),
+            ("ocr-jobs-v1\njob a a.ocr tenant\n", "tenant: missing value"),
+            ("ocr-jobs-v1\njob a a.ocr tenant .x\n", "bad tenant"),
+            (
+                "ocr-jobs-v1\njob a a.ocr tenant x tenant y\n",
+                "repeated option `tenant`",
+            ),
         ] {
             let e = parse_jobs(text).expect_err(text);
             assert!(e.message.contains(needle), "{text:?} -> {e}");

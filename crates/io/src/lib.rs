@@ -45,6 +45,7 @@ mod atomic;
 pub mod ckpt;
 pub mod job;
 pub mod journal;
+pub mod wire;
 
 pub use atomic::{atomic_write, retry_io, IO_ATTEMPTS};
 

@@ -31,6 +31,14 @@ pub trait Intake {
     /// poll and acknowledge redelivers the batch instead of losing
     /// it. The default does nothing.
     fn ack(&mut self) {}
+
+    /// Called when the engine's global step budget is exhausted: every
+    /// job the intake delivers from here on is finalized unrun
+    /// (`rejected`/`preempted`), so an admission-controlled intake —
+    /// the network front-end — should start shedding new submissions
+    /// with a typed `overload` rejection instead of accepting work the
+    /// engine can no longer serve. The default does nothing.
+    fn budget_exhausted(&mut self) {}
 }
 
 /// An intake with nothing to add: the engine runs exactly the jobs it
@@ -367,6 +375,7 @@ impl Engine<'_> {
                 }
             }
             if self.exhausted() {
+                intake.budget_exhausted();
                 self.finalize_queue()?;
             }
             if self.queue.is_empty() {

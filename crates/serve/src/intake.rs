@@ -240,8 +240,19 @@ impl crate::Intake for SpoolIntake {
         self.ack();
         if self.scanned && idle {
             // Nothing queued and nothing new last time: sleep before
-            // rescanning instead of spinning on the directory.
-            std::thread::sleep(self.poll);
+            // rescanning instead of spinning on the directory — but in
+            // short slices, watching for the stop sentinel, so a
+            // shutdown request never waits out a long poll interval.
+            let mut remaining = self.poll;
+            let slice = std::time::Duration::from_millis(20);
+            while !remaining.is_zero() {
+                if self.dir.join("stop").exists() {
+                    break;
+                }
+                let nap = remaining.min(slice);
+                std::thread::sleep(nap);
+                remaining = remaining.saturating_sub(nap);
+            }
         }
         let stop = self.dir.join("stop");
         let stopping = stop.exists();
@@ -447,6 +458,32 @@ mod tests {
         assert!(
             intake.poll(true).is_none(),
             "the consumed sentinel must still close the intake"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_sentinel_interrupts_a_long_idle_sleep() {
+        use crate::Intake;
+        let dir = scratch("promptstop");
+        // A poll interval far beyond the test's patience: shutdown
+        // latency must not depend on it.
+        let mut intake = SpoolIntake::new(&dir, 60_000, false);
+        assert!(intake.poll(true).is_some(), "first scan");
+        let sentinel = dir.join("stop");
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            std::fs::write(&sentinel, "").expect("stop sentinel");
+        });
+        let started = std::time::Instant::now();
+        let closed = intake.poll(true);
+        writer.join().expect("writer thread");
+        assert!(closed.is_none(), "the sentinel closes the intake");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "stop must interrupt the idle sleep promptly, not after \
+             poll_ms ({}ms elapsed)",
+            started.elapsed().as_millis()
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

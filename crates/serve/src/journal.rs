@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! accept <seq> <name> <chip|-> [flow F] [order O] [priority P]
-//!        [max-steps N] [salvage] [verify]
+//!        [max-steps N] [salvage] [verify] [tenant T]
 //! base <seq> <path to end of line>
 //! start <seq>
 //! preempt <seq> steps <n> preempts <k> ckpt <path to end of line>
@@ -176,6 +176,9 @@ impl JobJournal {
         if spec.verify {
             p.push_str(" verify");
         }
+        if let Some(tenant) = &spec.tenant {
+            p.push_str(&format!(" tenant {}", token(tenant)));
+        }
         self.append(&p)?;
         if let Some(base) = base {
             self.append(&format!("base {seq} {}", base.display()))?;
@@ -306,6 +309,7 @@ fn apply(jobs: &mut Vec<RecoveredJob>, payload: &str) -> Result<(), String> {
                     }
                     "salvage" => spec.salvage = true,
                     "verify" => spec.verify = true,
+                    "tenant" => spec.tenant = Some(value("tenant")?),
                     other => return Err(format!("accept: unknown option `{other}`")),
                 }
             }

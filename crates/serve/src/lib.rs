@@ -55,9 +55,13 @@
 mod engine;
 mod intake;
 mod journal;
+mod net;
 
 pub use engine::{run_jobs, serve, Intake, JobReport, ServeReport};
 pub use intake::{load_job, manifest_jobs, scan_spool, SpoolIntake};
+pub use net::{
+    client_connect, client_request, NetConfig, NetIntake, PairedIntake, QuotaConfig, NET_COUNTERS,
+};
 
 use ocr_core::{FlowKind, NetOrdering};
 use ocr_io::job::JobRecord;

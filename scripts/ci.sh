@@ -190,9 +190,72 @@ for threads in 1 ""; do (
     done
     ./target/release/obs-check "$KR_DIR/out-killed-$tag/serve-stats.json" --service \
         --require journal.append --require journal.replayed \
-        --require recover.jobs_resumed --require io.retries >/dev/null
+        --require recover.jobs_resumed --require io.retries \
+        --require net.conns --require net.frames --require net.rejected.quota \
+        --require net.rejected.overload --require net.timeouts >/dev/null
 ); done
 rm -rf "$KR_DIR"
+
+echo "==> network smoke (TCP submissions vs spool reference, torn client mid-frame)"
+# A journaled daemon on an ephemeral TCP port, fed the suite chips over
+# ocr-wire-v1 — with one client deliberately killed mid-frame — must
+# answer byte-identically (results.txt, per-job routes and status) to a
+# spool-fed reference, sequentially and pooled, and export the net.*
+# counters. serve.log is not compared: TCP arrival batching differs
+# from a single spool scan, and only the answers are contractual.
+NS_DIR="$(mktemp -d)"
+for chip in ami33 xerox ex3; do
+    ./target/release/ocr generate "$chip" -o "$NS_DIR/$chip.ocr"
+done
+for threads in 1 ""; do (
+    [ -n "$threads" ] && export OCR_THREADS="$threads"
+    tag="${threads:-par}"
+    mkdir -p "$NS_DIR/spool-$tag"
+    cp "$NS_DIR"/*.ocr "$NS_DIR/spool-$tag/"
+    {
+        echo "ocr-jobs-v1"
+        for chip in ami33 xerox ex3; do
+            echo "job $chip $chip.ocr flow overcell"
+        done
+    } > "$NS_DIR/spool-$tag/batch.job"
+    ./target/release/ocr serve --spool "$NS_DIR/spool-$tag" \
+        --out "$NS_DIR/out-ref-$tag" \
+        --quantum 64 --max-concurrent 2 --drain >/dev/null
+    ./target/release/ocr serve --listen 127.0.0.1:0 \
+        --addr-file "$NS_DIR/addr-$tag" --out "$NS_DIR/out-net-$tag" \
+        --journal "$NS_DIR/wal-$tag" \
+        --quantum 64 --max-concurrent 2 >/dev/null 2>&1 &
+    pid=$!
+    i=0
+    while [ ! -s "$NS_DIR/addr-$tag" ] && [ "$i" -lt 100 ]; do
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -s "$NS_DIR/addr-$tag" ] || {
+        echo "ci: net smoke: the daemon never published its address" >&2
+        exit 1
+    }
+    addr="$(cat "$NS_DIR/addr-$tag")"
+    # One hostile client first: tear the frame mid-payload and vanish.
+    # The daemon must shrug it off and serve everyone after it.
+    ./target/release/ocr submit --addr "$addr" --chip "$NS_DIR/ami33.ocr" \
+        --name torn --tear-bytes 40 >/dev/null
+    for chip in ami33 xerox ex3; do
+        ./target/release/ocr submit --addr "$addr" \
+            --chip "$NS_DIR/$chip.ocr" --flow overcell >/dev/null
+    done
+    ./target/release/ocr submit --addr "$addr" --shutdown >/dev/null
+    wait "$pid"
+    cmp "$NS_DIR/out-ref-$tag/results.txt" "$NS_DIR/out-net-$tag/results.txt"
+    for chip in ami33 xerox ex3; do
+        cmp "$NS_DIR/out-ref-$tag/$chip/routes.txt" "$NS_DIR/out-net-$tag/$chip/routes.txt"
+        cmp "$NS_DIR/out-ref-$tag/$chip/status" "$NS_DIR/out-net-$tag/$chip/status"
+    done
+    ./target/release/obs-check "$NS_DIR/out-net-$tag/serve-stats.json" --service \
+        --require net.conns --require net.frames --require net.rejected.quota \
+        --require net.rejected.overload --require net.timeouts >/dev/null
+); done
+rm -rf "$NS_DIR"
 
 echo "==> bench snapshots (inner_loop smoke + validate committed BENCH_*.json)"
 # The inner-loop benchmark must run end to end (quick mode: one

@@ -10,8 +10,10 @@
 //! ocr verify <chip.ocr> [--flow ...] [--routes in.txt] [--strict]
 //! ocr verify --suite [--strict]
 //! ocr chaos [--seed N] [--trials K]
-//! ocr serve [--spool DIR] [--manifest FILE] [--out DIR] [--journal DIR]
-//!           [--drain] [--max-total-steps N] [--max-concurrent N] [--quantum N]
+//! ocr serve [--spool DIR] [--manifest FILE] [--listen ADDR] [--out DIR]
+//!           [--journal DIR] [--drain] [--max-total-steps N]
+//!           [--max-concurrent N] [--quantum N]
+//! ocr submit --addr HOST:PORT (--chip FILE | --ping | --shutdown)
 //! ocr stats <chip.ocr>
 //! ```
 
@@ -111,14 +113,18 @@ USAGE:
       without aborting the run) and its salvaged result is checked by
       the ocr-verify oracle. Exits non-zero when any completed trial is
       oracle-unclean. Defaults: --seed 1, --trials 8.
-  ocr serve [--spool DIR] [--manifest FILE] [--out DIR] [--journal DIR]
-            [--max-total-steps N] [--max-concurrent N] [--quantum N]
-            [--poll-ms MS] [--drain]
+  ocr serve [--spool DIR] [--manifest FILE] [--listen ADDR] [--out DIR]
+            [--journal DIR] [--max-total-steps N] [--max-concurrent N]
+            [--quantum N] [--poll-ms MS] [--drain] [--addr-file FILE]
+            [--stage DIR] [--max-conns N] [--net-timeout-ms MS]
+            [--net-idle-ms MS] [--max-frame-bytes N] [--max-pending N]
+            [--tenant-rate N] [--tenant-burst N]
       Batch routing service. Jobs come from an `ocr-jobs-v1` manifest
-      (--manifest, chip paths relative to it) and/or a spool directory
-      (--spool): drop `*.job` files in and they are consumed in filename
-      order; a file named `stop` shuts the service down after the queue
-      drains, and --drain processes what is already spooled and exits.
+      (--manifest, chip paths relative to it), a spool directory
+      (--spool), and/or a TCP listener (--listen): drop `*.job` files in
+      the spool and they are consumed in filename order; a file named
+      `stop` shuts the service down after the queue drains, and --drain
+      processes what is already spooled and exits.
       A deterministic scheduler admits up to --max-concurrent jobs per
       round onto the ocr-exec pool, slicing each job's work into
       --quantum step budgets (doubling per preemption); a job that
@@ -141,7 +147,42 @@ USAGE:
       --out and spool/manifest produces byte-identical routes and
       results. A torn or corrupted journal tail is dropped with a
       warning in serve.log, never an error.
-      Defaults: --max-concurrent 2, --quantum 256, --poll-ms 200.
+      --listen binds an `ocr-wire-v1` TCP front-end on ADDR (port 0
+      picks an ephemeral port; the bound address is printed and, with
+      --addr-file, written to FILE). Network submissions feed the same
+      journaled intake as the spool, so their answers are byte-identical
+      to spooled ones and survive a kill-restart. The front-end is
+      bounded on every axis: at most --max-conns concurrent
+      connections (excess clients wait in the kernel backlog), frames
+      capped at --max-frame-bytes, a per-read/write deadline of
+      --net-timeout-ms once a frame has started and --net-idle-ms
+      between frames (slow-loris clients get `error timeout` and are
+      disconnected), and at most --max-pending submissions queued ahead
+      of the engine — beyond that, and once --max-total-steps is
+      exhausted, clients get `rejected … overload retry-after <ms>`.
+      --tenant-rate/--tenant-burst arm a per-tenant token-bucket quota
+      (the `tenant` job option names the bucket; rate 0 caps each
+      tenant at a hard burst); over-quota submissions get `rejected …
+      quota retry-after <ms>`. Submitted chips are staged under --stage
+      (default: <out>/net-stage). A wire `shutdown` request drains the
+      service like a spool `stop`. Front-end counters (net.conns,
+      net.frames, net.rejected.quota, net.rejected.overload,
+      net.timeouts) land in serve-stats.json.
+      Defaults: --max-concurrent 2, --quantum 256, --poll-ms 200,
+      --max-conns 8, --net-timeout-ms 5000, --net-idle-ms 10000,
+      --max-frame-bytes 1048576, --max-pending 64.
+  ocr submit --addr HOST:PORT (--chip FILE | --ping | --shutdown)
+             [--name NAME] [--flow F] [--order O] [--priority P]
+             [--max-steps N] [--tenant T] [--salvage] [--verify]
+             [--timeout-ms MS] [--tear-bytes N]
+      `ocr-wire-v1` client for a running `ocr serve --listen` daemon.
+      --chip submits the chip file inline (job name from --name or the
+      file stem) and waits for the service's durable accept; exits
+      non-zero on a typed rejection (quota, overload, closed) or wire
+      error. --ping checks liveness; --shutdown asks the service to
+      drain and exit. --tear-bytes N writes only the first N bytes of
+      the submit frame and disconnects (a deliberately torn client for
+      robustness smoke tests).
   ocr stats <chip.ocr>
       Print the chip's Table-1-style statistics.
   ocr help
@@ -218,8 +259,35 @@ const SERVE_SPEC: ArgSpec = ArgSpec {
         "--max-concurrent",
         "--quantum",
         "--poll-ms",
+        "--listen",
+        "--addr-file",
+        "--stage",
+        "--max-conns",
+        "--net-timeout-ms",
+        "--net-idle-ms",
+        "--max-frame-bytes",
+        "--max-pending",
+        "--tenant-rate",
+        "--tenant-burst",
     ],
     switch_flags: &["--drain"],
+};
+
+const SUBMIT_SPEC: ArgSpec = ArgSpec {
+    command: "submit",
+    value_flags: &[
+        "--addr",
+        "--chip",
+        "--name",
+        "--flow",
+        "--order",
+        "--priority",
+        "--max-steps",
+        "--tenant",
+        "--timeout-ms",
+        "--tear-bytes",
+    ],
+    switch_flags: &["--salvage", "--verify", "--ping", "--shutdown"],
 };
 
 const STATS_SPEC: ArgSpec = ArgSpec {
@@ -318,6 +386,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("verify") => verify(args),
         Some("chaos") => chaos(args),
         Some("serve") => serve_cmd(args),
+        Some("submit") => submit_cmd(args),
         Some("stats") => stats(args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -1026,7 +1095,8 @@ fn chaos(args: &[String]) -> Result<(), String> {
 /// `ocr-jobs-v1` manifest (see USAGE for the scheduling model).
 fn serve_cmd(args: &[String]) -> Result<(), String> {
     use overcell_router::serve::{
-        manifest_jobs, run_jobs, serve, JobStatus, ServeConfig, SpoolIntake,
+        manifest_jobs, run_jobs, serve, JobStatus, NetConfig, NetIntake, PairedIntake, QuotaConfig,
+        ServeConfig, ServeError, SpoolIntake, NET_COUNTERS,
     };
     let flags = SERVE_SPEC.parse(&args[1..])?;
     if let Some(stray) = flags.positionals.first() {
@@ -1034,8 +1104,9 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     }
     let spool = flags.value("--spool");
     let manifest = flags.value("--manifest");
-    if spool.is_none() && manifest.is_none() {
-        return Err("serve: nothing to serve (pass --spool and/or --manifest)".into());
+    let listen = flags.value("--listen");
+    if spool.is_none() && manifest.is_none() && listen.is_none() {
+        return Err("serve: nothing to serve (pass --spool, --manifest, and/or --listen)".into());
     }
     let max_total_steps: Option<u64> = flags.parsed("--max-total-steps")?;
     let max_concurrent: usize = flags.parsed_or("--max-concurrent", 2)?;
@@ -1044,6 +1115,42 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     if flags.has("--drain") && spool.is_none() {
         return Err("serve: --drain requires --spool (a manifest is one-shot already)".into());
     }
+    let net_config = match listen {
+        Some(addr) => {
+            let quota = match (
+                flags.parsed::<u64>("--tenant-rate")?,
+                flags.parsed::<u64>("--tenant-burst")?,
+            ) {
+                (None, None) => None,
+                (rate, burst) => Some(QuotaConfig {
+                    rate_per_sec: rate.unwrap_or(0),
+                    burst: burst.unwrap_or(1),
+                }),
+            };
+            // Staged chips must survive a kill-restart when journaling:
+            // default the stage under --out so recovery can reload them.
+            let stage = flags
+                .value("--stage")
+                .map(std::path::PathBuf::from)
+                .or_else(|| {
+                    flags
+                        .value("--out")
+                        .map(|out| std::path::Path::new(out).join("net-stage"))
+                });
+            Some(NetConfig {
+                addr: addr.to_string(),
+                max_conns: flags.parsed_or("--max-conns", 8)?,
+                io_timeout_ms: flags.parsed_or("--net-timeout-ms", 5000)?,
+                idle_timeout_ms: flags.parsed_or("--net-idle-ms", 10_000)?,
+                max_frame: flags.parsed_or("--max-frame-bytes", 1 << 20)?,
+                max_pending: flags.parsed_or("--max-pending", 64)?,
+                poll_ms,
+                stage,
+                quota,
+            })
+        }
+        None => None,
+    };
     let config = ServeConfig {
         out: flags.value("--out").map(std::path::PathBuf::from),
         max_total_steps,
@@ -1057,15 +1164,31 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         }
         None => Vec::new(),
     };
+    // Announces a bound listener: printed for humans, written to
+    // --addr-file for scripts that asked for an ephemeral port.
+    let announce = |addr: std::net::SocketAddr| -> Result<(), ServeError> {
+        println!("serve: listening on {addr}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if let Some(path) = flags.value("--addr-file") {
+            let path = std::path::Path::new(path);
+            atomic_write(path, &format!("{addr}\n")).map_err(|e| ServeError::Io {
+                path: path.to_path_buf(),
+                message: e.to_string(),
+            })?;
+        }
+        Ok(())
+    };
     // Service-level telemetry (journal/replay/retry counters and the
     // run span) — written as `ocr-stats-v1` next to the results.
     let collector = ocr_obs::Collector::new();
     let served = ocr_obs::with_collector(&collector, || {
         let _span = ocr_obs::span("serve.run");
-        // Declare the durability counters up front so `serve-stats.json`
-        // always carries them — 0 on a clean run, nonzero after a
-        // recovery or healed transient fault. `obs-check --service
-        // --require NAME` checks presence, not magnitude.
+        // Declare the durability and network counters up front so
+        // `serve-stats.json` always carries them — 0 on a clean run,
+        // nonzero after a recovery, healed fault, or shed client.
+        // `obs-check --service --require NAME` checks presence, not
+        // magnitude.
         for name in [
             "journal.append",
             "journal.replayed",
@@ -1074,14 +1197,39 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         ] {
             ocr_obs::count(name, 0);
         }
-        match spool {
-            Some(dir) => {
+        for name in NET_COUNTERS {
+            ocr_obs::count(name, 0);
+        }
+        match (spool, net_config) {
+            (Some(dir), Some(net)) => {
+                let spool_intake =
+                    SpoolIntake::new(std::path::Path::new(dir), poll_ms, flags.has("--drain"));
+                let net_intake = match NetIntake::bind(net).and_then(|n| {
+                    announce(n.local_addr())?;
+                    Ok(n)
+                }) {
+                    Ok(intake) => intake,
+                    Err(e) => return Err(e),
+                };
+                let mut intake = PairedIntake::new(spool_intake, net_intake);
+                let report = serve(initial, &mut intake, &config);
+                report.map(|r| (r, intake.take_error()))
+            }
+            (Some(dir), None) => {
                 let mut intake =
                     SpoolIntake::new(std::path::Path::new(dir), poll_ms, flags.has("--drain"));
                 let report = serve(initial, &mut intake, &config);
                 report.map(|r| (r, intake.take_error()))
             }
-            None => run_jobs(initial, &config).map(|r| (r, None)),
+            (None, Some(net)) => {
+                let mut intake = NetIntake::bind(net).and_then(|n| {
+                    announce(n.local_addr())?;
+                    Ok(n)
+                })?;
+                let report = serve(initial, &mut intake, &config);
+                report.map(|r| (r, None))
+            }
+            (None, None) => run_jobs(initial, &config).map(|r| (r, None)),
         }
     });
     let (report, intake_error) = served.map_err(|e| format!("serve: {e}"))?;
@@ -1112,6 +1260,89 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `ocr submit`: a small `ocr-wire-v1` client for a running
+/// `ocr serve --listen` daemon — submits one chip (sent inline, no
+/// shared filesystem needed), pings, or asks the service to drain.
+/// `--tear-bytes` deliberately tears the frame mid-write and
+/// disconnects, for robustness smoke tests.
+fn submit_cmd(args: &[String]) -> Result<(), String> {
+    use overcell_router::io::job::JobSpec;
+    use overcell_router::io::wire::{self, Response};
+    use overcell_router::serve::{client_connect, client_request};
+    let flags = SUBMIT_SPEC.parse(&args[1..])?;
+    if let Some(stray) = flags.positionals.first() {
+        return Err(format!("submit: unexpected argument `{stray}`"));
+    }
+    let addr = flags.value("--addr").ok_or("submit: missing --addr")?;
+    let timeout = std::time::Duration::from_millis(flags.parsed_or("--timeout-ms", 10_000)?);
+    let stream = client_connect(addr, timeout).map_err(|e| format!("submit: {addr}: {e}"))?;
+    if flags.has("--ping") {
+        return match client_request(&stream, "ping") {
+            Ok(Response::Pong) => {
+                println!("pong");
+                Ok(())
+            }
+            Ok(other) => Err(format!("submit: {}", wire::response_payload(&other))),
+            Err(e) => Err(format!("submit: {e}")),
+        };
+    }
+    if flags.has("--shutdown") {
+        return match client_request(&stream, "shutdown") {
+            Ok(Response::Closing) => {
+                println!("closing");
+                Ok(())
+            }
+            Ok(other) => Err(format!("submit: {}", wire::response_payload(&other))),
+            Err(e) => Err(format!("submit: {e}")),
+        };
+    }
+    let chip_path = flags
+        .value("--chip")
+        .ok_or("submit: missing --chip (or --ping/--shutdown)")?;
+    let chip_text =
+        std::fs::read_to_string(chip_path).map_err(|e| format!("submit: {chip_path}: {e}"))?;
+    let name = match flags.value("--name") {
+        Some(name) => name.to_string(),
+        None => std::path::Path::new(chip_path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(str::to_string)
+            .ok_or("submit: cannot derive a job name from --chip; pass --name")?,
+    };
+    let mut spec = JobSpec::new(name, "-");
+    if let Some(flow) = flags.value("--flow") {
+        spec.flow = flow.to_string();
+    }
+    spec.order = flags.value("--order").map(str::to_string);
+    spec.priority = flags.parsed_or("--priority", 0)?;
+    spec.max_steps = flags.parsed("--max-steps")?;
+    spec.salvage = flags.has("--salvage");
+    spec.verify = flags.has("--verify");
+    spec.tenant = flags.value("--tenant").map(str::to_string);
+    let payload = wire::submit_payload(&spec, &chip_text);
+    if let Some(n) = flags.parsed::<usize>("--tear-bytes")? {
+        // Mid-frame disconnect on purpose: write a strict prefix of
+        // the frame and hang up. The daemon must answer its other
+        // clients untroubled.
+        let bytes = wire::frame(&payload);
+        let n = n.min(bytes.len().saturating_sub(1)).max(1);
+        use std::io::Write as _;
+        (&stream)
+            .write_all(&bytes[..n])
+            .map_err(|e| format!("submit: {e}"))?;
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        println!("submit: tore the frame after {n} byte(s)");
+        return Ok(());
+    }
+    match client_request(&stream, &payload).map_err(|e| format!("submit: {e}"))? {
+        Response::Accepted(name) => {
+            println!("accepted {name}");
+            Ok(())
+        }
+        other => Err(format!("submit: {}", wire::response_payload(&other))),
+    }
+}
+
 fn stats(args: &[String]) -> Result<(), String> {
     let flags = STATS_SPEC.parse(&args[1..])?;
     let path = *flags
@@ -1136,7 +1367,7 @@ fn stats(args: &[String]) -> Result<(), String> {
 mod tests {
     use super::{
         parse_order, run, OrderChoice, CHAOS_SPEC, GENERATE_SPEC, ROUTE_SPEC, SERVE_SPEC,
-        VERIFY_SPEC,
+        SUBMIT_SPEC, VERIFY_SPEC,
     };
 
     fn argv(parts: &[&str]) -> Vec<String> {
@@ -1226,6 +1457,7 @@ mod tests {
             VERIFY_SPEC,
             CHAOS_SPEC,
             SERVE_SPEC,
+            SUBMIT_SPEC,
         ] {
             for name in spec.value_flags {
                 let args = argv(&[name, "1"]);

@@ -324,3 +324,145 @@ fn resume_on_a_torn_checkpoint_reports_a_clean_diagnostic() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A realistic multiline `ocr-wire-v1` submit frame for the fuzz
+/// tests below: options on the job line, chip text in the payload.
+fn wire_specimen() -> (String, Vec<u8>) {
+    use overcell_router::io::job::JobSpec;
+    use overcell_router::io::wire;
+
+    let chip = small_random(6, 2, 3, 10, 42);
+    let mut spec = JobSpec::new("fuzz", "-");
+    spec.priority = 3;
+    spec.salvage = true;
+    spec.tenant = Some("acme".to_string());
+    let payload = wire::submit_payload(&spec, &write_chip(&chip.layout, &chip.placement));
+    let bytes = wire::frame(&payload);
+    (payload, bytes)
+}
+
+#[test]
+fn wire_frames_torn_at_every_byte_boundary_are_typed_errors() {
+    use overcell_router::io::wire;
+
+    let (payload, bytes) = wire_specimen();
+    // The intact frame round-trips...
+    assert_eq!(
+        wire::read_frame(&mut &bytes[..], 1 << 20).expect("intact frame"),
+        Some(payload)
+    );
+    // ...and every truncation is a clean EOF (cut 0) or a typed error
+    // — torn mid-header, torn mid-payload, torn at the terminator —
+    // never a panic.
+    for cut in 0..bytes.len() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            wire::read_frame(&mut &bytes[..cut], 1 << 20)
+        }));
+        let result = outcome.unwrap_or_else(|_| panic!("read_frame panicked at cut {cut}"));
+        if cut == 0 {
+            assert!(
+                matches!(result, Ok(None)),
+                "cut 0 is a clean close: {result:?}"
+            );
+        } else {
+            assert!(
+                result.is_err(),
+                "cut {cut} of {} must be a typed error: {result:?}",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_streams_torn_anywhere_in_the_magic_never_panic() {
+    use overcell_router::io::wire;
+
+    let (_, frame) = wire_specimen();
+    let mut stream = Vec::new();
+    wire::write_magic(&mut stream).expect("magic");
+    stream.extend_from_slice(&frame);
+    for cut in 0..stream.len() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut r = &stream[..cut];
+            wire::read_magic(&mut r).and_then(|()| wire::read_frame(&mut r, 1 << 20))
+        }));
+        assert!(outcome.is_ok(), "torn stream panicked at cut {cut}");
+    }
+}
+
+#[test]
+fn oversized_and_absurd_wire_lengths_are_rejected_before_any_payload() {
+    use overcell_router::io::wire::{self, WireError};
+
+    // A length over the limit is rejected from the header alone — no
+    // payload bytes exist to back it up, and none are needed.
+    for header in [
+        "f 65 0123456789abcdef\n",
+        "f 1048576 0123456789abcdef\n",
+        "f 18446744073709551615 0123456789abcdef\n",
+    ] {
+        match wire::read_frame(&mut header.as_bytes(), 64) {
+            Err(WireError::Oversized { len, max: 64 }) => assert!(len > 64),
+            other => panic!("{header:?}: expected oversized, got {other:?}"),
+        }
+    }
+    // Lengths that do not even parse are bad headers, not crashes.
+    for header in [
+        "f 99999999999999999999 0123456789abcdef\n",
+        "f -1 0123456789abcdef\n",
+        "f abc 0123456789abcdef\n",
+        "f 10 xyz\n",
+        "f 10 0123456789abcdef0123\n",
+        "frame 10 0123456789abcdef\n",
+    ] {
+        let result = wire::read_frame(&mut header.as_bytes(), 64);
+        assert!(
+            matches!(result, Err(WireError::BadHeader(_))),
+            "{header:?}: {result:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_wire_frames_are_typed_errors_never_panics() {
+    use overcell_router::io::wire;
+
+    let (_, bytes) = wire_specimen();
+    // Every single-bit corruption of any byte — header, checksum,
+    // payload, terminators — yields a typed error: the checksum (or
+    // the header grammar) catches it, and nothing panics.
+    for i in 0..bytes.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= bit;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                wire::read_frame(&mut &mutated[..], 1 << 20)
+            }));
+            let result =
+                outcome.unwrap_or_else(|_| panic!("read_frame panicked at byte {i} bit {bit:#x}"));
+            assert!(
+                result.is_err(),
+                "flip at byte {i} bit {bit:#x} must not pass validation: {result:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mutated_wire_requests_are_typed_errors_never_panics() {
+    use overcell_router::io::wire;
+
+    let (payload, _) = wire_specimen();
+    for i in 0..2_000 {
+        let seed = 0x31ee ^ i as u64;
+        let mutated = corrupt_text(&payload, seed, 1 + i % 16);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = wire::parse_request(&mutated);
+        }));
+        assert!(
+            outcome.is_ok(),
+            "parse_request panicked on mutation seed {seed}"
+        );
+    }
+}

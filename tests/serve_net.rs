@@ -1,0 +1,617 @@
+//! Robustness contract of the TCP front-end (DESIGN.md §16): a job
+//! submitted over `ocr-wire-v1` is byte-identical to the same job
+//! spooled on disk — at any `OCR_THREADS`, under injected `net.*`
+//! faults, and across a `--journal` kill-restart — while hostile
+//! clients (slow loris, mid-frame disconnect, over-quota storms,
+//! overload) get typed rejections and never poison the daemon.
+
+use overcell_router::exec::with_threads;
+use overcell_router::fault;
+use overcell_router::gen::random::small_random;
+use overcell_router::io::job::JobSpec;
+use overcell_router::io::wire::{self, RejectReason, Response};
+use overcell_router::io::write_chip;
+use overcell_router::obs::{with_collector, Collector};
+use overcell_router::serve::{
+    client_connect, client_request, load_job, run_jobs, serve, Intake, JobStatus, NetConfig,
+    NetIntake, PairedIntake, QuotaConfig, ServeConfig, ServeReport, SpoolIntake,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const JOBS: [(&str, u64); 3] = [("alpha", 42), ("beta", 5), ("gamma", 7)];
+
+fn chip_text(seed: u64) -> String {
+    let c = small_random(6, 2, 3, 10, seed);
+    write_chip(&c.layout, &c.placement)
+}
+
+/// A collision-free scratch directory.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ocr-serve-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A journaled service config over `root`; the tight quantum forces
+/// preemptions so checkpoints ride along with every submission path.
+fn config(root: &Path) -> ServeConfig {
+    ServeConfig {
+        out: Some(root.join("out")),
+        quantum: 8,
+        max_concurrent: 2,
+        journal: Some(root.join("wal")),
+        ..ServeConfig::default()
+    }
+}
+
+/// A front-end config whose staging directory is durable under `root`
+/// (so `--journal` recovery can reload TCP-submitted chips) and whose
+/// poll interval keeps tests snappy.
+fn net_config(root: &Path) -> NetConfig {
+    NetConfig {
+        stage: Some(root.join("stage")),
+        poll_ms: 50,
+        ..NetConfig::default()
+    }
+}
+
+fn spec(name: &str) -> JobSpec {
+    // The chip field is a placeholder: the server stages the inline
+    // chip text and rewrites it.
+    JobSpec::new(name, "-")
+}
+
+/// The bytes a TCP run must reproduce: `results.txt` plus every job's
+/// `status` and `routes.txt`.
+fn answer_bytes(root: &Path, names: &[&str]) -> Vec<(String, String)> {
+    let out = root.join("out");
+    let mut files = vec!["results.txt".to_string()];
+    for name in names {
+        files.push(format!("{name}/status"));
+        files.push(format!("{name}/routes.txt"));
+    }
+    files
+        .into_iter()
+        .map(|f| {
+            let text = std::fs::read_to_string(out.join(&f))
+                .unwrap_or_else(|e| panic!("{}: {e}", out.join(&f).display()));
+            (f, text)
+        })
+        .collect()
+}
+
+fn assert_same_bytes(tag: &str, got: &[(String, String)], expected: &[(String, String)]) {
+    for ((file, bytes), (ref_file, ref_bytes)) in got.iter().zip(expected) {
+        assert_eq!(file, ref_file);
+        assert_eq!(
+            bytes, ref_bytes,
+            "{tag}: `{file}` must match the spooled reference byte for byte"
+        );
+    }
+}
+
+/// The spooled reference: the same jobs loaded from disk, no network.
+fn reference(tag: &str) -> (PathBuf, Vec<(String, String)>) {
+    let root = scratch(tag);
+    let jobs: Vec<_> = JOBS
+        .iter()
+        .map(|&(name, seed)| {
+            let file = format!("{name}.ocr");
+            std::fs::write(root.join(&file), chip_text(seed)).expect("chip");
+            load_job(JobSpec::new(name, file), &root)
+        })
+        .collect();
+    let report = run_jobs(jobs, &config(&root)).expect("reference serves");
+    for job in &report.jobs {
+        assert_eq!(job.status, JobStatus::Done, "{}: {}", job.name, job.detail);
+    }
+    let names: Vec<&str> = JOBS.iter().map(|&(n, _)| n).collect();
+    let bytes = answer_bytes(&root, &names);
+    (root, bytes)
+}
+
+/// Runs the engine over `intake` on its own thread, optionally pinned
+/// to a pool width and armed with a fault plan. `with_threads` and
+/// fault plans are thread-local, so both must be installed inside the
+/// engine's own thread.
+fn serve_thread<I: Intake + Send + 'static>(
+    mut intake: I,
+    cfg: ServeConfig,
+    threads: Option<usize>,
+    plan: Option<fault::FaultPlan>,
+) -> std::thread::JoinHandle<ServeReport> {
+    std::thread::spawn(move || {
+        let run = |intake: &mut I| match threads {
+            Some(n) => with_threads(n, || serve(Vec::new(), intake, &cfg)),
+            None => serve(Vec::new(), intake, &cfg),
+        };
+        let report = match plan {
+            Some(p) => fault::with_plan(&p, || run(&mut intake)),
+            None => run(&mut intake),
+        };
+        report.expect("the service must not error")
+    })
+}
+
+fn submit(addr: &str, spec: &JobSpec, chip: &str) -> Result<Response, wire::WireError> {
+    let stream = client_connect(addr, Duration::from_secs(10))?;
+    client_request(&stream, &wire::submit_payload(spec, chip))
+}
+
+fn expect_accepted(addr: &str, spec: &JobSpec, chip: &str) {
+    match submit(addr, spec, chip) {
+        Ok(Response::Accepted(name)) => assert_eq!(name, spec.name),
+        other => panic!("{}: expected accepted, got {other:?}", spec.name),
+    }
+}
+
+fn wire_shutdown(addr: &str) {
+    let stream = client_connect(addr, Duration::from_secs(10)).expect("shutdown connect");
+    match client_request(&stream, "shutdown") {
+        Ok(Response::Closing) => {}
+        other => panic!("expected closing, got {other:?}"),
+    }
+}
+
+/// The tentpole contract: TCP submissions produce byte-identical
+/// answers to the spooled reference, sequentially and pooled.
+#[test]
+fn tcp_submissions_are_byte_identical_to_spooled_ones() {
+    let (ref_root, expected) = reference("ref");
+    for (k, threads) in [None, Some(1)].into_iter().enumerate() {
+        let root = scratch(&format!("tcp-{k}"));
+        let intake = NetIntake::bind(net_config(&root)).expect("bind");
+        let addr = intake.local_addr().to_string();
+        let handle = serve_thread(intake, config(&root), threads, None);
+        for (name, seed) in JOBS {
+            expect_accepted(&addr, &spec(name), &chip_text(seed));
+        }
+        wire_shutdown(&addr);
+        let report = handle.join().expect("serve thread");
+        for job in &report.jobs {
+            assert_eq!(job.status, JobStatus::Done, "{}: {}", job.name, job.detail);
+        }
+        let names: Vec<&str> = JOBS.iter().map(|&(n, _)| n).collect();
+        assert_same_bytes(
+            &format!("threads {threads:?}"),
+            &answer_bytes(&root, &names),
+            &expected,
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
+
+/// Injected faults at every `net.*` site (a dropped accept, a failed
+/// read, a failed response write) cost retries, never bytes.
+#[test]
+fn byte_identity_survives_injected_net_faults() {
+    let (ref_root, expected) = reference("fref");
+    let root = scratch("tcp-faults");
+    let plan = fault::plan(7)
+        .fire_at("net.accept", 1.0, 1)
+        .fire_at("net.read", 1.0, 1)
+        .fire_at("net.write", 1.0, 1)
+        .build();
+    let intake =
+        fault::with_plan(&plan, || NetIntake::bind(net_config(&root))).expect("bind under faults");
+    let addr = intake.local_addr().to_string();
+    let handle = serve_thread(intake, config(&root), None, Some(plan.clone()));
+    // Burn every injected fault down with pings: a dropped connection
+    // or failed exchange is retried, and each retry consumes fires.
+    let mut tries = 0;
+    while plan.total_fires() < 3 {
+        tries += 1;
+        assert!(
+            tries < 200,
+            "fault burn-down stalled at {} fires",
+            plan.total_fires()
+        );
+        let _ =
+            client_connect(&addr, Duration::from_secs(2)).and_then(|s| client_request(&s, "ping"));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for (name, seed) in JOBS {
+        expect_accepted(&addr, &spec(name), &chip_text(seed));
+    }
+    wire_shutdown(&addr);
+    let report = handle.join().expect("serve thread");
+    for job in &report.jobs {
+        assert_eq!(job.status, JobStatus::Done, "{}: {}", job.name, job.detail);
+    }
+    let names: Vec<&str> = JOBS.iter().map(|&(n, _)| n).collect();
+    assert_same_bytes("net faults", &answer_bytes(&root, &names), &expected);
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
+
+/// A TCP submission is as durable as a spooled one: the daemon is
+/// killed mid-run after the durable accept, and the restart reloads
+/// the chip from the staging directory and finishes byte-identically.
+#[test]
+fn tcp_submissions_survive_a_journal_kill_restart() {
+    // Single-job spooled reference.
+    let ref_root = scratch("kref");
+    let file = "alpha.ocr".to_string();
+    std::fs::write(ref_root.join(&file), chip_text(42)).expect("chip");
+    let job = load_job(JobSpec::new("alpha", file), &ref_root);
+    let report = run_jobs(vec![job], &config(&ref_root)).expect("reference serves");
+    assert_eq!(
+        report.jobs[0].status,
+        JobStatus::Done,
+        "{}",
+        report.jobs[0].detail
+    );
+    let expected = answer_bytes(&ref_root, &["alpha"]);
+
+    for (k, threads) in [None, Some(1)].into_iter().enumerate() {
+        let root = scratch(&format!("kill-{k}"));
+        let plan = fault::plan(3).kill_at("serve.kill.settle", 1).build();
+        let intake = NetIntake::bind(net_config(&root)).expect("bind");
+        let addr = intake.local_addr().to_string();
+        let handle = serve_thread(intake, config(&root), threads, Some(plan));
+        // The accepted response is a durability promise: by the time it
+        // arrives the job is journaled and its chip staged on disk.
+        expect_accepted(&addr, &spec("alpha"), &chip_text(42));
+        assert!(
+            handle.join().is_err(),
+            "the kill site must take the daemon down mid-run"
+        );
+        // Restart on the same journal with a closed intake: the job
+        // must be recovered entirely from the journal + staged chip.
+        let restart = || run_jobs(Vec::new(), &config(&root)).expect("restarted service serves");
+        let report = match threads {
+            Some(n) => with_threads(n, restart),
+            None => restart(),
+        };
+        assert_eq!(report.jobs.len(), 1, "{}", report.log.join("\n"));
+        assert_eq!(
+            report.jobs[0].status,
+            JobStatus::Done,
+            "{}",
+            report.jobs[0].detail
+        );
+        assert_same_bytes(
+            &format!("kill-restart threads {threads:?}"),
+            &answer_bytes(&root, &["alpha"]),
+            &expected,
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
+
+/// A slow-loris client (frame started, never finished) is answered
+/// with a typed `error timeout`, counted, and disconnected — while the
+/// daemon keeps serving other clients.
+#[test]
+fn slow_loris_gets_a_typed_timeout_and_the_daemon_keeps_serving() {
+    let root = scratch("loris");
+    let collector = Collector::new();
+    let net = NetConfig {
+        io_timeout_ms: 150,
+        idle_timeout_ms: 2000,
+        ..net_config(&root)
+    };
+    // No engine behind the intake: deadlines and pings are pure
+    // front-end behaviour.
+    let intake = with_collector(&collector, || NetIntake::bind(net)).expect("bind");
+    let addr = intake.local_addr().to_string();
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .expect("write timeout");
+    wire::write_magic(&mut (&stream)).expect("client magic");
+    wire::read_magic(&mut (&stream)).expect("server magic");
+    // Start a frame header, then stall: the per-frame I/O deadline
+    // must fire even though the idle allowance is generous.
+    (&stream).write_all(b"f 10").expect("partial header");
+    let payload = wire::read_frame(&mut (&stream), 1 << 20)
+        .expect("timeout frame")
+        .expect("a response, not a close");
+    match wire::parse_response(&payload).expect("typed response") {
+        Response::Error { kind, .. } => assert_eq!(kind, "timeout"),
+        other => panic!("expected a timeout error, got {other:?}"),
+    }
+    // The daemon is unharmed: a healthy client still gets served.
+    let healthy = client_connect(&addr, Duration::from_secs(5)).expect("second client");
+    assert_eq!(
+        client_request(&healthy, "ping").expect("ping"),
+        Response::Pong
+    );
+    drop(intake);
+    assert!(
+        collector.snapshot().counter("net.timeouts").unwrap_or(0) >= 1,
+        "the timeout must be counted"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A client that dies mid-frame tears its own connection only: the
+/// handler sees a typed torn error and the daemon keeps serving.
+#[test]
+fn mid_frame_disconnect_leaves_the_daemon_serving() {
+    let root = scratch("torn");
+    let collector = Collector::new();
+    let intake = with_collector(&collector, || NetIntake::bind(net_config(&root))).expect("bind");
+    let addr = intake.local_addr().to_string();
+    {
+        let stream = TcpStream::connect(&addr).expect("connect");
+        wire::write_magic(&mut (&stream)).expect("client magic");
+        wire::read_magic(&mut (&stream)).expect("server magic");
+        // A frame header promising 100 bytes, a few bytes of payload,
+        // then a hard disconnect.
+        (&stream)
+            .write_all(b"f 100 0123456789abcdef\npartial")
+            .expect("torn frame");
+    } // dropped: RST/EOF mid-frame
+    let healthy = client_connect(&addr, Duration::from_secs(5)).expect("second client");
+    assert_eq!(
+        client_request(&healthy, "ping").expect("ping"),
+        Response::Pong
+    );
+    drop(intake);
+    assert!(
+        collector.snapshot().counter("net.conns").unwrap_or(0) >= 2,
+        "both connections must be counted"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Per-tenant token buckets: a tenant that exhausts its burst gets
+/// `rejected … quota retry-after`, other tenants (and the anonymous
+/// tenant) are unaffected, and the rejection is counted.
+#[test]
+fn over_quota_tenants_get_typed_rejections() {
+    let root = scratch("quota");
+    let collector = Collector::new();
+    let net = NetConfig {
+        // Rate 0 never refills: each tenant gets exactly `burst`
+        // submissions, which makes the storm deterministic.
+        quota: Some(QuotaConfig {
+            rate_per_sec: 0,
+            burst: 2,
+        }),
+        ..net_config(&root)
+    };
+    let intake = with_collector(&collector, || NetIntake::bind(net)).expect("bind");
+    let addr = intake.local_addr().to_string();
+    let handle = serve_thread(intake, config(&root), None, None);
+    let tenant_spec = |name: &str, tenant: Option<&str>| {
+        let mut s = spec(name);
+        s.tenant = tenant.map(str::to_string);
+        s
+    };
+    expect_accepted(&addr, &tenant_spec("a1", Some("acme")), &chip_text(5));
+    expect_accepted(&addr, &tenant_spec("a2", Some("acme")), &chip_text(7));
+    match submit(&addr, &tenant_spec("a3", Some("acme")), &chip_text(9)).expect("wire") {
+        Response::Rejected {
+            name,
+            reason: RejectReason::Quota,
+            retry_after_ms,
+            detail,
+        } => {
+            assert_eq!(name, "a3");
+            assert_eq!(retry_after_ms, 60_000, "rate 0 advertises the long retry");
+            assert!(detail.contains("acme"), "detail names the tenant: {detail}");
+        }
+        other => panic!("expected a quota rejection, got {other:?}"),
+    }
+    // Another tenant and the anonymous tenant have their own buckets.
+    expect_accepted(&addr, &tenant_spec("b1", Some("beta-corp")), &chip_text(9));
+    expect_accepted(&addr, &tenant_spec("anon", None), &chip_text(11));
+    wire_shutdown(&addr);
+    let report = handle.join().expect("serve thread");
+    assert_eq!(report.jobs.len(), 4, "{}", report.log.join("\n"));
+    for job in &report.jobs {
+        assert_eq!(job.status, JobStatus::Done, "{}: {}", job.name, job.detail);
+    }
+    assert_eq!(
+        collector
+            .snapshot()
+            .counter("net.rejected.quota")
+            .unwrap_or(0),
+        1
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A full submission queue sheds with a typed overload rejection and
+/// a retry hint instead of queueing unbounded work.
+#[test]
+fn a_full_pending_queue_sheds_with_overload() {
+    let root = scratch("overload");
+    let collector = Collector::new();
+    let net = NetConfig {
+        max_pending: 0,
+        ..net_config(&root)
+    };
+    let intake = with_collector(&collector, || NetIntake::bind(net)).expect("bind");
+    let addr = intake.local_addr().to_string();
+    match submit(&addr, &spec("shed"), &chip_text(5)).expect("wire") {
+        Response::Rejected {
+            reason: RejectReason::Overload,
+            retry_after_ms,
+            detail,
+            ..
+        } => {
+            assert_eq!(retry_after_ms, 100, "poll_ms 50 floors the hint at 100ms");
+            assert!(detail.contains("queue"), "{detail}");
+        }
+        other => panic!("expected an overload rejection, got {other:?}"),
+    }
+    drop(intake);
+    assert_eq!(
+        collector
+            .snapshot()
+            .counter("net.rejected.overload")
+            .unwrap_or(0),
+        1
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Once the engine's global step budget drains it tells the intake
+/// ([`Intake::budget_exhausted`]), and new submissions are shed with a
+/// typed overload rejection instead of being accepted and rejected.
+#[test]
+fn an_exhausted_step_budget_sheds_new_submissions() {
+    let root = scratch("budget");
+    let collector = Collector::new();
+    let intake = with_collector(&collector, || NetIntake::bind(net_config(&root))).expect("bind");
+    let addr = intake.local_addr().to_string();
+    let cfg = ServeConfig {
+        max_total_steps: Some(1),
+        ..config(&root)
+    };
+    let handle = serve_thread(intake, cfg, None, None);
+    expect_accepted(&addr, &spec("first"), &chip_text(42));
+    // The engine notices exhaustion at its next loop turn; submissions
+    // racing that window may still be accepted (and finalized
+    // rejected), but one soon gets the typed shed.
+    let mut shed = None;
+    for i in 0..100 {
+        match submit(&addr, &spec(&format!("extra-{i}")), &chip_text(5)).expect("wire") {
+            Response::Rejected {
+                reason: RejectReason::Overload,
+                retry_after_ms,
+                detail,
+                ..
+            } => {
+                shed = Some((retry_after_ms, detail));
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let (retry_after_ms, detail) = shed.expect("budget exhaustion must shed submissions");
+    assert_eq!(retry_after_ms, 100);
+    assert!(detail.contains("budget"), "{detail}");
+    wire_shutdown(&addr);
+    let report = handle.join().expect("serve thread");
+    assert_eq!(
+        report.jobs[0].status,
+        JobStatus::Preempted,
+        "the 1-step budget preempts the first job: {}",
+        report.jobs[0].detail
+    );
+    assert!(
+        collector
+            .snapshot()
+            .counter("net.rejected.overload")
+            .unwrap_or(0)
+            >= 1
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Jobs landing via spool AND TCP while a round is in flight are
+/// admitted next round in the deterministic order — strict priority,
+/// then fairness, then submission order — and answer byte-identically
+/// to the same jobs submitted up front.
+#[test]
+fn mid_round_arrivals_from_spool_and_tcp_admit_in_priority_order() {
+    let root = scratch("paired");
+    let spool = root.join("spool");
+    std::fs::create_dir_all(&spool).expect("spool dir");
+    std::fs::write(spool.join("a.ocr"), chip_text(42)).expect("chip");
+    std::fs::write(spool.join("a.job"), "ocr-jobs-v1\njob routeA a.ocr\n").expect("job");
+    let cfg = ServeConfig {
+        out: Some(root.join("out")),
+        quantum: 4,
+        max_concurrent: 1,
+        journal: Some(root.join("wal")),
+        ..ServeConfig::default()
+    };
+    // Stretch the first rounds so the mid-round arrivals land while
+    // `routeA` still has most of its work ahead.
+    let plan = fault::plan(11)
+        .delay_at("serve.kill.round", 1.0, 10, 250_000)
+        .build();
+    let net = NetIntake::bind(net_config(&root)).expect("bind");
+    let addr = net.local_addr().to_string();
+    let paired = PairedIntake::new(SpoolIntake::new(&spool, 50, false), net);
+    let handle = serve_thread(paired, cfg.clone(), None, Some(plan));
+    let mut high = spec("tcpHigh");
+    high.priority = 2;
+    expect_accepted(&addr, &high, &chip_text(5));
+    std::fs::write(spool.join("s.ocr"), chip_text(7)).expect("chip");
+    std::fs::write(
+        spool.join("s.job"),
+        "ocr-jobs-v1\njob spoolMid s.ocr priority 1\n",
+    )
+    .expect("job");
+    expect_accepted(&addr, &spec("tcpLow"), &chip_text(9));
+    wire_shutdown(&addr);
+    let report = handle.join().expect("serve thread");
+    let names = ["routeA", "tcpHigh", "spoolMid", "tcpLow"];
+    assert_eq!(report.jobs.len(), names.len(), "{}", report.log.join("\n"));
+    for job in &report.jobs {
+        assert_eq!(job.status, JobStatus::Done, "{}: {}", job.name, job.detail);
+    }
+    // Completion order proves the admission order: strict priority
+    // first (tcpHigh, then spoolMid), then the priority-0 pair
+    // round-robin their slices — and on equal slice counts the
+    // earlier submission (routeA) wins the tie, so it finishes first.
+    let finished: Vec<String> = report
+        .log
+        .iter()
+        .filter_map(|l| {
+            let (_, rest) = l.split_once(": finish ")?;
+            Some(rest.split_whitespace().next().unwrap_or("").to_string())
+        })
+        .collect();
+    assert_eq!(
+        finished,
+        ["tcpHigh", "spoolMid", "routeA", "tcpLow"],
+        "admission must follow (priority desc, slices asc, submission):\n{}",
+        report.log.join("\n")
+    );
+    // And the answers are byte-identical to the same four jobs
+    // submitted up front in the same submission order.
+    let ref_root = scratch("paired-ref");
+    for (name, seed) in [
+        ("routeA", 42),
+        ("tcpHigh", 5),
+        ("spoolMid", 7),
+        ("tcpLow", 9),
+    ] {
+        std::fs::write(ref_root.join(format!("{name}.ocr")), chip_text(seed)).expect("chip");
+    }
+    let jobs: Vec<_> = [
+        ("routeA", 0),
+        ("tcpHigh", 2),
+        ("spoolMid", 1),
+        ("tcpLow", 0),
+    ]
+    .into_iter()
+    .map(|(name, priority)| {
+        let mut s = JobSpec::new(name, format!("{name}.ocr"));
+        s.priority = priority;
+        load_job(s, &ref_root)
+    })
+    .collect();
+    let ref_cfg = ServeConfig {
+        out: Some(ref_root.join("out")),
+        journal: Some(ref_root.join("wal")),
+        ..cfg
+    };
+    let ref_report = run_jobs(jobs, &ref_cfg).expect("reference serves");
+    for job in &ref_report.jobs {
+        assert_eq!(job.status, JobStatus::Done, "{}: {}", job.name, job.detail);
+    }
+    assert_same_bytes(
+        "mid-round arrivals",
+        &answer_bytes(&root, &names),
+        &answer_bytes(&ref_root, &names),
+    );
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
